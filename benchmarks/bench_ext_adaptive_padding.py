@@ -1,0 +1,30 @@
+"""Extension (Section 5.2 future work) — dynamically adjusted padding.
+
+Compares the adaptive controller against fixed paddings over one trace;
+the controller should at least match the no-padding baseline on complete
+answers while keeping padding bounded.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
+
+
+def _make(scale: str) -> AdaptivePaddingExperiment:
+    return (
+        AdaptivePaddingExperiment.paper()
+        if scale == "paper"
+        else AdaptivePaddingExperiment.quick()
+    )
+
+
+def test_ext_adaptive_padding(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("ext_adaptive_padding", outcome.report())
+    rows = {name: (full, mean) for name, full, mean in outcome.rows}
+    benchmark.extra_info["adaptive_full_pct"] = rows["adaptive"][0]
+    benchmark.extra_info["final_padding"] = outcome.final_padding
+    assert rows["adaptive"][0] >= rows["fixed 0%"][0] - 1.0
+    assert 0.0 <= outcome.final_padding <= 0.5

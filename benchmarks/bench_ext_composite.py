@@ -1,0 +1,35 @@
+"""Extension (Section 5.2) — composite answers from all located partitions.
+
+Measures how much recall composing every reply adds over the paper's
+best-single policy, over the standard 10k uniform workload.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_composite import CompositeAnswerExperiment
+from repro.metrics.recall import fraction_fully_answered
+
+
+def _make(scale: str) -> CompositeAnswerExperiment:
+    return (
+        CompositeAnswerExperiment.paper()
+        if scale == "paper"
+        else CompositeAnswerExperiment.quick()
+    )
+
+
+def test_ext_composite_answers(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("ext_composite", outcome.report())
+    single_full = fraction_fully_answered(outcome.single_recalls)
+    composite_full = fraction_fully_answered(outcome.composite_recalls)
+    benchmark.extra_info["single_full_pct"] = single_full
+    benchmark.extra_info["composite_full_pct"] = composite_full
+    benchmark.extra_info["mean_gain"] = outcome.mean_gain
+    # Composition can only add coverage.
+    assert composite_full >= single_full
+    assert outcome.mean_gain >= 0.0
+    # And it does add some: multiple owners answer with different ranges.
+    assert outcome.gained_query_pct > 0.0

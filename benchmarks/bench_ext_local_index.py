@@ -1,0 +1,33 @@
+"""Extension (Section 5.3) — matching against a local peer index.
+
+The paper predicts: recall is best with one peer (the local index sees
+every partition, like a centralized index) and degrades toward the
+bucket-only behaviour as peers multiply — while never doing worse than
+bucket-only matching.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_local_index import LocalIndexExperiment
+
+
+def _make(scale: str) -> LocalIndexExperiment:
+    return (
+        LocalIndexExperiment.paper()
+        if scale == "paper"
+        else LocalIndexExperiment.quick()
+    )
+
+
+def test_ext_local_index(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("ext_local_index", outcome.report())
+    by_peers = {n: (bucket, local) for n, bucket, local in outcome.rows}
+    for n, (bucket, local) in by_peers.items():
+        benchmark.extra_info[f"local_full_pct_{n}"] = local
+        assert local >= bucket - 1.0  # the index never hurts
+    # Best at one peer (centralized-index limit).
+    single_peer = by_peers[min(by_peers)]
+    assert single_peer[1] >= max(local for _, local in by_peers.values()) - 1.0

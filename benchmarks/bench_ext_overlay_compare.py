@@ -1,0 +1,38 @@
+"""Extension (Section 3.1) — Chord vs CAN routing cost and quality parity.
+
+Asserts the asymptotic shapes: Chord hops grow logarithmically, CAN hops
+grow polynomially (N^(1/d)), so CAN's curve rises faster; and the match
+quality of the range-selection system does not depend on the overlay.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_overlay_compare import OverlayComparisonExperiment
+
+
+def _make(scale: str) -> OverlayComparisonExperiment:
+    return (
+        OverlayComparisonExperiment.paper()
+        if scale == "paper"
+        else OverlayComparisonExperiment.quick()
+    )
+
+
+def test_ext_overlay_comparison(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("ext_overlay_compare", outcome.report())
+    chord = {n: stats.mean for n, stats in outcome.hops["chord"]}
+    can = {n: stats.mean for n, stats in outcome.hops["can"]}
+    sizes = sorted(chord)
+    benchmark.extra_info["chord_hops_max_n"] = chord[sizes[-1]]
+    benchmark.extra_info["can_hops_max_n"] = can[sizes[-1]]
+    # CAN's routing cost grows strictly faster than Chord's with N.
+    chord_growth = chord[sizes[-1]] / chord[sizes[0]]
+    can_growth = can[sizes[-1]] / can[sizes[0]]
+    assert can_growth > chord_growth
+    # Both overlays produce comparable match quality (+-5 points): the
+    # overlay routes messages; it does not decide bucket contents.
+    quality = outcome.quality
+    assert abs(quality["chord"] - quality["can"]) < 5.0

@@ -1,0 +1,39 @@
+"""Extension (Section 6) — statistics-based query routing.
+
+Asserts the planning story: probing wins under clustered reuse, going
+direct wins (or ties) under scattered one-off queries, and the adaptive
+planner stays within a modest factor of the better fixed policy in *both*
+regimes — the property neither fixed policy has.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_stats_planning import StatsPlanningExperiment
+
+
+def _make(scale: str) -> StatsPlanningExperiment:
+    return (
+        StatsPlanningExperiment.paper()
+        if scale == "paper"
+        else StatsPlanningExperiment.quick()
+    )
+
+
+def test_ext_stats_planning(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("ext_stats_planning", outcome.report())
+    probe_clustered = outcome.total("clustered", "always-probe")
+    direct_clustered = outcome.total("clustered", "always-direct")
+    benchmark.extra_info["clustered_probe_cost"] = probe_clustered
+    benchmark.extra_info["clustered_direct_cost"] = direct_clustered
+    # Caching pays off under reuse...
+    assert probe_clustered < direct_clustered
+    # ...and the adaptive planner is never far from the better policy.
+    for regime in outcome.costs:
+        best_fixed = min(
+            outcome.total(regime, "always-probe"),
+            outcome.total(regime, "always-direct"),
+        )
+        assert outcome.total(regime, "adaptive") <= best_fixed * 1.35

@@ -1,0 +1,40 @@
+"""Figure 12 — lookup path lengths.
+
+Regenerates panel (a), mean/1st/99th-percentile hops for 100..5000 peers,
+and panel (b), the hop-count PDF in a 1000-node system, and asserts the
+paper's summary: mean path length of the order (1/2) log2 N, growing with
+system size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.fig12_pathlen import PathLengthExperiment
+
+
+def _make(scale: str) -> PathLengthExperiment:
+    return (
+        PathLengthExperiment.paper()
+        if scale == "paper"
+        else PathLengthExperiment.quick()
+    )
+
+
+def test_fig12_path_lengths(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale).run())
+    emit("fig12_path_lengths", outcome.report())
+    for n, stats in outcome.by_peers:
+        benchmark.extra_info[f"mean_hops_{n}"] = stats.mean
+        # Of the order (1/2) log2 N: within an additive band.
+        expected = 0.5 * math.log2(n)
+        assert expected - 1.0 <= stats.mean <= expected + 2.5
+    means = [stats.mean for _, stats in outcome.by_peers]
+    assert means[0] < means[-1]  # grows with N
+    # PDF: normalized, peaked at a small hop count.
+    probs = outcome.pdf.probabilities()
+    assert abs(sum(probs.values()) - 1.0) < 1e-9
+    mode = max(probs, key=probs.get)
+    assert 1 <= mode <= math.log2(outcome.pdf_peers) + 2

@@ -1,0 +1,38 @@
+"""Figure 5 — execution times for the hash function families.
+
+Regenerates the paper's timing series (range size vs milliseconds for the
+full l x k = 100 hash evaluation) and asserts the orderings the figure
+establishes: linear ≪ approx min-wise ≪ min-wise, all growing with range
+size.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig5_timing import HashTimingExperiment
+
+
+def _experiment(scale: str) -> HashTimingExperiment:
+    return (
+        HashTimingExperiment.paper()
+        if scale == "paper"
+        else HashTimingExperiment.quick()
+    )
+
+
+def test_fig5_hash_timing(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _experiment(scale).run())
+    emit("fig5_hash_timing", outcome.report())
+    benchmark.extra_info["linear_vs_minwise_speedup"] = outcome.speedup(
+        "linear", "min-wise"
+    )
+    benchmark.extra_info["approx_vs_minwise_speedup"] = outcome.speedup(
+        "approx-min-wise", "min-wise"
+    )
+    # Shape assertions (who wins, and by orders of magnitude).
+    assert outcome.mean_ms("linear") < outcome.mean_ms("approx-min-wise")
+    assert outcome.mean_ms("approx-min-wise") < outcome.mean_ms("min-wise")
+    assert outcome.speedup("linear", "min-wise") > 20
+    for points in outcome.series.values():
+        assert points[0][1] < points[-1][1]

@@ -1,0 +1,42 @@
+"""Figures 6a / 6b — match quality of min-wise and approximate min-wise.
+
+Regenerates the similarity histograms of the best matched partition over
+the paper's 10,000 uniform ranges (20% warmup dropped), and asserts the
+shapes: mass concentrated at similarity >= 0.9, with min-wise stricter
+(more outright misses) than the approximate family.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig6_7_quality import MatchQualityExperiment
+
+
+def _make(scale: str, family: str) -> MatchQualityExperiment:
+    if scale == "paper":
+        return MatchQualityExperiment.paper(family)
+    return MatchQualityExperiment.quick(family)
+
+
+def test_fig6a_minwise_quality(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale, "min-wise").run())
+    emit("fig6a_minwise_quality", outcome.report("Figure 6a — min-wise"))
+    benchmark.extra_info["good_pct"] = outcome.good_match_percentage()
+    benchmark.extra_info["miss_pct"] = outcome.miss_percentage()
+    # Top-heavy histogram: the [0.9, 1.0] bin dominates every other bin.
+    percentages = outcome.histogram.percentages()
+    assert percentages[-1] == max(percentages)
+    assert outcome.miss_percentage() > 3.0  # strict family: real misses
+
+
+def test_fig6b_approx_quality(benchmark, scale, emit):
+    outcome = run_once(benchmark, lambda: _make(scale, "approx-min-wise").run())
+    emit("fig6b_approx_quality", outcome.report("Figure 6b — approx min-wise"))
+    benchmark.extra_info["good_pct"] = outcome.good_match_percentage()
+    benchmark.extra_info["miss_pct"] = outcome.miss_percentage()
+    percentages = outcome.histogram.percentages()
+    assert percentages[-1] == max(percentages)
+    # Looser than full min-wise: it finds matches for more queries.
+    strict = _make(scale, "min-wise").run()
+    assert outcome.miss_percentage() < strict.miss_percentage()

@@ -1,0 +1,82 @@
+"""Microbenchmarks for the core operations (true pytest-benchmark timing).
+
+These are the per-operation costs behind the figure experiments: hashing
+one range to its l identifiers (naive vs RMQ-accelerated), one Chord
+lookup, and one end-to-end system query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.ring import ChordRing
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.lsh import (
+    ApproxMinWiseFamily,
+    DomainMinHashIndex,
+    LSHIdentifierScheme,
+)
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.util.rng import derive_rng
+
+DOMAIN = Domain("value", 0, 1000)
+QUERY = IntRange(200, 600)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return LSHIdentifierScheme.from_family(ApproxMinWiseFamily(), seed=1)
+
+
+@pytest.fixture(scope="module")
+def accel_index(scheme):
+    return DomainMinHashIndex(scheme, DOMAIN)
+
+
+@pytest.fixture(scope="module")
+def ring():
+    ring = ChordRing(m=32)
+    ring.add_nodes(1000)
+    ring.build()
+    return ring
+
+
+def test_hash_identifiers_naive(benchmark, scheme):
+    result = benchmark(scheme.identifiers, QUERY)
+    assert len(result) == 5
+
+
+def test_hash_identifiers_accelerated(benchmark, accel_index):
+    result = benchmark(accel_index.identifiers, QUERY)
+    assert result == accel_index.scheme.identifiers(QUERY)
+
+
+def test_chord_lookup(benchmark, ring):
+    rng = derive_rng(0, "micro/lookup")
+    keys = [int(rng.integers(0, 2**32)) for _ in range(512)]
+    origins = [
+        ring.node_ids[int(rng.integers(len(ring.node_ids)))] for _ in range(512)
+    ]
+    state = {"i": 0}
+
+    def one_lookup():
+        i = state["i"] = (state["i"] + 1) % 512
+        return ring.lookup(keys[i], start_id=origins[i])
+
+    result = benchmark(one_lookup)
+    assert result.owner_id == ring.successor_of(result.key)
+
+
+def test_system_query(benchmark):
+    system = RangeSelectionSystem(SystemConfig(n_peers=200, seed=2))
+    rng = derive_rng(1, "micro/query")
+
+    def one_query():
+        a = int(rng.integers(0, 1001))
+        b = int(rng.integers(0, 1001))
+        return system.query(IntRange(min(a, b), max(a, b)))
+
+    result = benchmark(one_query)
+    assert result.peers_contacted >= 1

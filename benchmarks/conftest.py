@@ -1,0 +1,51 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's figures: it runs the
+experiment once under ``pytest-benchmark`` (rounds=1 — these are
+experiment harnesses, not microbenchmarks), prints the figure's
+rows/series, and writes them to ``results/<name>.txt`` so the numbers
+survive the run.
+
+Scale control: set ``REPRO_BENCH_SCALE=quick`` for CI-sized runs; the
+default is the paper's parameters.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_scale() -> str:
+    """'paper' (default) or 'quick' from the environment."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "paper")
+    if scale not in ("paper", "quick"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be paper|quick, got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    """The run scale for this session."""
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer: print a figure's text report and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

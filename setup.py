@@ -1,0 +1,16 @@
+"""Legacy setup shim: this environment has no `wheel` package and no network,
+so PEP 517 editable installs are unavailable; `setup.py develop` still works."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Approximate range selection queries in peer-to-peer systems "
+        "(CIDR 2003 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,112 @@
+"""repro — Approximate Range Selection Queries in Peer-to-Peer Systems.
+
+A full reimplementation of Gupta, Agrawal & El Abbadi (CIDR 2003): peers
+cache horizontal partitions of relations; selection ranges are hashed with
+locality sensitive hashing (min-wise independent permutations) into a Chord
+DHT so that *similar* ranges land on the same peers, letting broad queries
+be answered approximately from previously cached partitions.
+
+Quickstart::
+
+    from repro import IntRange, RangeSelectionSystem, SystemConfig
+
+    system = RangeSelectionSystem(SystemConfig(n_peers=200, seed=1))
+    first = system.query(IntRange(30, 50))    # cold: caches the partition
+    again = system.query(IntRange(30, 49))    # similar: approximate hit
+    print(again.matched, again.similarity, again.recall)
+
+See ``examples/`` for the SQL front end and the experiment harness, and
+``DESIGN.md`` for the system inventory.
+"""
+
+from repro.core.adaptive import AdaptivePaddingController
+from repro.core.composite import CompositeAnswer, query_composite
+from repro.core.config import SystemConfig
+from repro.core.matcher import ContainmentMatcher, JaccardMatcher, matcher_by_name
+from repro.core.multiattr import (
+    MultiAttributeQuery,
+    MultiAttributeResult,
+    query_multi_attribute,
+)
+from repro.core.overlays import CanRouter, ChordRouter, OverlayRouter, build_overlay
+from repro.core.p2pdb import P2PDatabase, P2PQueryReport
+from repro.core.stats_planner import AdaptiveRoutingProvider, CostModel
+from repro.core.system import RangeQueryResult, RangeSelectionSystem
+from repro.can.network import CanOverlay
+from repro.chord.ring import ChordRing
+from repro.db.catalog import Catalog, medical_catalog, medical_schema
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.lsh import (
+    ApproxMinWiseFamily,
+    DomainMinHashIndex,
+    LinearFamily,
+    LSHIdentifierScheme,
+    MinWiseFamily,
+    family_by_name,
+)
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.ranges.rangeset import RangeSet
+from repro.similarity.measures import containment, jaccard
+from repro.storage.snapshot import load_system, save_system
+from repro.workloads.generators import (
+    ClusteredRangeWorkload,
+    UniformRangeWorkload,
+    ZipfRangeWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # ranges & similarity
+    "IntRange",
+    "RangeSet",
+    "Domain",
+    "jaccard",
+    "containment",
+    # hashing
+    "MinWiseFamily",
+    "ApproxMinWiseFamily",
+    "LinearFamily",
+    "LSHIdentifierScheme",
+    "DomainMinHashIndex",
+    "family_by_name",
+    # overlays
+    "ChordRing",
+    "CanOverlay",
+    "OverlayRouter",
+    "ChordRouter",
+    "CanRouter",
+    "build_overlay",
+    # system
+    "SystemConfig",
+    "RangeSelectionSystem",
+    "RangeQueryResult",
+    "JaccardMatcher",
+    "ContainmentMatcher",
+    "matcher_by_name",
+    "AdaptivePaddingController",
+    "AdaptiveRoutingProvider",
+    "CostModel",
+    "CompositeAnswer",
+    "query_composite",
+    "MultiAttributeQuery",
+    "MultiAttributeResult",
+    "query_multi_attribute",
+    # database front end
+    "Catalog",
+    "medical_schema",
+    "medical_catalog",
+    "Partition",
+    "PartitionDescriptor",
+    "P2PDatabase",
+    "P2PQueryReport",
+    # persistence
+    "save_system",
+    "load_system",
+    # workloads
+    "UniformRangeWorkload",
+    "ZipfRangeWorkload",
+    "ClusteredRangeWorkload",
+]

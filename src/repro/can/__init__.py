@@ -1,0 +1,20 @@
+"""A CAN (Content-Addressable Network) simulator (Ratnasamy et al. 2001).
+
+The paper names CAN alongside Chord as an equally valid DHT substrate:
+"Any of the distributed hash tables (DHT), e.g., CAN [13] or Chord [14],
+can be used for this purpose" (Section 3.1).  This subpackage implements
+the parts the range-selection system needs: a ``d``-dimensional toroidal
+coordinate space split into per-node zones, greedy coordinate routing with
+hop counting (``O(d * N^(1/d))`` hops), node join by zone splitting, and
+graceful departure by zone takeover.
+
+Keys map to points by hashing the key once per dimension, so any 32-bit
+bucket identifier — including the LSH identifiers — owns a deterministic
+point in the space.
+"""
+
+from repro.can.network import CanOverlay
+from repro.can.node import CanNode
+from repro.can.space import Point, Zone, point_for_key
+
+__all__ = ["CanOverlay", "CanNode", "Zone", "Point", "point_for_key"]

@@ -1,0 +1,39 @@
+"""A CAN node: the zones it owns and its neighbour set."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.can.space import Point, Zone
+
+__all__ = ["CanNode"]
+
+
+@dataclass
+class CanNode:
+    """One peer in the coordinate space.
+
+    A node normally owns one zone; after taking over a departed
+    neighbour's zone it may temporarily own several (the CAN paper's
+    "a node may hold more than one zone" state).
+    """
+
+    node_id: int
+    address: str
+    zones: list[Zone] = field(default_factory=list)
+    neighbor_ids: set[int] = field(default_factory=set)
+
+    def owns_point(self, point: Point) -> bool:
+        """Whether any of this node's zones contains the point."""
+        return any(zone.contains(point) for zone in self.zones)
+
+    def total_volume(self) -> int:
+        """Combined volume of the node's zones (its keyspace share)."""
+        return sum(zone.volume() for zone in self.zones)
+
+    def distance_to_point(self, point: Point) -> float:
+        """Distance from the node's closest zone to a point."""
+        return min(zone.distance_to_point(point) for zone in self.zones)
+
+    def __str__(self) -> str:
+        return f"CanNode({self.node_id}, zones={len(self.zones)})"

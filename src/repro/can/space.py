@@ -1,0 +1,181 @@
+"""CAN coordinate space: points, zones, torus geometry.
+
+The space is the ``d``-dimensional torus with integer coordinates in
+``[0, RESOLUTION)`` per dimension (integer arithmetic keeps zone splits
+exact and tests deterministic).  A zone is a half-open hyperrectangle
+``[lo_i, hi_i)`` per dimension; the set of zones always tiles the space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ChordError
+
+__all__ = ["RESOLUTION", "Point", "Zone", "point_for_key", "torus_distance"]
+
+#: Coordinates live in [0, 2^20) per dimension.
+RESOLUTION = 1 << 20
+
+Point = tuple[int, ...]
+
+
+def point_for_key(key: int, dimensions: int) -> Point:
+    """Deterministic point for a bucket identifier: one SHA-1 per axis."""
+    if dimensions < 1:
+        raise ChordError("CAN needs at least one dimension")
+    coords = []
+    for axis in range(dimensions):
+        digest = hashlib.sha1(
+            b"can-axis:%d:%d" % (axis, key)
+        ).digest()
+        coords.append(int.from_bytes(digest[:4], "big") % RESOLUTION)
+    return tuple(coords)
+
+
+def torus_distance(a: int, b: int, size: int = RESOLUTION) -> int:
+    """Shortest wrap-around distance between two coordinates."""
+    diff = abs(a - b) % size
+    return min(diff, size - diff)
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A half-open hyperrectangle ``[lows[i], highs[i])`` per dimension."""
+
+    lows: tuple[int, ...]
+    highs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise ChordError("zone bounds must have equal dimensionality")
+        for lo, hi in zip(self.lows, self.highs):
+            if not 0 <= lo < hi <= RESOLUTION:
+                raise ChordError(f"invalid zone extent [{lo}, {hi})")
+
+    @classmethod
+    def whole_space(cls, dimensions: int) -> "Zone":
+        """The zone covering everything (the bootstrap node's zone)."""
+        return cls((0,) * dimensions, (RESOLUTION,) * dimensions)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.lows)
+
+    def side(self, axis: int) -> int:
+        """Extent along one axis."""
+        return self.highs[axis] - self.lows[axis]
+
+    def volume(self) -> int:
+        """Product of the sides."""
+        out = 1
+        for axis in range(self.dimensions):
+            out *= self.side(axis)
+        return out
+
+    def contains(self, point: Point) -> bool:
+        """Whether the point lies inside the zone."""
+        return all(
+            lo <= c < hi for c, lo, hi in zip(point, self.lows, self.highs)
+        )
+
+    def center(self) -> Point:
+        """The zone's center point (used as a routing target proxy)."""
+        return tuple(
+            (lo + hi) // 2 for lo, hi in zip(self.lows, self.highs)
+        )
+
+    def widest_axis(self) -> int:
+        """The axis with the largest extent (ties: lowest axis).
+
+        CAN splits along dimensions in a fixed cycling order; splitting the
+        widest axis is the standard variant that keeps zones square-ish.
+        """
+        sides = [self.side(a) for a in range(self.dimensions)]
+        return sides.index(max(sides))
+
+    def split(self) -> tuple["Zone", "Zone"]:
+        """Halve the zone along its widest axis."""
+        axis = self.widest_axis()
+        if self.side(axis) < 2:
+            raise ChordError("zone too small to split")
+        mid = (self.lows[axis] + self.highs[axis]) // 2
+        lower = Zone(
+            self.lows,
+            tuple(
+                mid if a == axis else hi for a, hi in enumerate(self.highs)
+            ),
+        )
+        upper = Zone(
+            tuple(
+                mid if a == axis else lo for a, lo in enumerate(self.lows)
+            ),
+            self.highs,
+        )
+        return lower, upper
+
+    def is_mergeable_with(self, other: "Zone") -> bool:
+        """Whether the union of the two zones is again a hyperrectangle."""
+        differing = [
+            a
+            for a in range(self.dimensions)
+            if (self.lows[a], self.highs[a]) != (other.lows[a], other.highs[a])
+        ]
+        if len(differing) != 1:
+            return False
+        axis = differing[0]
+        return (
+            self.highs[axis] == other.lows[axis]
+            or other.highs[axis] == self.lows[axis]
+        )
+
+    def merge(self, other: "Zone") -> "Zone":
+        """The rectangular union of two mergeable zones."""
+        if not self.is_mergeable_with(other):
+            raise ChordError(f"zones {self} and {other} cannot merge")
+        return Zone(
+            tuple(min(a, b) for a, b in zip(self.lows, other.lows)),
+            tuple(max(a, b) for a, b in zip(self.highs, other.highs)),
+        )
+
+    def abuts(self, other: "Zone") -> bool:
+        """Whether the zones are neighbours on the torus: they touch along
+        exactly one axis and overlap in every other axis."""
+        touching = 0
+        for axis in range(self.dimensions):
+            lo1, hi1 = self.lows[axis], self.highs[axis]
+            lo2, hi2 = other.lows[axis], other.highs[axis]
+            overlap = min(hi1, hi2) - max(lo1, lo2)
+            if overlap > 0:
+                continue
+            wraps = (hi1 % RESOLUTION == lo2 % RESOLUTION) or (
+                hi2 % RESOLUTION == lo1 % RESOLUTION
+            )
+            touches = hi1 == lo2 or hi2 == lo1 or wraps
+            if touches:
+                touching += 1
+            else:
+                return False
+        return touching == 1
+
+    def distance_to_point(self, point: Point) -> float:
+        """Euclidean torus distance from the zone (its nearest face) to a
+        point; 0 when the point is inside."""
+        total = 0.0
+        for axis, coordinate in enumerate(point):
+            lo, hi = self.lows[axis], self.highs[axis]
+            if lo <= coordinate < hi:
+                continue
+            gap = min(
+                torus_distance(coordinate, lo),
+                torus_distance(coordinate, hi - 1),
+            )
+            total += float(gap) ** 2
+        return total**0.5
+
+    def __str__(self) -> str:
+        spans = " x ".join(
+            f"[{lo},{hi})" for lo, hi in zip(self.lows, self.highs)
+        )
+        return f"Zone({spans})"

@@ -1,0 +1,27 @@
+"""A Chord distributed-hash-table simulator (Stoica et al. 2001).
+
+The paper stores its locality-sensitive identifiers in a Chord ring: peer
+nodes hash (SHA-1 of their address) into a 32-bit circular identifier space,
+each data identifier is owned by its *successor* node, and lookups route
+through finger tables in ``O(log N)`` overlay hops.
+
+This subpackage is a from-scratch reimplementation of the parts of Chord the
+paper's experiments exercise: ring construction, finger tables, iterative
+lookup with hop counting, and node join/leave with stabilization (used by
+the churn extension).
+"""
+
+from repro.chord.hashing import key_id, node_id_for_address
+from repro.chord.idspace import IdSpace
+from repro.chord.lookup import LookupResult
+from repro.chord.node import ChordNode
+from repro.chord.ring import ChordRing
+
+__all__ = [
+    "IdSpace",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "node_id_for_address",
+    "key_id",
+]

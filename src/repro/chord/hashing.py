@@ -1,0 +1,50 @@
+"""SHA-1 hashing of peer addresses and exact-match keys into the id space.
+
+The paper: "The peer nodes are hashed using a hash function (such as SHA-1)
+over their IP address into the identifier space."  Exact-match keys (for
+equality predicates such as ``diagnosis = 'Glaucoma'``) are hashed the same
+way; only *range* partitions go through the locality sensitive scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["sha1_to_id", "node_id_for_address", "key_id", "rehash_for_placement"]
+
+
+def sha1_to_id(data: bytes, m: int = 32) -> int:
+    """Top ``m`` bits of SHA-1(data), as Chord prescribes."""
+    if not 1 <= m <= 64:
+        raise ValueError("m must be within [1, 64]")
+    digest = hashlib.sha1(data).digest()
+    value = int.from_bytes(digest[:8], "big")
+    return value >> (64 - m)
+
+
+def node_id_for_address(address: str, m: int = 32) -> int:
+    """Identifier of the peer with the given network address."""
+    return sha1_to_id(address.encode("utf-8"), m)
+
+
+def rehash_for_placement(identifier: int, m: int = 32) -> int:
+    """Uniformize a bucket identifier for ring placement.
+
+    Min-hash identifiers are *small* by construction (a min of many draws),
+    so using them directly as ring positions piles every bucket onto the few
+    peers owning the low arc of the circle.  Rehashing the identifier with
+    SHA-1 — standard DHT practice — spreads buckets uniformly while
+    preserving the scheme's semantics exactly: matching is within a single
+    bucket, and equal identifiers still land on one peer.
+    """
+    return sha1_to_id(int(identifier).to_bytes(8, "big"), m)
+
+
+def key_id(*parts: object, m: int = 32) -> int:
+    """Identifier for an exact-match key composed of ``parts``.
+
+    Parts are joined with an unambiguous separator so ``("ab", "c")`` and
+    ``("a", "bc")`` hash differently.
+    """
+    material = "\x1f".join(repr(p) for p in parts)
+    return sha1_to_id(material.encode("utf-8"), m)

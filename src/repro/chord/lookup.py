@@ -1,0 +1,28 @@
+"""Lookup results and routing-path bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LookupResult"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of routing one key through the overlay.
+
+    ``hops`` counts overlay edges traversed, the paper's "path length";
+    a lookup that starts at the owning node's predecessor costs one hop, and
+    a single-node ring resolves everything in zero hops.
+    """
+
+    key: int
+    owner_id: int
+    hops: int
+    path: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.hops != len(self.path) - 1:
+            raise ValueError("hops must equal path edge count")
+        if self.path[-1] != self.owner_id:
+            raise ValueError("path must end at the owner")

@@ -1,0 +1,40 @@
+"""A single Chord node: identifier, finger table, ring neighbours."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChordNode"]
+
+
+@dataclass
+class ChordNode:
+    """State one peer keeps for overlay routing.
+
+    ``fingers[i]`` holds the id of the first node at clockwise distance at
+    least ``2^i`` — "information about other peers at logarithmically
+    increasing distance in the ring" (paper Section 1).  Only node *ids* are
+    stored; the :class:`~repro.chord.ring.ChordRing` resolves ids to nodes,
+    mirroring how a real implementation stores addresses.
+    """
+
+    node_id: int
+    address: str
+    successor_id: int | None = None
+    predecessor_id: int | None = None
+    fingers: list[int] = field(default_factory=list)
+
+    def finger_or_successor(self, index: int) -> int | None:
+        """Finger ``index`` if known, else the successor (bootstrap state)."""
+        if index < len(self.fingers):
+            return self.fingers[index]
+        return self.successor_id
+
+    def reset_routing(self) -> None:
+        """Forget all routing state (used when a node re-joins)."""
+        self.successor_id = None
+        self.predecessor_id = None
+        self.fingers = []
+
+    def __str__(self) -> str:
+        return f"Node({self.node_id} @ {self.address})"

@@ -1,0 +1,366 @@
+"""The Chord ring: membership, finger tables, routing, and churn.
+
+Two modes of operation:
+
+- **static build** (:meth:`ChordRing.build`): compute every node's
+  successor, predecessor and finger table globally.  This is what the
+  paper's simulations need — the overlay is constructed once, then lookups
+  are measured.
+- **dynamic protocol** (:meth:`join`, :meth:`leave`, :meth:`stabilize_round`):
+  the incremental Chord maintenance protocol, used by the churn extension
+  and exercised by tests to show the ring converges to the static build.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+import numpy as np
+
+from repro.chord.hashing import node_id_for_address
+from repro.chord.idspace import IdSpace
+from repro.chord.lookup import LookupResult
+from repro.chord.node import ChordNode
+from repro.errors import ChordError, DuplicateNodeError, EmptyRingError, NodeNotFoundError
+
+__all__ = ["ChordRing"]
+
+
+class ChordRing:
+    """A simulated Chord overlay over an ``m``-bit identifier space."""
+
+    def __init__(self, m: int = 32) -> None:
+        self.space = IdSpace(m)
+        self._nodes: dict[int, ChordNode] = {}
+        self._sorted_ids: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> list[int]:
+        """All node ids in increasing order (copy)."""
+        return list(self._sorted_ids)
+
+    def node(self, node_id: int) -> ChordNode:
+        """The node with the given id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def add_node(self, address: str | None = None, node_id: int | None = None) -> ChordNode:
+        """Register a node without wiring any routing state.
+
+        The id defaults to SHA-1 of the address, as the paper prescribes.
+        Call :meth:`build` afterwards (static mode) or :meth:`join`
+        (dynamic mode).
+        """
+        if address is None:
+            if node_id is None:
+                raise ChordError("node needs an address or an explicit id")
+            address = f"node-{node_id}"
+        if node_id is None:
+            node_id = node_id_for_address(address, self.space.m)
+        node_id = self.space.wrap(node_id)
+        if node_id in self._nodes:
+            raise DuplicateNodeError(
+                f"identifier {node_id} already taken (address {address!r})"
+            )
+        node = ChordNode(node_id=node_id, address=address)
+        self._nodes[node_id] = node
+        insort(self._sorted_ids, node_id)
+        return node
+
+    def add_nodes(self, count: int, address_prefix: str = "peer") -> list[ChordNode]:
+        """Add ``count`` nodes named ``<prefix>-0 ...``; skips SHA-1 collisions
+        by probing successive suffixes so exactly ``count`` nodes are added."""
+        added: list[ChordNode] = []
+        suffix = 0
+        while len(added) < count:
+            try:
+                added.append(self.add_node(f"{address_prefix}-{suffix}"))
+            except DuplicateNodeError:
+                pass
+            suffix += 1
+        return added
+
+    def remove_node(self, node_id: int) -> ChordNode:
+        """Remove a node outright (static mode; use :meth:`leave` under churn)."""
+        node = self.node(node_id)
+        del self._nodes[node_id]
+        index = bisect_left(self._sorted_ids, node_id)
+        self._sorted_ids.pop(index)
+        return node
+
+    # ------------------------------------------------------------------
+    # Ownership
+    # ------------------------------------------------------------------
+
+    def successor_of(self, key: int) -> int:
+        """The id of the node owning ``key``: the first node id >= key
+        clockwise (paper Section 4: "the peer node with the least identifier
+        greater than or equal to i")."""
+        if not self._sorted_ids:
+            raise EmptyRingError("ring has no nodes")
+        key = self.space.wrap(key)
+        index = bisect_left(self._sorted_ids, key)
+        if index == len(self._sorted_ids):
+            return self._sorted_ids[0]
+        return self._sorted_ids[index]
+
+    def predecessor_of(self, node_id: int) -> int:
+        """The id of the node immediately counter-clockwise of ``node_id``."""
+        if not self._sorted_ids:
+            raise EmptyRingError("ring has no nodes")
+        index = bisect_left(self._sorted_ids, self.space.wrap(node_id))
+        return self._sorted_ids[index - 1] if index > 0 else self._sorted_ids[-1]
+
+    def owned_interval(self, node_id: int) -> tuple[int, int]:
+        """The half-open id interval ``(pred, node]`` this node is
+        responsible for."""
+        node = self.node(node_id)
+        return (self.predecessor_of(node.node_id), node.node_id)
+
+    # ------------------------------------------------------------------
+    # Static construction
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        """Globally compute successors, predecessors and finger tables."""
+        if not self._sorted_ids:
+            raise EmptyRingError("cannot build an empty ring")
+        ids = self._sorted_ids
+        n = len(ids)
+        arr = np.asarray(ids, dtype=np.uint64)
+        for index, node_id in enumerate(ids):
+            node = self._nodes[node_id]
+            node.successor_id = ids[(index + 1) % n]
+            node.predecessor_id = ids[index - 1]
+            starts = [
+                self.space.finger_start(node_id, i) for i in range(self.space.m)
+            ]
+            # Vectorized successor-of for all finger starts at once.
+            positions = np.searchsorted(arr, np.asarray(starts, dtype=np.uint64))
+            node.fingers = [
+                ids[int(pos)] if pos < n else ids[0] for pos in positions
+            ]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _closest_preceding_finger(self, node: ChordNode, key: int) -> int:
+        """Highest finger strictly inside ``(node, key)``, per the protocol."""
+        for index in range(len(node.fingers) - 1, -1, -1):
+            finger_id = node.fingers[index]
+            if finger_id is not None and self.space.in_open(
+                finger_id, node.node_id, key
+            ):
+                return finger_id
+        if node.successor_id is None:
+            raise ChordError(f"node {node.node_id} has no routing state")
+        return node.successor_id
+
+    def lookup(self, key: int, start_id: int | None = None) -> LookupResult:
+        """Route ``key`` from ``start_id`` (default: lowest node) to its owner.
+
+        Implements iterative ``find_predecessor`` + final successor hop and
+        counts every overlay edge traversed, matching the paper's path-length
+        metric.
+        """
+        if not self._sorted_ids:
+            raise EmptyRingError("cannot look up in an empty ring")
+        key = self.space.wrap(key)
+        if start_id is None:
+            start_id = self._sorted_ids[0]
+        current = self.node(start_id)
+        if current.successor_id is None:
+            raise ChordError("ring not built; call build() or join() first")
+        path = [current.node_id]
+        max_hops = 4 * self.space.m + len(self._nodes)
+        while not self.space.in_half_open(
+            key, current.node_id, current.successor_id
+        ):
+            next_id = self._closest_preceding_finger(current, key)
+            if next_id == current.node_id:
+                break
+            current = self.node(next_id)
+            path.append(current.node_id)
+            if len(path) > max_hops:
+                raise ChordError(f"lookup for {key} exceeded {max_hops} hops")
+        owner_id = current.successor_id
+        assert owner_id is not None
+        if owner_id != current.node_id:
+            path.append(owner_id)
+        return LookupResult(
+            key=key, owner_id=owner_id, hops=len(path) - 1, path=tuple(path)
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamic protocol (join / leave / stabilization)
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, address: str) -> ChordNode:
+        """Create the first node of a dynamic ring (points at itself)."""
+        if self._nodes:
+            raise ChordError("bootstrap is only for an empty ring")
+        node = self.add_node(address)
+        node.successor_id = node.node_id
+        node.predecessor_id = node.node_id
+        node.fingers = [node.node_id] * self.space.m
+        return node
+
+    def join(self, address: str, via: int) -> ChordNode:
+        """Add a node using the incremental protocol: learn the successor by
+        routing through an existing node; fingers are filled by
+        :meth:`stabilize_round` / :meth:`fix_fingers`."""
+        node = self.add_node(address)
+        # Ask the bootstrap node to find our successor.  We must route for
+        # our own id *before* our membership affects ownership, so exclude
+        # ourselves from the search by looking up via the existing node.
+        successor = self._lookup_excluding(node.node_id, via, exclude=node.node_id)
+        node.successor_id = successor
+        node.predecessor_id = None
+        node.fingers = [successor] * self.space.m
+        return node
+
+    def _lookup_excluding(self, key: int, start_id: int, exclude: int) -> int:
+        """Route ``key`` ignoring node ``exclude`` (it has no state yet)."""
+        current = self.node(start_id)
+        guard = 0
+        max_hops = 4 * self.space.m + len(self._nodes)
+        while True:
+            succ = current.successor_id
+            if succ is None:
+                raise ChordError("ring not initialized")
+            if succ == exclude:
+                succ = self.node(succ).successor_id
+                assert succ is not None
+            if self.space.in_half_open(key, current.node_id, succ):
+                return succ
+            next_id = self._closest_preceding_finger(current, key)
+            if next_id in (current.node_id, exclude):
+                next_id = current.successor_id
+                assert next_id is not None
+                if next_id == exclude:
+                    next_id = self.node(next_id).successor_id
+                    assert next_id is not None
+            current = self.node(next_id)
+            guard += 1
+            if guard > max_hops:
+                raise ChordError("excluded lookup exceeded hop bound")
+
+    def stabilize_round(self) -> None:
+        """One round of Chord stabilization over every node.
+
+        Each node asks its successor for the successor's predecessor, adopts
+        it when closer, and notifies the successor of its own existence.
+        """
+        for node_id in list(self._sorted_ids):
+            node = self._nodes.get(node_id)
+            if node is None or node.successor_id is None:
+                continue
+            successor = self.node(node.successor_id)
+            candidate = successor.predecessor_id
+            if candidate is not None and candidate in self._nodes:
+                if self.space.in_open(candidate, node.node_id, successor.node_id):
+                    node.successor_id = candidate
+                    successor = self.node(candidate)
+            self._notify(successor, node.node_id)
+
+    def _notify(self, node: ChordNode, candidate: int) -> None:
+        if node.predecessor_id is None or self.space.in_open(
+            candidate, node.predecessor_id, node.node_id
+        ):
+            node.predecessor_id = candidate
+
+    def fix_fingers(self) -> None:
+        """Recompute every node's finger table from current successors."""
+        for node_id in self._sorted_ids:
+            node = self._nodes[node_id]
+            node.fingers = [
+                self.successor_of(self.space.finger_start(node_id, i))
+                for i in range(self.space.m)
+            ]
+
+    def stabilize(self, rounds: int | None = None) -> int:
+        """Run stabilization rounds until successors converge (or ``rounds``).
+
+        Returns the number of rounds executed.
+        """
+        limit = rounds if rounds is not None else 2 * len(self._nodes) + 4
+        executed = 0
+        for _ in range(limit):
+            before = [
+                (nid, self._nodes[nid].successor_id) for nid in self._sorted_ids
+            ]
+            self.stabilize_round()
+            executed += 1
+            after = [
+                (nid, self._nodes[nid].successor_id) for nid in self._sorted_ids
+            ]
+            if before == after and self._successors_correct():
+                break
+        self.fix_fingers()
+        return executed
+
+    def _successors_correct(self) -> bool:
+        ids = self._sorted_ids
+        n = len(ids)
+        for index, node_id in enumerate(ids):
+            if self._nodes[node_id].successor_id != ids[(index + 1) % n]:
+                return False
+        return True
+
+    def leave(self, node_id: int) -> ChordNode:
+        """Graceful departure: splice the ring around the leaving node."""
+        node = self.node(node_id)
+        pred_id = self.predecessor_of(node_id)
+        succ_id = self.successor_of(self.space.wrap(node_id + 1))
+        removed = self.remove_node(node_id)
+        if self._nodes:
+            if pred_id != node_id and pred_id in self._nodes:
+                self._nodes[pred_id].successor_id = (
+                    succ_id if succ_id != node_id else pred_id
+                )
+            if succ_id != node_id and succ_id in self._nodes:
+                self._nodes[succ_id].predecessor_id = (
+                    pred_id if pred_id != node_id else succ_id
+                )
+        return removed
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ChordError` if routing state is globally inconsistent."""
+        ids = self._sorted_ids
+        n = len(ids)
+        for index, node_id in enumerate(ids):
+            node = self._nodes[node_id]
+            expected_succ = ids[(index + 1) % n]
+            if node.successor_id != expected_succ:
+                raise ChordError(
+                    f"node {node_id} successor {node.successor_id} != {expected_succ}"
+                )
+            expected_pred = ids[index - 1]
+            if node.predecessor_id != expected_pred:
+                raise ChordError(
+                    f"node {node_id} predecessor {node.predecessor_id} != {expected_pred}"
+                )
+            for i, finger_id in enumerate(node.fingers):
+                start = self.space.finger_start(node_id, i)
+                if finger_id != self.successor_of(start):
+                    raise ChordError(
+                        f"node {node_id} finger {i} is {finger_id}, "
+                        f"expected {self.successor_of(start)}"
+                    )

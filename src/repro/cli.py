@@ -1,0 +1,165 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro demo                       # the quickstart scenario
+    python -m repro sql "SELECT ..."           # one statement over the
+                                               # medical catalog, via P2P
+    python -m repro experiments --scale quick  # regenerate figure reports
+    python -m repro info                       # configuration summary
+
+The CLI is a thin shell over the library; everything it does is available
+programmatically (see README quickstart).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.p2pdb import P2PDatabase
+from repro.core.system import RangeSelectionSystem
+from repro.db.catalog import medical_catalog
+from repro.errors import ReproError
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Approximate range selection queries in P2P systems "
+        "(CIDR 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument("--peers", type=int, default=200)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument(
+        "--overlay", choices=("chord", "can"), default="chord"
+    )
+
+    sql = sub.add_parser(
+        "sql", help="execute one SELECT over the medical catalog via P2P"
+    )
+    sql.add_argument("statement", help="the SQL statement")
+    sql.add_argument("--patients", type=int, default=1000)
+    sql.add_argument("--peers", type=int, default=100)
+    sql.add_argument("--seed", type=int, default=11)
+    sql.add_argument(
+        "--explain", action="store_true", help="print the plan, don't execute"
+    )
+    sql.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="execute N times (later runs show cache behaviour)",
+    )
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's figures"
+    )
+    experiments.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick"
+    )
+    experiments.add_argument("--out", default="results")
+
+    sub.add_parser("info", help="print the default configuration")
+    return parser
+
+
+def _run_demo(args: argparse.Namespace, out) -> int:
+    config = SystemConfig(
+        n_peers=args.peers, seed=args.seed, overlay=args.overlay
+    )
+    system = RangeSelectionSystem(config)
+    print(f"system: {config.describe()}", file=out)
+    cold = system.query(IntRange(30, 50))
+    print(
+        f"query [30, 50]: matched={cold.matched} stored={cold.stored}",
+        file=out,
+    )
+    warm = system.query(IntRange(30, 49))
+    print(
+        f"query [30, 49]: matched={warm.matched} "
+        f"similarity={warm.similarity:.3f} recall={warm.recall:.2f} "
+        f"hops={warm.overlay_hops}",
+        file=out,
+    )
+    return 0
+
+
+def _run_sql(args: argparse.Namespace, out) -> int:
+    catalog = medical_catalog(n_patients=args.patients)
+    system = RangeSelectionSystem(
+        SystemConfig(
+            n_peers=args.peers,
+            seed=args.seed,
+            accelerate=False,
+            matcher="containment",
+            domain=Domain("value", 0, 10**6),
+        )
+    )
+    db = P2PDatabase(catalog, system)
+    if args.explain:
+        print(db.explain(args.statement), file=out)
+        return 0
+    for run_index in range(max(1, args.repeat)):
+        report = db.execute(args.statement)
+        print(f"run {run_index + 1}: {report.summary()}", file=out)
+        if run_index == 0:
+            for row in report.result.decoded_rows(catalog.schema)[:10]:
+                print(f"  {row}", file=out)
+            if len(report.rows) > 10:
+                print(f"  ... {len(report.rows) - 10} more rows", file=out)
+    print(f"source accesses: {catalog.source_accesses}", file=out)
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace, out) -> int:
+    from repro.experiments.runall import run_all
+
+    run_all(scale=args.scale, results_dir=args.out)
+    return 0
+
+
+def _run_info(out) -> int:
+    config = SystemConfig()
+    print(f"default config: {config.describe()}", file=out)
+    print(
+        f"LSH theory: match probability at similarity 0.9 is "
+        f"{1 - (1 - 0.9 ** config.k) ** config.l:.2f} "
+        f"(k={config.k}, l={config.l})",
+        file=out,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "demo":
+            return _run_demo(args, out)
+        if args.command == "sql":
+            return _run_sql(args, out)
+        if args.command == "experiments":
+            return _run_experiments(args, out)
+        if args.command == "info":
+            return _run_info(out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError("unreachable: argparse enforces a command")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,55 @@
+"""The paper's system: approximate range selection over a Chord DHT.
+
+:class:`RangeSelectionSystem` wires every substrate together — the LSH
+identifier scheme, the Chord ring, per-peer bucket stores and the simulated
+transport — and implements the query procedure of Section 4: hash the range
+to ``l`` identifiers, route to the owning peers, collect each peer's best
+in-bucket match, pick the overall winner, and store the new partition at
+the owners when no exact match exists.
+
+:class:`P2PDatabase` adds the relational front end: SQL in, partitions
+located through the system, joins computed locally at the querying peer.
+"""
+
+from repro.core.adaptive import AdaptivePaddingController
+from repro.core.composite import CompositeAnswer, query_composite
+from repro.core.config import SystemConfig
+from repro.core.matcher import (
+    ContainmentMatcher,
+    JaccardMatcher,
+    Matcher,
+    matcher_by_name,
+)
+from repro.core.multiattr import (
+    MultiAttributeQuery,
+    MultiAttributeResult,
+    query_multi_attribute,
+)
+from repro.core.overlays import CanRouter, ChordRouter, OverlayRouter, build_overlay
+from repro.core.p2pdb import P2PDatabase, P2PQueryReport
+from repro.core.stats_planner import AdaptiveRoutingProvider, CostModel
+from repro.core.system import RangeQueryResult, RangeSelectionSystem
+
+__all__ = [
+    "SystemConfig",
+    "RangeSelectionSystem",
+    "RangeQueryResult",
+    "Matcher",
+    "JaccardMatcher",
+    "ContainmentMatcher",
+    "matcher_by_name",
+    "OverlayRouter",
+    "ChordRouter",
+    "CanRouter",
+    "build_overlay",
+    "AdaptiveRoutingProvider",
+    "CostModel",
+    "P2PDatabase",
+    "P2PQueryReport",
+    "AdaptivePaddingController",
+    "CompositeAnswer",
+    "query_composite",
+    "MultiAttributeQuery",
+    "MultiAttributeResult",
+    "query_multi_attribute",
+]

@@ -1,0 +1,76 @@
+"""Dynamic query padding (the paper's Section 5.2 future work).
+
+"In future, we will explore dynamically adjusting padding for better
+overall performance."  This controller does exactly that: it tracks an
+exponentially weighted moving average of observed recall and widens the
+padding when queries come back too incomplete, narrowing it again once
+recall is comfortably above target.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["AdaptivePaddingController"]
+
+
+class AdaptivePaddingController:
+    """Additive-increase / multiplicative-decrease padding control.
+
+    Use it around :meth:`RangeSelectionSystem.query`::
+
+        controller = AdaptivePaddingController(target_recall=0.9)
+        for r in workload:
+            result = system.query(r, padding=controller.padding)
+            controller.observe(result.recall)
+    """
+
+    def __init__(
+        self,
+        target_recall: float = 0.9,
+        initial_padding: float = 0.0,
+        step: float = 0.05,
+        max_padding: float = 0.5,
+        ewma_alpha: float = 0.05,
+    ) -> None:
+        if not 0.0 < target_recall <= 1.0:
+            raise ConfigError("target_recall must be in (0, 1]")
+        if not 0.0 <= initial_padding <= max_padding:
+            raise ConfigError("initial_padding must be within [0, max_padding]")
+        if step <= 0 or max_padding <= 0:
+            raise ConfigError("step and max_padding must be positive")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ConfigError("ewma_alpha must be in (0, 1]")
+        self.target_recall = target_recall
+        self.padding = initial_padding
+        self.step = step
+        self.max_padding = max_padding
+        self.ewma_alpha = ewma_alpha
+        self._recall_ewma: float | None = None
+        self.observations = 0
+
+    @property
+    def recall_estimate(self) -> float | None:
+        """Current EWMA of observed recall (None before any observation)."""
+        return self._recall_ewma
+
+    def observe(self, recall: float) -> float:
+        """Record one query's recall and return the padding for the next.
+
+        Below-target recall widens the padding additively; above-target
+        recall shrinks it by half a step, so the controller settles just
+        wide enough to keep the EWMA at the target.
+        """
+        if not 0.0 <= recall <= 1.0:
+            raise ConfigError(f"recall {recall} outside [0, 1]")
+        self.observations += 1
+        if self._recall_ewma is None:
+            self._recall_ewma = recall
+        else:
+            alpha = self.ewma_alpha
+            self._recall_ewma = alpha * recall + (1 - alpha) * self._recall_ewma
+        if self._recall_ewma < self.target_recall:
+            self.padding = min(self.max_padding, self.padding + self.step)
+        else:
+            self.padding = max(0.0, self.padding - self.step / 2)
+        return self.padding

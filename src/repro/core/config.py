@@ -1,0 +1,75 @@
+"""System configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.ranges.domain import Domain
+
+__all__ = ["SystemConfig"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a :class:`RangeSelectionSystem`.
+
+    Defaults reproduce the paper's experimental setup: 32-bit identifiers,
+    ``l = 5`` groups of ``k = 20`` hash functions, approximate min-wise
+    permutations (the family the paper's own simulator uses, Section 5.3),
+    Jaccard in-bucket matching, no padding, store-on-miss enabled, and a
+    value domain of ``[0, 1000]``.
+    """
+
+    n_peers: int = 1000
+    family: str = "approx-min-wise"
+    l: int = 5
+    k: int = 20
+    id_bits: int = 32
+    domain: Domain = field(default_factory=lambda: Domain("value", 0, 1000))
+    matcher: str = "jaccard"
+    padding: float = 0.0
+    store_on_miss: bool = True
+    local_index: bool = False
+    accelerate: bool = True
+    max_partitions_per_peer: int | None = None
+    placement: str = "rehash"
+    #: Which DHT routes identifiers to owners: "chord" (the paper's choice)
+    #: or "can" (its named alternative, Section 3.1).
+    overlay: str = "chord"
+    can_dimensions: int = 2
+    seed: int = 2003
+
+    def __post_init__(self) -> None:
+        if self.n_peers <= 0:
+            raise ConfigError("n_peers must be positive")
+        if self.l <= 0 or self.k <= 0:
+            raise ConfigError("l and k must be positive")
+        if not 1 <= self.id_bits <= 64:
+            raise ConfigError("id_bits must be within [1, 64]")
+        if self.padding < 0:
+            raise ConfigError("padding must be non-negative")
+        if (
+            self.max_partitions_per_peer is not None
+            and self.max_partitions_per_peer <= 0
+        ):
+            raise ConfigError("max_partitions_per_peer must be positive")
+        if self.placement not in ("rehash", "direct"):
+            raise ConfigError(
+                f"placement must be 'rehash' or 'direct', got {self.placement!r}"
+            )
+        if self.overlay not in ("chord", "can"):
+            raise ConfigError(
+                f"overlay must be 'chord' or 'can', got {self.overlay!r}"
+            )
+        if self.can_dimensions < 1:
+            raise ConfigError("can_dimensions must be at least 1")
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        pad = f", pad={self.padding:.0%}" if self.padding else ""
+        return (
+            f"{self.n_peers} peers, {self.family} l={self.l} k={self.k}, "
+            f"matcher={self.matcher}{pad}, domain=[{self.domain.low}, "
+            f"{self.domain.high}]"
+        )

@@ -1,0 +1,94 @@
+"""Overlay routers: one interface over Chord and CAN.
+
+Section 3.1: "Any of the distributed hash tables (DHT), e.g., CAN [13] or
+Chord [14], can be used for this purpose."  The range-selection system
+only needs two operations from its DHT — *who owns this identifier* and
+*route to the owner, counting hops* — so both overlays are wrapped behind
+this small interface and selected by ``SystemConfig.overlay``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.can.network import CanOverlay
+from repro.chord.ring import ChordRing
+from repro.errors import ConfigError
+
+__all__ = ["OverlayRouter", "ChordRouter", "CanRouter", "build_overlay"]
+
+
+class OverlayRouter(ABC):
+    """The DHT surface the system depends on."""
+
+    @property
+    @abstractmethod
+    def node_ids(self) -> list[int]:
+        """All peer ids, ascending."""
+
+    @abstractmethod
+    def owner_of(self, key: int) -> int:
+        """Peer id responsible for a bucket identifier."""
+
+    @abstractmethod
+    def lookup(self, key: int, start_id: int) -> tuple[int, int]:
+        """Route ``key`` from ``start_id``; return (owner id, hops)."""
+
+
+class ChordRouter(OverlayRouter):
+    """Chord: successor ownership, finger-table routing, O(log N) hops."""
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+
+    @classmethod
+    def build(cls, n_peers: int, m: int = 32) -> "ChordRouter":
+        ring = ChordRing(m=m)
+        ring.add_nodes(n_peers)
+        ring.build()
+        return cls(ring)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return self.ring.node_ids
+
+    def owner_of(self, key: int) -> int:
+        return self.ring.successor_of(key)
+
+    def lookup(self, key: int, start_id: int) -> tuple[int, int]:
+        result = self.ring.lookup(key, start_id=start_id)
+        return (result.owner_id, result.hops)
+
+
+class CanRouter(OverlayRouter):
+    """CAN: zone ownership, greedy coordinate routing, O(d·N^(1/d)) hops."""
+
+    def __init__(self, overlay: CanOverlay) -> None:
+        self.overlay = overlay
+
+    @classmethod
+    def build(cls, n_peers: int, dimensions: int = 2, seed: int = 0) -> "CanRouter":
+        overlay = CanOverlay(dimensions=dimensions)
+        overlay.build(n_peers, seed=seed)
+        return cls(overlay)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return self.overlay.node_ids
+
+    def owner_of(self, key: int) -> int:
+        return self.overlay.owner_of(key)
+
+    def lookup(self, key: int, start_id: int) -> tuple[int, int]:
+        return self.overlay.lookup(key, start_id=start_id)
+
+
+def build_overlay(
+    kind: str, n_peers: int, id_bits: int = 32, dimensions: int = 2, seed: int = 0
+) -> OverlayRouter:
+    """Construct the configured overlay."""
+    if kind == "chord":
+        return ChordRouter.build(n_peers, m=id_bits)
+    if kind == "can":
+        return CanRouter.build(n_peers, dimensions=dimensions, seed=seed)
+    raise ConfigError(f"overlay must be 'chord' or 'can', got {kind!r}")

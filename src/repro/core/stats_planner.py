@@ -1,0 +1,199 @@
+"""Statistics-based query planning (the paper's Section 6 future work).
+
+"The problem of planning a query in a peer-to-peer system based on
+available statistics of the system is worth exploring."  The decision the
+querying peer actually faces per selection leaf is: *pay l overlay lookups
+to probe the cache* (worth it when similar partitions are usually there) or
+*go straight to the source* (cheaper when the cache rarely helps).
+
+:class:`LeafStatistics` tracks, per (relation, attribute), how often the
+cache fully answered and what the probe cost; :class:`CostModel` turns that
+into expected costs; :class:`AdaptiveRoutingProvider` makes the per-leaf
+decision, falling back gracefully while statistics are cold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.p2pdb import CachePartitionProvider
+from repro.core.system import RangeSelectionSystem
+from repro.db.catalog import Catalog
+from repro.db.plan.executor import FetchResult, PartitionProvider
+from repro.db.plan.nodes import LeafSelection
+from repro.errors import ConfigError
+
+__all__ = [
+    "LeafStatistics",
+    "StatisticsRegistry",
+    "CostModel",
+    "AdaptiveRoutingProvider",
+]
+
+
+@dataclass
+class LeafStatistics:
+    """Outcome history for one (relation, attribute) selection stream."""
+
+    probes: int = 0
+    cache_answers: int = 0
+    probe_hops: int = 0
+    hit_rate_ewma: float | None = None
+    _alpha: float = 0.2
+
+    def record_probe(self, answered_from_cache: bool, hops: int) -> None:
+        """Account one cache probe and its outcome."""
+        self.probes += 1
+        self.probe_hops += hops
+        if answered_from_cache:
+            self.cache_answers += 1
+        sample = 1.0 if answered_from_cache else 0.0
+        if self.hit_rate_ewma is None:
+            self.hit_rate_ewma = sample
+        else:
+            self.hit_rate_ewma = (
+                self._alpha * sample + (1 - self._alpha) * self.hit_rate_ewma
+            )
+
+    @property
+    def mean_probe_hops(self) -> float:
+        """Average overlay hops one cache probe has cost so far."""
+        return self.probe_hops / self.probes if self.probes else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Current cache-answer rate estimate (0.5 prior when cold)."""
+        return self.hit_rate_ewma if self.hit_rate_ewma is not None else 0.5
+
+
+class StatisticsRegistry:
+    """Per-(relation, attribute) statistics, created on first use."""
+
+    def __init__(self) -> None:
+        self._stats: dict[tuple[str, str], LeafStatistics] = {}
+
+    def for_leaf(self, relation: str, attribute: str) -> LeafStatistics:
+        """The statistics bucket for one selection stream."""
+        key = (relation, attribute)
+        if key not in self._stats:
+            self._stats[key] = LeafStatistics()
+        return self._stats[key]
+
+    def snapshot(self) -> dict[tuple[str, str], LeafStatistics]:
+        """All tracked streams (shared references, read-only by convention)."""
+        return dict(self._stats)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Abstract cost units for the probe-vs-source decision.
+
+    ``hop_cost`` prices one overlay hop; ``source_cost`` prices one access
+    to a base relation (the expensive, possibly overloaded resource the
+    paper wants to protect — typically orders of magnitude above a hop).
+    """
+
+    hop_cost: float = 1.0
+    source_cost: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.hop_cost < 0 or self.source_cost < 0:
+            raise ConfigError("costs must be non-negative")
+
+    def expected_probe_cost(self, stats: LeafStatistics, fallback_hops: float) -> float:
+        """Expected cost of probing the cache first.
+
+        Probe hops are always paid; with probability (1 - hit rate) the
+        source access is paid on top.
+        """
+        hops = stats.mean_probe_hops if stats.probes else fallback_hops
+        return hops * self.hop_cost + (1.0 - stats.hit_rate) * self.source_cost
+
+    def source_cost_direct(self) -> float:
+        """Cost of skipping the cache entirely."""
+        return self.source_cost
+
+
+class AdaptiveRoutingProvider(PartitionProvider):
+    """Chooses cache-probe or source-direct per leaf from statistics.
+
+    Exploration: every ``explore_every``-th decision probes the cache even
+    when the model prefers the source.  Exploration must be frequent here
+    because probing is also what *fills* the cache (store-on-miss): a
+    planner that stops probing keeps the cache cold and can never learn
+    that probing became worthwhile.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        system: RangeSelectionSystem,
+        cost_model: CostModel | None = None,
+        explore_every: int = 3,
+    ) -> None:
+        if explore_every < 2:
+            raise ConfigError("explore_every must be at least 2")
+        self.catalog = catalog
+        self.system = system
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.explore_every = explore_every
+        self.statistics = StatisticsRegistry()
+        self._cache_provider = CachePartitionProvider(
+            catalog, system, fallback_to_source=True
+        )
+        self._decisions = 0
+        #: Decision counts, for experiments: "probe" vs "direct".
+        self.decision_counts: dict[str, int] = {"probe": 0, "direct": 0}
+
+    # ------------------------------------------------------------------
+
+    def _expected_probe_hops_fallback(self) -> float:
+        """Prior for probe cost before any observation: l lookups of
+        ~(1/2)log2(N) hops each."""
+        import math
+
+        n = max(2, len(self.system.router.node_ids))
+        return self.system.scheme.l * (0.5 * math.log2(n) + 1.0)
+
+    def fetch(self, leaf: LeafSelection) -> FetchResult:
+        primary = leaf.primary
+        if primary is None:
+            # Bare scans have no cache path: always the source.
+            self.catalog.source_accesses += 1
+            rows = list(self.catalog.relation(leaf.relation).scan())
+            return FetchResult(rows=rows, origin="source", coverage=1.0)
+
+        stats = self.statistics.for_leaf(primary.relation, getattr(
+            primary, "attribute", "*"
+        ))
+        self._decisions += 1
+        exploring = self._decisions % self.explore_every == 0
+        probe_cost = self.cost_model.expected_probe_cost(
+            stats, self._expected_probe_hops_fallback()
+        )
+        prefer_probe = probe_cost <= self.cost_model.source_cost_direct()
+
+        if prefer_probe or exploring:
+            self.decision_counts["probe"] += 1
+            result = self._cache_provider.fetch(leaf)
+            stats.record_probe(
+                answered_from_cache=result.origin == "cache",
+                hops=result.overlay_hops,
+            )
+            return result
+
+        self.decision_counts["direct"] += 1
+        rows = self.catalog.fetch_from_source(primary)
+        return FetchResult(rows=rows, origin="source-direct", coverage=1.0)
+
+    # ------------------------------------------------------------------
+
+    def total_cost(self) -> float:
+        """Cost of everything fetched so far under the model."""
+        hops = sum(
+            stats.probe_hops for stats in self.statistics.snapshot().values()
+        )
+        return (
+            hops * self.cost_model.hop_cost
+            + self.catalog.source_accesses * self.cost_model.source_cost
+        )

@@ -1,0 +1,528 @@
+"""The range-selection P2P system (paper Section 4).
+
+Query procedure, exactly as the paper's pseudocode sketches it:
+
+1. hash the (possibly padded) selection range to ``l`` identifiers;
+2. route each identifier through Chord to its owning peer, counting hops;
+3. each owner searches the identifier's bucket for its best match and
+   replies with the candidate descriptor and score;
+4. the querying peer picks the overall best reply and, for the database
+   front end, fetches the winning partition's tuples from that peer;
+5. "if none of the match is exact, also store the computed partition at
+   the peers holding the computed identifiers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chord.hashing import rehash_for_placement
+from repro.core.config import SystemConfig
+from repro.core.matcher import Matcher, matcher_by_name
+from repro.core.overlays import ChordRouter, build_overlay
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.errors import ConfigError
+from repro.lsh import DomainMinHashIndex, LSHIdentifierScheme, family_for_domain
+from repro.net.message import Message
+from repro.net.transport import SimulatedNetwork
+from repro.ranges.interval import IntRange
+from repro.storage.store import LRUEviction, NoEviction, PeerStore
+from repro.util.rng import derive_rng
+
+__all__ = ["RangeSelectionSystem", "RangeQueryResult", "LocateResult", "MatchReply"]
+
+#: Default relation/attribute used by the pure-simulation experiments, which
+#: hash bare integer ranges without a real schema behind them.
+SIM_RELATION = "R"
+SIM_ATTRIBUTE = "value"
+
+
+@dataclass(frozen=True)
+class MatchReply:
+    """One owner peer's answer to a match request."""
+
+    peer_id: int
+    identifier: int
+    descriptor: PartitionDescriptor | None
+    score: float
+
+
+@dataclass(frozen=True)
+class LocateResult:
+    """Outcome of locating candidate partitions for one range."""
+
+    query: IntRange
+    identifiers: tuple[int, ...]
+    owners: tuple[int, ...]
+    replies: tuple[MatchReply, ...]
+    best: MatchReply | None
+    overlay_hops: int
+    peers_contacted: int
+
+
+@dataclass(frozen=True)
+class RangeQueryResult:
+    """Outcome of one approximate range query.
+
+    ``similarity`` is Jaccard between the original query and the match
+    (the x-axis of Figures 6-7); ``recall`` is the containment of the
+    original query in the match (the x-axis of Figures 8-10).  Both are 0.0
+    when nothing matched.
+    """
+
+    query: IntRange
+    hashed_query: IntRange
+    matched: PartitionDescriptor | None
+    similarity: float
+    recall: float
+    matcher_score: float
+    exact: bool
+    stored: bool
+    overlay_hops: int
+    peers_contacted: int
+
+    @property
+    def found(self) -> bool:
+        """Whether any candidate partition was located."""
+        return self.matched is not None
+
+
+@dataclass
+class SystemCounters:
+    """Running totals the system maintains across queries."""
+
+    queries: int = 0
+    exact_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    placements: int = 0
+    overlay_hops: int = 0
+    by_origin: dict[str, int] = field(default_factory=dict)
+
+
+class RangeSelectionSystem:
+    """All peers, the ring, the hash scheme, and the query procedure."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        family = family_for_domain(config.family, config.domain)
+        self.scheme = LSHIdentifierScheme.from_family(
+            family, l=config.l, k=config.k, seed=config.seed, id_bits=config.id_bits
+        )
+        self._accel: DomainMinHashIndex | None = None
+        if config.accelerate:
+            self._accel = DomainMinHashIndex(self.scheme, config.domain)
+        self.matcher: Matcher = matcher_by_name(config.matcher)
+        self.router = build_overlay(
+            config.overlay,
+            config.n_peers,
+            id_bits=config.id_bits,
+            dimensions=config.can_dimensions,
+            seed=config.seed,
+        )
+        #: The underlying Chord ring when the overlay is Chord (used by the
+        #: churn helpers and Chord-specific tests); None under CAN.
+        self.ring = (
+            self.router.ring if isinstance(self.router, ChordRouter) else None
+        )
+        self.network = SimulatedNetwork()
+        self.stores: dict[int, PeerStore] = {}
+        for node_id in self.router.node_ids:
+            self._register_peer(node_id)
+        self._rng = derive_rng(config.seed, "system/origins")
+        self.counters = SystemCounters()
+
+    def _place(self, identifier: int) -> int:
+        """Ring position for a bucket identifier.
+
+        ``rehash`` placement (the default) spreads buckets uniformly with
+        SHA-1; ``direct`` placement uses the raw LSH identifier, which is
+        what the paper's text literally describes — and which concentrates
+        load, because min-hash identifiers are small by construction.  The
+        bucket is always keyed by the raw identifier, so matching semantics
+        are identical under both modes.
+        """
+        if self.config.placement == "rehash":
+            return rehash_for_placement(identifier, self.config.id_bits)
+        return identifier
+
+    # ------------------------------------------------------------------
+    # Peer wiring
+    # ------------------------------------------------------------------
+
+    def _register_peer(self, node_id: int) -> None:
+        if config_cap := self.config.max_partitions_per_peer:
+            eviction: LRUEviction | NoEviction = LRUEviction(config_cap)
+        else:
+            eviction = NoEviction()
+        self.stores[node_id] = PeerStore(node_id, eviction)
+        self.network.register(node_id, self._make_handler(node_id))
+
+    def _make_handler(self, node_id: int):
+        def handler(message: Message):
+            kind = message.kind
+            if kind == "match-request":
+                identifier, query, relation, attribute = message.payload
+                return self._handle_match(
+                    node_id, identifier, query, relation, attribute
+                )
+            if kind == "store-request":
+                identifier, descriptor, partition = message.payload
+                return self.stores[node_id].store(identifier, descriptor, partition)
+            if kind == "fetch-partition":
+                identifier, descriptor = message.payload
+                bucket = self.stores[node_id].bucket(identifier)
+                entry = bucket.get(descriptor) if bucket is not None else None
+                return entry.partition if entry is not None else None
+            raise ConfigError(f"unknown message kind {kind!r}")
+
+        return handler
+
+    def _handle_match(
+        self,
+        node_id: int,
+        identifier: int,
+        query: IntRange,
+        relation: str,
+        attribute: str,
+    ) -> tuple[PartitionDescriptor, float] | None:
+        store = self.stores[node_id]
+        score = self.matcher.score
+        if self.config.local_index:
+            found = store.best_match_local(query, relation, attribute, score)
+        else:
+            found = store.best_match_in_bucket(
+                identifier, query, relation, attribute, score
+            )
+        if found is None:
+            return None
+        entry, value = found
+        return (entry.descriptor, value)
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+
+    def identifiers_for(self, r: IntRange) -> list[int]:
+        """The ``l`` identifiers of ``r``.
+
+        Uses the O(1) range-minimum index when the range lies inside the
+        configured domain; ranges over other attribute domains (the SQL
+        front end hashes ages, ids and date codes alike) fall back to the
+        direct vectorized path.  Both paths produce identical identifiers.
+        """
+        if self._accel is not None:
+            domain = self.config.domain
+            if r.start >= domain.low and r.end <= domain.high:
+                return self._accel.identifiers(r)
+        return self.scheme.identifiers(r)
+
+    # ------------------------------------------------------------------
+    # Query procedure
+    # ------------------------------------------------------------------
+
+    def pick_origin(self) -> int:
+        """A uniformly random querying peer."""
+        ids = self.router.node_ids
+        return ids[int(self._rng.integers(len(ids)))]
+
+    def locate(
+        self,
+        query: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        origin: int | None = None,
+    ) -> LocateResult:
+        """Steps 1-4 of the query procedure (no storing)."""
+        if origin is None:
+            origin = self.pick_origin()
+        identifiers = self.identifiers_for(query)
+        owners: list[int] = []
+        replies: list[MatchReply] = []
+        hops = 0
+        for identifier in identifiers:
+            owner_id, lookup_hops = self.router.lookup(
+                self._place(identifier), start_id=origin
+            )
+            hops += lookup_hops
+            self.network.stats.record_routing_hops(lookup_hops)
+            owners.append(owner_id)
+            answer = self.network.send(
+                origin,
+                owner_id,
+                "match-request",
+                payload=(identifier, query, relation, attribute),
+            )
+            if answer is None:
+                replies.append(MatchReply(owner_id, identifier, None, 0.0))
+            else:
+                descriptor, score = answer
+                replies.append(
+                    MatchReply(owner_id, identifier, descriptor, score)
+                )
+        best = max(
+            (r for r in replies if r.descriptor is not None),
+            key=lambda r: r.score,
+            default=None,
+        )
+        return LocateResult(
+            query=query,
+            identifiers=tuple(identifiers),
+            owners=tuple(owners),
+            replies=tuple(replies),
+            best=best,
+            overlay_hops=hops,
+            peers_contacted=len(set(owners)),
+        )
+
+    def store_partition(
+        self,
+        r: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        partition: Partition | None = None,
+        origin: int | None = None,
+        identifiers: list[int] | None = None,
+        owners: list[int] | None = None,
+    ) -> int:
+        """Step 5: store a partition at the ``l`` identifier owners.
+
+        Returns the number of *new* placements.  ``identifiers`` and
+        ``owners`` may be passed from a prior :meth:`locate` to avoid
+        re-routing.
+        """
+        if origin is None:
+            origin = self.pick_origin()
+        if identifiers is None:
+            identifiers = self.identifiers_for(r)
+        if owners is None:
+            owners = [self.router.owner_of(self._place(i)) for i in identifiers]
+        descriptor = PartitionDescriptor(relation, attribute, r)
+        new_placements = 0
+        for identifier, owner in zip(identifiers, owners):
+            size = partition.size_bytes if partition is not None else 64
+            stored = self.network.send(
+                origin,
+                owner,
+                "store-request",
+                payload=(identifier, descriptor, partition),
+                size_bytes=size,
+            )
+            if stored:
+                new_placements += 1
+        self.counters.stores += 1
+        self.counters.placements += new_placements
+        return new_placements
+
+    def fetch_rows(
+        self, reply: MatchReply, origin: int
+    ) -> Partition | None:
+        """Retrieve the winning partition's tuples from its holder."""
+        return self.network.send(
+            origin,
+            reply.peer_id,
+            "fetch-partition",
+            payload=(reply.identifier, reply.descriptor),
+        )
+
+    def query(
+        self,
+        query: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        origin: int | None = None,
+        padding: float | None = None,
+    ) -> RangeQueryResult:
+        """The full query procedure over a bare range (simulation mode).
+
+        Padding (configured, or overridden per query — the adaptive
+        controller uses the override) expands the range *before* hashing
+        and storing, exactly as Section 5.2's padded-query experiment does;
+        similarity and recall are always reported against the original
+        query.
+        """
+        if origin is None:
+            origin = self.pick_origin()
+        effective_padding = self.config.padding if padding is None else padding
+        hashed_query = query
+        if effective_padding > 0:
+            hashed_query = query.pad(
+                effective_padding,
+                lower_bound=self.config.domain.low,
+                upper_bound=self.config.domain.high,
+            )
+        located = self.locate(hashed_query, relation, attribute, origin=origin)
+
+        matched: PartitionDescriptor | None = None
+        score = 0.0
+        if located.best is not None:
+            matched = located.best.descriptor
+            score = located.best.score
+        exact = matched is not None and matched.range == hashed_query
+        stored = False
+        if not exact and self.config.store_on_miss:
+            self.store_partition(
+                hashed_query,
+                relation,
+                attribute,
+                origin=origin,
+                identifiers=list(located.identifiers),
+                owners=list(located.owners),
+            )
+            stored = True
+
+        similarity = matched.jaccard_to(query) if matched is not None else 0.0
+        recall = matched.containment_of(query) if matched is not None else 0.0
+        self.counters.queries += 1
+        self.counters.overlay_hops += located.overlay_hops
+        if exact:
+            self.counters.exact_hits += 1
+        if matched is None:
+            self.counters.misses += 1
+        return RangeQueryResult(
+            query=query,
+            hashed_query=hashed_query,
+            matched=matched,
+            similarity=similarity,
+            recall=recall,
+            matcher_score=score,
+            exact=exact,
+            stored=stored,
+            overlay_hops=located.overlay_hops,
+            peers_contacted=located.peers_contacted,
+        )
+
+    # ------------------------------------------------------------------
+    # Exact-match keys (Section 3.1: equality predicates)
+    # ------------------------------------------------------------------
+
+    def exact_store(self, key_identifier: int, descriptor: PartitionDescriptor,
+                    partition: Partition | None = None, origin: int | None = None) -> bool:
+        """Store a partition under an exact-match (SHA-1) identifier."""
+        if origin is None:
+            origin = self.pick_origin()
+        owner = self.router.owner_of(key_identifier)
+        return bool(
+            self.network.send(
+                origin,
+                owner,
+                "store-request",
+                payload=(key_identifier, descriptor, partition),
+                size_bytes=partition.size_bytes if partition else 64,
+            )
+        )
+
+    def exact_lookup(
+        self, key_identifier: int, origin: int | None = None
+    ) -> tuple[Partition | None, int]:
+        """Fetch the single partition stored under an exact identifier.
+
+        Returns (partition-or-None, overlay hops).
+        """
+        if origin is None:
+            origin = self.pick_origin()
+        owner_id, hops = self.router.lookup(key_identifier, start_id=origin)
+        store = self.stores[owner_id]
+        bucket = store.bucket(key_identifier)
+        if bucket is None:
+            return (None, hops)
+        entries = list(bucket)
+        if not entries:
+            return (None, hops)
+        partition = self.network.send(
+            origin,
+            owner_id,
+            "fetch-partition",
+            payload=(key_identifier, entries[0].descriptor),
+        )
+        return (partition, hops)
+
+    # ------------------------------------------------------------------
+    # Membership changes (churn extension)
+    # ------------------------------------------------------------------
+
+    def join_peer(self, address: str):
+        """Add a peer to the running system and hand over its partitions.
+
+        The overlay is rebuilt (static mode; the protocol-level incremental
+        join lives in :class:`~repro.chord.ring.ChordRing`), the new peer is
+        wired to the transport with an empty store, and every cached entry
+        now falling in the new peer's interval migrates to it.
+        """
+        if self.ring is None:
+            raise ConfigError("the churn helpers require the chord overlay")
+        node = self.ring.add_node(address)
+        self._register_peer(node.node_id)
+        self.ring.build()
+        self.rebalance()
+        return node
+
+    def leave_peer(self, node_id: int) -> int:
+        """Gracefully remove a peer, migrating its partitions first.
+
+        Returns the number of entries handed over to the peer's successor.
+        """
+        if self.ring is None:
+            raise ConfigError("the churn helpers require the chord overlay")
+        departing = self.stores.pop(node_id)
+        self.network.unregister(node_id)
+        self.ring.remove_node(node_id)
+        if not self.ring.node_ids:
+            raise ConfigError("cannot remove the last peer of the system")
+        self.ring.build()
+        moved = 0
+        for identifier, entry in departing.entries():
+            owner = self.router.owner_of(self._place(identifier))
+            if self.stores[owner].store(identifier, entry.descriptor, entry.partition):
+                moved += 1
+        return moved
+
+    def rebalance(self) -> int:
+        """Move every cached entry to its current owner; returns moves made.
+
+        Used after membership changes.  Idempotent: a second call moves
+        nothing.
+        """
+        relocations: list[tuple[int, int, object]] = []
+        for store in self.stores.values():
+            for identifier, entry in store.entries():
+                owner = self.router.owner_of(self._place(identifier))
+                if owner != store.peer_id:
+                    relocations.append((store.peer_id, identifier, entry))
+        for holder_id, identifier, entry in relocations:
+            self.stores[holder_id].remove(identifier, entry.descriptor)
+            self.stores[
+                self.router.owner_of(self._place(identifier))
+            ].store(identifier, entry.descriptor, entry.partition)
+        return len(relocations)
+
+    def check_placement_invariant(self) -> None:
+        """Raise if any cached entry sits at a peer that does not own it."""
+        for store in self.stores.values():
+            for identifier, _entry in store.entries():
+                owner = self.router.owner_of(self._place(identifier))
+                if owner != store.peer_id:
+                    raise ConfigError(
+                        f"entry for identifier {identifier} held by "
+                        f"{store.peer_id} but owned by {owner}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def load_distribution(self) -> list[int]:
+        """Partitions stored per peer (the quantity of Figure 11)."""
+        return [self.stores[nid].partition_count for nid in self.router.node_ids]
+
+    def total_placements(self) -> int:
+        """Total stored entries across all peers."""
+        return sum(self.load_distribution())
+
+    def unique_partitions(self) -> int:
+        """Number of distinct partition descriptors stored system-wide."""
+        seen: set[PartitionDescriptor] = set()
+        for store in self.stores.values():
+            for _, entry in store.entries():
+                seen.add(entry.descriptor)
+        return len(seen)

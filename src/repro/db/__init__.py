@@ -1,0 +1,49 @@
+"""Relational substrate: schemas, relations, partitions, SQL, plans.
+
+The paper shares data "in the form of database relations": peers cache
+*horizontal partitions* — the tuples of one relation matching a range
+selection on one attribute.  This subpackage provides everything the
+examples and the full-query front end need:
+
+- typed schemas and in-memory relations (:mod:`repro.db.schema`,
+  :mod:`repro.db.relation`);
+- selection predicates and horizontal partitions (:mod:`repro.db.predicates`,
+  :mod:`repro.db.partition`);
+- a restricted SQL parser for the paper's query class
+  (:mod:`repro.db.sql`);
+- a select-pushdown planner and a local executor with hash joins
+  (:mod:`repro.db.plan`) — "all the selects are moved toward the leaves",
+  the "well known algebraic optimization technique" of Section 2.
+"""
+
+from repro.db.catalog import Catalog, medical_catalog, medical_schema
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.db.predicates import (
+    EqualityPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.db.relation import Relation
+from repro.db.stats import EquiWidthHistogram, TableStatistics, analyze
+from repro.db.schema import Attribute, AttrType, GlobalSchema, RelationSchema
+
+__all__ = [
+    "AttrType",
+    "Attribute",
+    "RelationSchema",
+    "GlobalSchema",
+    "Relation",
+    "Partition",
+    "PartitionDescriptor",
+    "Predicate",
+    "RangePredicate",
+    "EqualityPredicate",
+    "TruePredicate",
+    "Catalog",
+    "EquiWidthHistogram",
+    "TableStatistics",
+    "analyze",
+    "medical_schema",
+    "medical_catalog",
+]

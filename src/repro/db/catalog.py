@@ -1,0 +1,218 @@
+"""The catalog: global schema plus the base relations at source peers.
+
+Sources "are part of the peer-to-peer system ... and are known to all the
+peers", but "access to the base relations may in general be undesirable due
+to load and connectivity reasons" (Section 2) — which is why the system
+counts every source access it is forced to make.
+
+:func:`medical_schema` reproduces the paper's running example schema
+(Patient / Diagnosis / Physician / Prescription), and
+:func:`medical_catalog` populates it with synthetic data so the example
+programs can run the paper's Glaucoma query end to end.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.db.predicates import Predicate
+from repro.db.relation import Relation
+from repro.db.schema import Attribute, AttrType, GlobalSchema, RelationSchema
+from repro.errors import SchemaError
+from repro.ranges.domain import Domain
+
+__all__ = ["Catalog", "medical_schema", "medical_catalog"]
+
+
+class Catalog:
+    """Global schema plus materialized base relations."""
+
+    def __init__(self, schema: GlobalSchema) -> None:
+        self.schema = schema
+        self._relations: dict[str, Relation] = {
+            rs.name: Relation(rs) for rs in schema.relations
+        }
+        #: Number of times a query had to fall back to a base relation.
+        self.source_accesses = 0
+
+    def relation(self, name: str) -> Relation:
+        """The base relation called ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no base relation {name!r}") from None
+
+    def fetch_from_source(self, predicate: Predicate) -> list[tuple[object, ...]]:
+        """Evaluate a selection against the base relation, counting the
+        access (the cost the P2P cache exists to avoid)."""
+        self.source_accesses += 1
+        relation = self.relation(predicate.relation)
+        return relation.select(predicate)
+
+    @property
+    def relation_names(self) -> list[str]:
+        """Names of all base relations."""
+        return sorted(self._relations)
+
+    def analyze(self, n_buckets: int = 32) -> "dict[str, object]":
+        """Build per-relation statistics (histograms + value counts).
+
+        Returns a mapping suitable for
+        :func:`repro.db.plan.planner.plan_select`'s ``statistics`` argument.
+        """
+        from repro.db.stats import analyze
+
+        return {
+            name: analyze(relation, relation.schema, n_buckets=n_buckets)
+            for name, relation in self._relations.items()
+        }
+
+
+# ----------------------------------------------------------------------
+# The paper's running example (Section 2)
+# ----------------------------------------------------------------------
+
+DIAGNOSES = (
+    "Glaucoma",
+    "Diabetes",
+    "Hypertension",
+    "Asthma",
+    "Migraine",
+    "Arthritis",
+    "Anemia",
+    "Bronchitis",
+)
+
+SPECIALIZATIONS = (
+    "Ophthalmology",
+    "Cardiology",
+    "Endocrinology",
+    "Neurology",
+    "General",
+)
+
+PRESCRIPTION_TEXTS = (
+    "timolol drops",
+    "latanoprost drops",
+    "metformin 500mg",
+    "lisinopril 10mg",
+    "albuterol inhaler",
+    "sumatriptan 50mg",
+    "ibuprofen 400mg",
+    "ferrous sulfate",
+)
+
+_DATE_LOW = _dt.date(1995, 1, 1)
+_DATE_HIGH = _dt.date(2003, 12, 31)
+
+
+def medical_schema() -> GlobalSchema:
+    """The paper's global schema, with explicit attribute domains."""
+    age = Domain("age", 0, 120)
+    patient_id = Domain("patient_id", 0, 10**6)
+    physician_id = Domain("physician_id", 0, 10**5)
+    prescription_id = Domain("prescription_id", 0, 10**6)
+    date = Domain.for_dates("date", _DATE_LOW, _DATE_HIGH)
+    return GlobalSchema(
+        relations=(
+            RelationSchema(
+                "Patient",
+                (
+                    Attribute("patient_id", AttrType.INT, patient_id),
+                    Attribute("name", AttrType.STRING),
+                    Attribute("age", AttrType.INT, age),
+                ),
+            ),
+            RelationSchema(
+                "Diagnosis",
+                (
+                    Attribute("patient_id", AttrType.INT, patient_id),
+                    Attribute("diagnosis", AttrType.STRING),
+                    Attribute("physician_id", AttrType.INT, physician_id),
+                    Attribute("prescription_id", AttrType.INT, prescription_id),
+                ),
+            ),
+            RelationSchema(
+                "Physician",
+                (
+                    Attribute("physician_id", AttrType.INT, physician_id),
+                    Attribute("name", AttrType.STRING),
+                    Attribute("age", AttrType.INT, age),
+                    Attribute("specialization", AttrType.STRING),
+                ),
+            ),
+            RelationSchema(
+                "Prescription",
+                (
+                    Attribute("prescription_id", AttrType.INT, prescription_id),
+                    Attribute("date", AttrType.DATE, date),
+                    Attribute("prescription", AttrType.STRING),
+                    Attribute("comments", AttrType.STRING),
+                ),
+            ),
+        )
+    )
+
+
+def medical_catalog(
+    n_patients: int = 2000,
+    n_physicians: int = 50,
+    rng: np.random.Generator | None = None,
+) -> Catalog:
+    """A populated medical catalog with one diagnosis+prescription per patient.
+
+    Synthetic but referentially consistent: every ``Diagnosis.patient_id``
+    exists in ``Patient`` and every ``Diagnosis.prescription_id`` exists in
+    ``Prescription``, so the paper's three-way join returns real answers.
+    """
+    if rng is None:
+        rng = np.random.default_rng(2003)
+    catalog = Catalog(medical_schema())
+
+    patients = catalog.relation("Patient")
+    for pid in range(n_patients):
+        patients.insert(
+            {
+                "patient_id": pid,
+                "name": f"patient-{pid}",
+                "age": int(rng.integers(0, 100)),
+            }
+        )
+
+    physicians = catalog.relation("Physician")
+    for doc in range(n_physicians):
+        physicians.insert(
+            {
+                "physician_id": doc,
+                "name": f"dr-{doc}",
+                "age": int(rng.integers(28, 75)),
+                "specialization": SPECIALIZATIONS[
+                    int(rng.integers(len(SPECIALIZATIONS)))
+                ],
+            }
+        )
+
+    diagnoses = catalog.relation("Diagnosis")
+    prescriptions = catalog.relation("Prescription")
+    date_span = (_DATE_HIGH - _DATE_LOW).days
+    for pid in range(n_patients):
+        disease_index = int(rng.integers(len(DIAGNOSES)))
+        diagnoses.insert(
+            {
+                "patient_id": pid,
+                "diagnosis": DIAGNOSES[disease_index],
+                "physician_id": int(rng.integers(n_physicians)),
+                "prescription_id": pid,
+            }
+        )
+        prescriptions.insert(
+            {
+                "prescription_id": pid,
+                "date": _DATE_LOW + _dt.timedelta(days=int(rng.integers(date_span))),
+                "prescription": PRESCRIPTION_TEXTS[disease_index],
+                "comments": "",
+            }
+        )
+    return catalog

@@ -1,0 +1,99 @@
+"""Horizontal partitions: the unit of caching and matching.
+
+"A query specifies a range over an attribute of a relation.  We refer to
+the resulting set of tuples defined by this range as a data partition"
+(paper, footnote 1).  A :class:`PartitionDescriptor` is the metadata the
+DHT stores and matches on; a :class:`Partition` additionally carries the
+tuples, which travel from the providing peer to the querying peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ranges.interval import IntRange
+from repro.similarity.measures import containment, jaccard
+
+__all__ = ["PartitionDescriptor", "Partition"]
+
+
+@dataclass(frozen=True, order=True)
+class PartitionDescriptor:
+    """Identity of a cached partition: relation, attribute, range."""
+
+    relation: str
+    attribute: str
+    range: IntRange
+
+    def jaccard_to(self, query: IntRange) -> float:
+        """Jaccard similarity of this partition's range to a query range."""
+        return jaccard(query, self.range)
+
+    def containment_of(self, query: IntRange) -> float:
+        """Fraction of ``query`` this partition covers (its recall)."""
+        return containment(query, self.range)
+
+    def answers_exactly(self, query: IntRange) -> bool:
+        """Whether this partition *is* the queried range."""
+        return self.range == query
+
+    def can_answer(self, query: IntRange) -> bool:
+        """Whether this partition fully contains the queried range."""
+        return self.range.contains_range(query)
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute}{self.range}"
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A descriptor plus the actual tuples of the partition."""
+
+    descriptor: PartitionDescriptor
+    rows: tuple[tuple[object, ...], ...]
+
+    @classmethod
+    def from_rows(
+        cls,
+        relation: str,
+        attribute: str,
+        r: IntRange,
+        rows: list[tuple[object, ...]],
+    ) -> "Partition":
+        """Build from a freshly computed selection result."""
+        return cls(
+            descriptor=PartitionDescriptor(relation, attribute, r),
+            rows=tuple(rows),
+        )
+
+    def restrict(self, query: IntRange, attribute_position: int) -> "Partition":
+        """The sub-partition of rows whose key attribute falls in ``query``.
+
+        Used by the querying peer to trim a broader matched partition down
+        to exactly the requested range before joining.
+        """
+        clipped = self.descriptor.range.intersect(query)
+        if clipped is None:
+            return Partition(
+                descriptor=PartitionDescriptor(
+                    self.descriptor.relation, self.descriptor.attribute, query
+                ),
+                rows=(),
+            )
+        kept = tuple(
+            row
+            for row in self.rows
+            if row[attribute_position] in clipped  # type: ignore[operator]
+        )
+        return Partition(
+            descriptor=PartitionDescriptor(
+                self.descriptor.relation, self.descriptor.attribute, clipped
+            ),
+            rows=kept,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Modelled wire size: 16 bytes per stored field plus headers."""
+        width = len(self.rows[0]) if self.rows else 0
+        return 64 + 16 * width * len(self.rows)

@@ -1,0 +1,35 @@
+"""Query planning and local execution.
+
+The planner turns a parsed SELECT into the shape the paper's Figure 1
+shows: selections pushed to the leaves (one :class:`LeafSelection` per
+relation), a left-deep tree of equi-joins above them, and a projection at
+the root.  The executor then evaluates that plan *locally at the querying
+peer*, fetching each leaf's tuples through a pluggable
+:class:`PartitionProvider` — either the base relations (source access) or
+the P2P partition cache.
+"""
+
+from repro.db.plan.executor import (
+    ExecutionStats,
+    FetchResult,
+    PartitionProvider,
+    QueryResultSet,
+    SourceProvider,
+    execute_plan,
+)
+from repro.db.plan.nodes import JoinNode, LeafSelection, PlanNode, ProjectNode
+from repro.db.plan.planner import plan_select
+
+__all__ = [
+    "PlanNode",
+    "LeafSelection",
+    "JoinNode",
+    "ProjectNode",
+    "plan_select",
+    "execute_plan",
+    "PartitionProvider",
+    "SourceProvider",
+    "FetchResult",
+    "ExecutionStats",
+    "QueryResultSet",
+]

@@ -1,0 +1,216 @@
+"""Local plan execution at the querying peer.
+
+"The located peers caching relevant partitions can send the data over to
+the requesting peer which can now compute the remaining query locally using
+the available data" (Section 2).  This module is that local computation:
+hash joins, residual filters and projection over whatever tuples the
+:class:`PartitionProvider` produced for each leaf.
+
+Because the P2P cache is *approximate*, a leaf may come back incomplete;
+the provider reports per-leaf coverage, and the executor aggregates it so
+callers can tell the user which part of the answer is present (the paper's
+suggestion at the end of Section 5.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.db.catalog import Catalog
+from repro.db.plan.nodes import (
+    ColumnEqualsFilter,
+    JoinNode,
+    LeafSelection,
+    PlanNode,
+    ProjectNode,
+)
+from repro.db.schema import GlobalSchema
+from repro.errors import PlanningError
+
+__all__ = [
+    "PartitionProvider",
+    "SourceProvider",
+    "FetchResult",
+    "ExecutionStats",
+    "QueryResultSet",
+    "execute_plan",
+]
+
+Row = dict[tuple[str, str], object]
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Tuples produced for one leaf, with provenance.
+
+    ``coverage`` is the fraction of the leaf's selection range the produced
+    tuples are guaranteed to cover (1.0 for a source fetch or an exact /
+    containing cache hit; lower for a partial approximate match).
+    """
+
+    rows: list[tuple[object, ...]]
+    origin: str  # "source", "cache", or "cache+store"
+    coverage: float = 1.0
+    overlay_hops: int = 0
+    peers_contacted: int = 0
+
+
+class PartitionProvider(ABC):
+    """Produces the tuples satisfying a leaf selection."""
+
+    @abstractmethod
+    def fetch(self, leaf: LeafSelection) -> FetchResult:
+        """Tuples of ``leaf.relation`` satisfying the primary predicate.
+
+        The executor re-applies *all* leaf predicates afterwards, so a
+        provider may return a superset (e.g. a broader cached partition).
+        """
+
+
+class SourceProvider(PartitionProvider):
+    """Fetch every leaf from the base relations (no P2P involved)."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    def fetch(self, leaf: LeafSelection) -> FetchResult:
+        if leaf.primary is None:
+            self.catalog.source_accesses += 1
+            rows = list(self.catalog.relation(leaf.relation).scan())
+        else:
+            rows = self.catalog.fetch_from_source(leaf.primary)
+        return FetchResult(rows=rows, origin="source", coverage=1.0)
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregated execution telemetry."""
+
+    leaf_origins: dict[str, str] = field(default_factory=dict)
+    leaf_coverage: dict[str, float] = field(default_factory=dict)
+    overlay_hops: int = 0
+    peers_contacted: int = 0
+    rows_fetched: int = 0
+
+    @property
+    def min_coverage(self) -> float:
+        """A lower bound on answer completeness: the worst leaf coverage."""
+        if not self.leaf_coverage:
+            return 1.0
+        return min(self.leaf_coverage.values())
+
+
+@dataclass
+class QueryResultSet:
+    """Projected rows plus execution telemetry."""
+
+    columns: tuple[tuple[str, str], ...]
+    rows: list[tuple[object, ...]]
+    stats: ExecutionStats
+
+    def decoded_rows(self, schema: GlobalSchema) -> list[tuple[object, ...]]:
+        """Rows with stored codes converted back to user values (dates)."""
+        attrs = [schema.relation(rel).attribute(attr) for rel, attr in self.columns]
+        return [
+            tuple(a.decode(v) for a, v in zip(attrs, row)) for row in self.rows
+        ]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def execute_plan(
+    plan: ProjectNode,
+    schema: GlobalSchema,
+    provider: PartitionProvider,
+) -> QueryResultSet:
+    """Evaluate ``plan`` bottom-up and return the projected result set.
+
+    Ordering happens on the pre-projection rows (any resolved column can be
+    a sort key), then projection, then the limit.
+    """
+    stats = ExecutionStats()
+    rows = _evaluate(plan.child, schema, provider, stats)
+    for relation, attribute, ascending in reversed(plan.order_by):
+        rows.sort(key=lambda row: row[(relation, attribute)], reverse=not ascending)  # type: ignore[arg-type,return-value]
+    projected = [
+        tuple(row[column] for column in plan.columns) for row in rows
+    ]
+    if plan.limit is not None:
+        projected = projected[: plan.limit]
+    return QueryResultSet(columns=plan.columns, rows=projected, stats=stats)
+
+
+def _evaluate(
+    node: PlanNode,
+    schema: GlobalSchema,
+    provider: PartitionProvider,
+    stats: ExecutionStats,
+) -> list[Row]:
+    if isinstance(node, LeafSelection):
+        return _evaluate_leaf(node, schema, provider, stats)
+    if isinstance(node, JoinNode):
+        left_rows = _evaluate(node.left, schema, provider, stats)
+        right_rows = _evaluate(node.right, schema, provider, stats)
+        return _hash_join(left_rows, right_rows, node.left_column, node.right_column)
+    if isinstance(node, ColumnEqualsFilter):
+        child_rows = _evaluate(node.child, schema, provider, stats)
+        return [
+            row
+            for row in child_rows
+            if row[node.left_column] == row[node.right_column]
+        ]
+    raise PlanningError(f"cannot evaluate plan node {type(node).__name__}")
+
+
+def _evaluate_leaf(
+    leaf: LeafSelection,
+    schema: GlobalSchema,
+    provider: PartitionProvider,
+    stats: ExecutionStats,
+) -> list[Row]:
+    relation_schema = schema.relation(leaf.relation)
+    fetched = provider.fetch(leaf)
+    stats.leaf_origins[leaf.relation] = fetched.origin
+    stats.leaf_coverage[leaf.relation] = fetched.coverage
+    stats.overlay_hops += fetched.overlay_hops
+    stats.peers_contacted += fetched.peers_contacted
+    stats.rows_fetched += len(fetched.rows)
+    predicates = leaf.all_predicates()
+    out: list[Row] = []
+    for raw in fetched.rows:
+        if all(p.matches(raw, relation_schema) for p in predicates):
+            out.append(
+                {
+                    (leaf.relation, attr.name): value
+                    for attr, value in zip(relation_schema.attributes, raw)
+                }
+            )
+    return out
+
+
+def _hash_join(
+    left_rows: list[Row],
+    right_rows: list[Row],
+    left_column: tuple[str, str],
+    right_column: tuple[str, str],
+) -> list[Row]:
+    """Classic build/probe hash join; builds on the smaller input."""
+    if len(left_rows) <= len(right_rows):
+        build, probe = left_rows, right_rows
+        build_col, probe_col = left_column, right_column
+    else:
+        build, probe = right_rows, left_rows
+        build_col, probe_col = right_column, left_column
+    table: dict[object, list[Row]] = defaultdict(list)
+    for row in build:
+        table[row[build_col]].append(row)
+    out: list[Row] = []
+    for row in probe:
+        for match in table.get(row[probe_col], ()):
+            merged = dict(match)
+            merged.update(row)
+            out.append(merged)
+    return out

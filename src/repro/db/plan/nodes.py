@@ -1,0 +1,119 @@
+"""Logical plan nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.predicates import Predicate, RangePredicate
+
+__all__ = ["PlanNode", "LeafSelection", "JoinNode", "ProjectNode"]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for plan nodes (a plan is an immutable tree)."""
+
+    def pretty(self, indent: int = 0) -> str:
+        """Multi-line rendering of the subtree."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LeafSelection(PlanNode):
+    """A pushed-down selection over one relation.
+
+    ``primary`` is the predicate the P2P layer uses to *locate* the
+    partition (the range it hashes, or the equality key); ``residual``
+    predicates are applied locally after the tuples arrive.  ``primary`` is
+    ``None`` for a bare scan.
+    """
+
+    relation: str
+    primary: Predicate | None
+    residual: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def all_predicates(self) -> list[Predicate]:
+        """Primary + residual predicates."""
+        preds: list[Predicate] = []
+        if self.primary is not None:
+            preds.append(self.primary)
+        preds.extend(self.residual)
+        return preds
+
+    @property
+    def hashable_range(self) -> RangePredicate | None:
+        """The range the LSH scheme hashes, when the primary is a range."""
+        return self.primary if isinstance(self.primary, RangePredicate) else None
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        parts = [p.describe() for p in self.all_predicates()] or ["true"]
+        return f"{pad}Select[{self.relation}: {' AND '.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """Equi-join of two subtrees on qualified columns."""
+
+    left: PlanNode
+    right: PlanNode
+    left_column: tuple[str, str]
+    right_column: tuple[str, str]
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lc = ".".join(self.left_column)
+        rc = ".".join(self.right_column)
+        return (
+            f"{pad}Join[{lc} = {rc}]\n"
+            f"{self.left.pretty(indent + 1)}\n"
+            f"{self.right.pretty(indent + 1)}"
+        )
+
+
+@dataclass(frozen=True)
+class ColumnEqualsFilter(PlanNode):
+    """Post-join filter enforcing equality between two already-bound columns.
+
+    Produced for *redundant* join conditions — a WHERE edge between two
+    relations that an earlier condition already connected (a join cycle).
+    """
+
+    child: PlanNode
+    left_column: tuple[str, str]
+    right_column: tuple[str, str]
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lc = ".".join(self.left_column)
+        rc = ".".join(self.right_column)
+        return f"{pad}Filter[{lc} = {rc}]\n{self.child.pretty(indent + 1)}"
+
+
+@dataclass(frozen=True)
+class ProjectNode(PlanNode):
+    """Projection (plus optional ordering and limit) at the plan root.
+
+    ``order_by`` keys are ``(relation, attribute, ascending)`` triples,
+    resolved against the join output *before* projection, so ordering by a
+    non-projected column works.
+    """
+
+    child: PlanNode
+    columns: tuple[tuple[str, str], ...]
+    order_by: tuple[tuple[str, str, bool], ...] = ()
+    limit: "int | None" = None
+
+    def pretty(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        cols = ", ".join(".".join(c) for c in self.columns)
+        extras = ""
+        if self.order_by:
+            keys = ", ".join(
+                f"{rel}.{attr} {'ASC' if asc else 'DESC'}"
+                for rel, attr, asc in self.order_by
+            )
+            extras += f" ORDER BY {keys}"
+        if self.limit is not None:
+            extras += f" LIMIT {self.limit}"
+        return f"{pad}Project[{cols}{extras}]\n{self.child.pretty(indent + 1)}"

@@ -1,0 +1,313 @@
+"""Select-pushdown planner for the restricted SQL subset."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import defaultdict
+
+from repro.db.predicates import EqualityPredicate, Predicate, RangePredicate
+from repro.db.plan.nodes import (
+    ColumnEqualsFilter,
+    JoinNode,
+    LeafSelection,
+    PlanNode,
+    ProjectNode,
+)
+from repro.db.schema import AttrType, GlobalSchema, RelationSchema
+from repro.db.sql.ast import ColumnRef, Comparison, SelectStatement
+from repro.errors import PlanningError, UnsupportedQueryError
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+
+__all__ = ["plan_select"]
+
+
+def plan_select(
+    statement: SelectStatement,
+    schema: GlobalSchema,
+    statistics: "dict[str, object] | None" = None,
+) -> ProjectNode:
+    """Build a pushed-down plan (Figure 1's shape) from a parsed SELECT.
+
+    ``statistics`` optionally maps relation name to
+    :class:`~repro.db.stats.TableStatistics`; when present, the join tree
+    is ordered greedily by estimated leaf cardinality (smallest first), so
+    hash-join build sides stay small.  Without statistics the FROM-clause
+    order is used, which keeps plans deterministic.
+
+    Raises :class:`PlanningError` for semantic problems (unknown columns,
+    disconnected join graphs) and :class:`UnsupportedQueryError` for
+    statements outside the paper's query class (e.g. two range selections
+    on different attributes of the same relation).
+    """
+    for name in statement.relations:
+        if not schema.has_relation(name):
+            raise PlanningError(f"unknown relation {name!r}")
+
+    comparisons = [
+        (_resolve(c.column, statement, schema), c) for c in statement.comparisons
+    ]
+    joins = [
+        (
+            _resolve(j.left, statement, schema),
+            _resolve(j.right, statement, schema),
+        )
+        for j in statement.joins
+    ]
+
+    leaves = {
+        name: _build_leaf(
+            name,
+            schema.relation(name),
+            [c for col, c in comparisons if col[0] == name],
+            [col for col, _ in comparisons if col[0] == name],
+        )
+        for name in statement.relations
+    }
+    estimates = _leaf_estimates(statement.relations, leaves, statistics)
+    tree = _build_join_tree(statement.relations, joins, leaves, estimates)
+    columns = _resolve_projection(statement, schema)
+    order_by = tuple(
+        (*_resolve(key.column, statement, schema), key.ascending)
+        for key in statement.order_by
+    )
+    return ProjectNode(
+        child=tree,
+        columns=tuple(columns),
+        order_by=order_by,
+        limit=statement.limit,
+    )
+
+
+def _leaf_estimates(
+    relations: tuple[str, ...],
+    leaves: dict[str, LeafSelection],
+    statistics: "dict[str, object] | None",
+) -> dict[str, float]:
+    """Estimated output rows per leaf; FROM order as tiebreak when absent."""
+    if not statistics:
+        # Monotone pseudo-estimates preserve the FROM-clause order.
+        return {name: float(index) for index, name in enumerate(relations)}
+    estimates: dict[str, float] = {}
+    for index, name in enumerate(relations):
+        table_stats = statistics.get(name)
+        if table_stats is None:
+            estimates[name] = float(10**12 + index)
+            continue
+        estimates[name] = table_stats.estimate_leaf(  # type: ignore[attr-defined]
+            leaves[name].all_predicates()
+        )
+    return estimates
+
+
+# ----------------------------------------------------------------------
+# Column resolution
+# ----------------------------------------------------------------------
+
+
+def _resolve(
+    column: ColumnRef, statement: SelectStatement, schema: GlobalSchema
+) -> tuple[str, str]:
+    """Qualify a column reference against the FROM clause."""
+    if column.relation is not None:
+        if column.relation not in statement.relations:
+            raise PlanningError(
+                f"column {column} references relation {column.relation!r} "
+                "not in FROM"
+            )
+        relation = schema.relation(column.relation)
+        relation.attribute(column.name)  # existence check
+        return (column.relation, column.name)
+    candidates = [
+        name
+        for name in statement.relations
+        if schema.relation(name).has_attribute(column.name)
+    ]
+    if not candidates:
+        raise PlanningError(f"no relation in FROM declares column {column.name!r}")
+    if len(candidates) > 1:
+        raise PlanningError(
+            f"ambiguous column {column.name!r}: declared by {candidates}"
+        )
+    return (candidates[0], column.name)
+
+
+def _resolve_projection(
+    statement: SelectStatement, schema: GlobalSchema
+) -> list[tuple[str, str]]:
+    if statement.is_star:
+        return [
+            (name, attr.name)
+            for name in statement.relations
+            for attr in schema.relation(name).attributes
+        ]
+    return [_resolve(c, statement, schema) for c in statement.columns]
+
+
+# ----------------------------------------------------------------------
+# Leaf construction: merge comparisons into predicates
+# ----------------------------------------------------------------------
+
+
+def _literal_code(value: object, attr_type: AttrType) -> object:
+    """Encode a literal the way the attribute stores values."""
+    if attr_type is AttrType.DATE and isinstance(value, _dt.date):
+        return Domain.date_to_code(value)
+    return value
+
+
+def _build_leaf(
+    relation_name: str,
+    schema: RelationSchema,
+    comparisons: list[Comparison],
+    resolved_columns: list[tuple[str, str]],
+) -> LeafSelection:
+    by_attr: dict[str, list[Comparison]] = defaultdict(list)
+    for (rel, attr), comparison in zip(resolved_columns, comparisons):
+        assert rel == relation_name
+        by_attr[attr].append(comparison)
+
+    predicates: list[Predicate] = []
+    for attr_name, comps in by_attr.items():
+        attr = schema.attribute(attr_name)
+        if attr.type.orderable:
+            predicates.append(
+                _merge_orderable(relation_name, attr_name, attr.type, comps, schema)
+            )
+        else:
+            predicates.append(
+                _merge_string(relation_name, attr_name, comps)
+            )
+
+    range_preds = [p for p in predicates if isinstance(p, RangePredicate)]
+    if len(range_preds) > 1:
+        # Paper restriction: "the selects on a relation can be only on one
+        # attribute at a time".  The multi-attribute extension lives in
+        # repro.core.multiattr; the base planner enforces the paper's rule.
+        raise UnsupportedQueryError(
+            f"relation {relation_name!r} has range selections on "
+            f"{[p.attribute for p in range_preds]}; the paper's class allows one"
+        )
+
+    primary: Predicate | None
+    residual: list[Predicate]
+    if range_preds:
+        primary = range_preds[0]
+        residual = [p for p in predicates if p is not primary]
+    elif predicates:
+        primary = predicates[0]
+        residual = list(predicates[1:])
+    else:
+        primary = None
+        residual = []
+    return LeafSelection(
+        relation=relation_name, primary=primary, residual=tuple(residual)
+    )
+
+
+def _merge_orderable(
+    relation: str,
+    attribute: str,
+    attr_type: AttrType,
+    comparisons: list[Comparison],
+    schema: RelationSchema,
+) -> RangePredicate:
+    attr = schema.attribute(attribute)
+    assert attr.domain is not None
+    low, high = attr.domain.low, attr.domain.high
+    for comparison in comparisons:
+        raw = _literal_code(comparison.literal.value, attr_type)
+        if not isinstance(raw, int) or isinstance(raw, bool):
+            raise PlanningError(
+                f"literal {comparison.literal.value!r} is not comparable with "
+                f"{relation}.{attribute}"
+            )
+        if comparison.op == "=":
+            low, high = max(low, raw), min(high, raw)
+        elif comparison.op == "<":
+            high = min(high, raw - 1)
+        elif comparison.op == "<=":
+            high = min(high, raw)
+        elif comparison.op == ">":
+            low = max(low, raw + 1)
+        elif comparison.op == ">=":
+            low = max(low, raw)
+    if low > high:
+        raise PlanningError(
+            f"contradictory selection on {relation}.{attribute}"
+        )
+    return RangePredicate(relation, attribute, IntRange(low, high)).validate_against(
+        schema
+    )
+
+
+def _merge_string(
+    relation: str, attribute: str, comparisons: list[Comparison]
+) -> EqualityPredicate:
+    values = set()
+    for comparison in comparisons:
+        if comparison.op != "=":
+            raise UnsupportedQueryError(
+                f"only equality is supported on string attribute "
+                f"{relation}.{attribute}"
+            )
+        values.add(comparison.literal.value)
+    if len(values) > 1:
+        raise PlanningError(
+            f"contradictory equality selection on {relation}.{attribute}"
+        )
+    return EqualityPredicate(relation, attribute, values.pop())
+
+
+# ----------------------------------------------------------------------
+# Join tree
+# ----------------------------------------------------------------------
+
+
+def _build_join_tree(
+    relations: tuple[str, ...],
+    joins: list[tuple[tuple[str, str], tuple[str, str]]],
+    leaves: dict[str, LeafSelection],
+    estimates: dict[str, float],
+) -> PlanNode:
+    if len(relations) == 1:
+        return leaves[relations[0]]
+
+    start = min(relations, key=lambda name: (estimates[name], name))
+    remaining = list(joins)
+    joined: set[str] = {start}
+    tree: PlanNode = leaves[start]
+    redundant: list[tuple[tuple[str, str], tuple[str, str]]] = []
+    while len(joined) < len(relations):
+        # Candidate edges connect the joined set to one new relation;
+        # edges inside the joined set are join cycles (post-join filters).
+        candidates: list[
+            tuple[str, tuple[tuple[str, str], tuple[str, str]], bool]
+        ] = []
+        for edge in list(remaining):
+            (left_rel, _), (right_rel, _) = edge
+            if left_rel in joined and right_rel in joined:
+                redundant.append(edge)
+                remaining.remove(edge)
+            elif left_rel in joined and right_rel not in joined:
+                candidates.append((right_rel, edge, False))
+            elif right_rel in joined and left_rel not in joined:
+                candidates.append((left_rel, edge, True))
+        if not candidates:
+            missing = set(relations) - joined
+            raise PlanningError(
+                f"join graph is disconnected; no condition links {missing}"
+            )
+        new_rel, edge, flipped = min(
+            candidates, key=lambda c: (estimates[c[0]], c[0])
+        )
+        if flipped:
+            tree = JoinNode(tree, leaves[new_rel], edge[1], edge[0])
+        else:
+            tree = JoinNode(tree, leaves[new_rel], edge[0], edge[1])
+        joined.add(new_rel)
+        remaining.remove(edge)
+    redundant.extend(remaining)
+    for left_col, right_col in redundant:
+        tree = ColumnEqualsFilter(tree, left_col, right_col)
+    return tree

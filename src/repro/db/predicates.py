@@ -1,0 +1,123 @@
+"""Selection predicates over one relation's attributes.
+
+The paper restricts selections to one attribute at a time (Section 2);
+:class:`RangePredicate` is that restricted form, and it is the unit the LSH
+scheme hashes.  Equality on unorderable (string) attributes is an
+:class:`EqualityPredicate`, which the system resolves with an exact-match
+DHT key instead (Section 3.1's simpler problem).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.db.schema import RelationSchema
+from repro.errors import SchemaError
+from repro.ranges.interval import IntRange
+
+__all__ = ["Predicate", "RangePredicate", "EqualityPredicate", "TruePredicate"]
+
+
+class Predicate(ABC):
+    """A boolean condition over a single relation's rows."""
+
+    relation: str
+
+    @abstractmethod
+    def matches(self, row: tuple[object, ...], schema: RelationSchema) -> bool:
+        """Whether a stored row satisfies the predicate."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering for reports and plan pretty-printing."""
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """``low <= attr <= high`` over an orderable attribute."""
+
+    relation: str
+    attribute: str
+    range: IntRange
+
+    def matches(self, row: tuple[object, ...], schema: RelationSchema) -> bool:
+        value = row[schema.position(self.attribute)]
+        assert isinstance(value, int)
+        return value in self.range
+
+    def describe(self) -> str:
+        return f"{self.range.start} <= {self.relation}.{self.attribute} <= {self.range.end}"
+
+    def validate_against(self, schema: RelationSchema) -> "RangePredicate":
+        """Check the attribute exists, is orderable, and the range fits."""
+        attr = schema.attribute(self.attribute)
+        if not attr.type.orderable:
+            raise SchemaError(
+                f"range selection on non-orderable attribute "
+                f"{self.relation}.{self.attribute}"
+            )
+        assert attr.domain is not None
+        attr.domain.validate_range(self.range)
+        return self
+
+    def widen(self, fraction: float, schema: RelationSchema) -> "RangePredicate":
+        """The padded predicate (Section 5.2), clamped to the domain."""
+        attr = schema.attribute(self.attribute)
+        assert attr.domain is not None
+        padded = self.range.pad(
+            fraction, lower_bound=attr.domain.low, upper_bound=attr.domain.high
+        )
+        return RangePredicate(self.relation, self.attribute, padded)
+
+
+@dataclass(frozen=True)
+class EqualityPredicate(Predicate):
+    """``attr = value``; the only form allowed on string attributes."""
+
+    relation: str
+    attribute: str
+    value: object
+
+    def matches(self, row: tuple[object, ...], schema: RelationSchema) -> bool:
+        return row[schema.position(self.attribute)] == self.value
+
+    def describe(self) -> str:
+        return f"{self.relation}.{self.attribute} = {self.value!r}"
+
+    def validate_against(self, schema: RelationSchema) -> "EqualityPredicate":
+        """Check the attribute exists and the value encodes under its type."""
+        attr = schema.attribute(self.attribute)
+        encoded = attr.encode(self.value)
+        if encoded != self.value:
+            # Normalize (e.g. a date literal) to its stored representation.
+            return EqualityPredicate(self.relation, self.attribute, encoded)
+        return self
+
+    def as_point_range(self, schema: RelationSchema) -> "RangePredicate | None":
+        """Equality on an orderable attribute as the point range ``[v, v]``.
+
+        Section 3.1's ``age = 30`` example: a point selection is just a
+        width-one range, so it can flow through the same LSH machinery.
+        """
+        attr = schema.attribute(self.attribute)
+        if not attr.type.orderable:
+            return None
+        encoded = attr.encode(self.value)
+        assert isinstance(encoded, int)
+        return RangePredicate(
+            self.relation, self.attribute, IntRange(encoded, encoded)
+        )
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate: a full relation scan."""
+
+    relation: str
+
+    def matches(self, row: tuple[object, ...], schema: RelationSchema) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"{self.relation}: true"

@@ -1,0 +1,83 @@
+"""In-memory relations: the base tables held by source peers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.db.predicates import Predicate
+from repro.db.schema import RelationSchema
+from repro.errors import SchemaError
+from repro.ranges.interval import IntRange
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A schema plus stored rows.
+
+    Rows are stored as tuples in attribute order with values already encoded
+    (dates as day codes), so selections are plain comparisons.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: list[tuple[object, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: dict[str, object]) -> None:
+        """Insert one row given as an attribute dict (validated)."""
+        self._rows.append(self.schema.encode_row(values))
+
+    def insert_many(self, rows: Iterable[dict[str, object]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def insert_encoded(self, row: tuple[object, ...]) -> None:
+        """Insert an already-encoded row tuple (trusted internal path)."""
+        if len(row) != len(self.schema.attributes):
+            raise SchemaError(
+                f"row arity {len(row)} != schema arity "
+                f"{len(self.schema.attributes)} for {self.schema.name!r}"
+            )
+        self._rows.append(tuple(row))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def scan(self) -> Iterator[tuple[object, ...]]:
+        """All stored rows, in insertion order."""
+        return iter(self._rows)
+
+    def select(self, predicate: Predicate) -> list[tuple[object, ...]]:
+        """Rows satisfying ``predicate``."""
+        if predicate.relation != self.schema.name:
+            raise SchemaError(
+                f"predicate on {predicate.relation!r} applied to "
+                f"{self.schema.name!r}"
+            )
+        return [row for row in self._rows if predicate.matches(row, self.schema)]
+
+    def select_range(self, attribute: str, r: IntRange) -> list[tuple[object, ...]]:
+        """Rows whose (encoded) ``attribute`` value lies in ``r``."""
+        pos = self.schema.position(attribute)
+        return [row for row in self._rows if row[pos] in r]  # type: ignore[operator]
+
+    def project(self, attributes: list[str]) -> list[tuple[object, ...]]:
+        """The given columns of every row (no dedup: bag semantics)."""
+        positions = [self.schema.position(a) for a in attributes]
+        return [tuple(row[p] for p in positions) for row in self._rows]
+
+    def decoded_rows(self) -> list[dict[str, object]]:
+        """All rows as user-facing dicts."""
+        return [self.schema.decode_row(row) for row in self._rows]

@@ -1,0 +1,162 @@
+"""Typed relation schemas and the shared global schema.
+
+"We assume a global schema that is known to all the peers in the system"
+(Section 2).  Schemas carry per-attribute *domains* for the range-hashable
+types (ints and dates), because the LSH scheme needs a bounded, totally
+ordered code space.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.ranges.domain import Domain
+
+__all__ = ["AttrType", "Attribute", "RelationSchema", "GlobalSchema"]
+
+
+class AttrType(enum.Enum):
+    """Attribute types the substrate supports."""
+
+    INT = "int"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def orderable(self) -> bool:
+        """Whether range selections over the type are meaningful."""
+        return self in (AttrType.INT, AttrType.DATE)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column: name, type, and (for orderable types) a value domain."""
+
+    name: str
+    type: AttrType
+    domain: Domain | None = None
+
+    def __post_init__(self) -> None:
+        if self.type.orderable and self.domain is None:
+            raise SchemaError(
+                f"orderable attribute {self.name!r} needs a domain"
+            )
+        if not self.type.orderable and self.domain is not None:
+            raise SchemaError(
+                f"attribute {self.name!r} of type {self.type.value} "
+                "cannot carry a domain"
+            )
+
+    def encode(self, value: object) -> object:
+        """Validate ``value`` and convert it to its stored representation.
+
+        Dates are stored as integer day codes so the same range machinery
+        serves ``age`` and ``date`` selections alike.
+        """
+        if self.type is AttrType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"{self.name}: expected int, got {value!r}")
+            assert self.domain is not None
+            return self.domain.validate(value)
+        if self.type is AttrType.DATE:
+            if isinstance(value, _dt.date):
+                code = Domain.date_to_code(value)
+            elif isinstance(value, int) and not isinstance(value, bool):
+                code = value
+            else:
+                raise SchemaError(f"{self.name}: expected date, got {value!r}")
+            assert self.domain is not None
+            return self.domain.validate(code)
+        if not isinstance(value, str):
+            raise SchemaError(f"{self.name}: expected str, got {value!r}")
+        return value
+
+    def decode(self, stored: object) -> object:
+        """Convert the stored representation back to the user-facing value."""
+        if self.type is AttrType.DATE:
+            assert isinstance(stored, int)
+            return Domain.code_to_date(stored)
+        return stored
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered list of attributes under a relation name."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    _index: dict[str, int] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} has no attributes")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {self.name!r} has duplicate attributes")
+        self._index.update({a.name: i for i, a in enumerate(self.attributes)})
+
+    def attribute(self, name: str) -> Attribute:
+        """The attribute called ``name``."""
+        try:
+            return self.attributes[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {name!r}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """Column index of attribute ``name``."""
+        if name not in self._index:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {name!r}"
+            )
+        return self._index[name]
+
+    def has_attribute(self, name: str) -> bool:
+        """Whether the relation declares ``name``."""
+        return name in self._index
+
+    def encode_row(self, values: dict[str, object]) -> tuple[object, ...]:
+        """Validate and order a dict of values into a stored row tuple."""
+        unknown = set(values) - set(self._index)
+        if unknown:
+            raise SchemaError(f"unknown attributes for {self.name!r}: {unknown}")
+        missing = set(self._index) - set(values)
+        if missing:
+            raise SchemaError(f"missing attributes for {self.name!r}: {missing}")
+        return tuple(a.encode(values[a.name]) for a in self.attributes)
+
+    def decode_row(self, row: tuple[object, ...]) -> dict[str, object]:
+        """Stored row tuple back to a user-facing dict."""
+        return {a.name: a.decode(v) for a, v in zip(self.attributes, row)}
+
+
+@dataclass(frozen=True)
+class GlobalSchema:
+    """The schema every peer agrees on: a set of relation schemas."""
+
+    relations: tuple[RelationSchema, ...]
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.relations]
+        if len(set(names)) != len(names):
+            raise SchemaError("global schema has duplicate relation names")
+
+    def relation(self, name: str) -> RelationSchema:
+        """The schema of relation ``name``."""
+        for schema in self.relations:
+            if schema.name == name:
+                return schema
+        raise SchemaError(f"no relation {name!r} in the global schema")
+
+    def has_relation(self, name: str) -> bool:
+        """Whether the schema declares relation ``name``."""
+        return any(r.name == name for r in self.relations)
+
+    def relations_with_attribute(self, attr: str) -> list[RelationSchema]:
+        """All relations declaring an attribute called ``attr`` (used to
+        resolve unqualified column references in SQL)."""
+        return [r for r in self.relations if r.has_attribute(attr)]

@@ -1,0 +1,36 @@
+"""A restricted SQL front end for the paper's query class.
+
+Supported statements::
+
+    SELECT <columns | *> FROM <relations>
+    [WHERE <condition> AND <condition> AND ...]
+
+where each condition is one of:
+
+- a comparison between a column and a literal (``age >= 30``,
+  ``30 <= age``, ``diagnosis = 'Glaucoma'``, ``date <= DATE '2002-12-31'``);
+- a ``BETWEEN`` shorthand (``age BETWEEN 30 AND 50``);
+- an equi-join between two columns (``Patient.patient_id =
+  Diagnosis.patient_id``).
+
+This is exactly the class of queries the paper's Section 2 poses
+(conjunctive select-project-join with single-attribute selections).
+"""
+
+from repro.db.sql.ast import (
+    ColumnRef,
+    Comparison,
+    JoinCondition,
+    Literal,
+    SelectStatement,
+)
+from repro.db.sql.parser import parse_select
+
+__all__ = [
+    "parse_select",
+    "SelectStatement",
+    "ColumnRef",
+    "Comparison",
+    "JoinCondition",
+    "Literal",
+]

@@ -1,0 +1,93 @@
+"""Abstract syntax for the restricted SQL subset."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+__all__ = ["ColumnRef", "Literal", "Comparison", "JoinCondition", "OrderKey", "SelectStatement"]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly-qualified column reference (``Patient.age`` or ``age``)."""
+
+    relation: str | None
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.name}" if self.relation else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value: int, string, or date."""
+
+    value: "int | str | _dt.date"
+
+    @property
+    def kind(self) -> str:
+        """'int', 'str' or 'date'."""
+        if isinstance(self.value, bool):
+            raise TypeError("boolean literals are not part of the subset")
+        if isinstance(self.value, int):
+            return "int"
+        if isinstance(self.value, _dt.date):
+            return "date"
+        return "str"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column OP literal`` with OP in {=, <, <=, >, >=}.
+
+    The parser normalizes literal-first forms (``30 <= age``) by flipping
+    the operator, so downstream code only sees column-first comparisons.
+    """
+
+    column: ColumnRef
+    op: str
+    literal: Literal
+
+    def __post_init__(self) -> None:
+        if self.op not in {"=", "<", "<=", ">", ">="}:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """An equi-join ``left = right`` between columns of two relations."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ORDER BY key: a column and its direction."""
+
+    column: ColumnRef
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed SELECT.
+
+    ``columns`` empty means ``SELECT *``.  ``comparisons`` and ``joins``
+    are the conjuncts of the WHERE clause, already separated by kind.
+    ``order_by`` and ``limit`` are evaluated locally at the querying peer
+    after the joins (they do not affect partition location).
+    """
+
+    columns: tuple[ColumnRef, ...]
+    relations: tuple[str, ...]
+    comparisons: tuple[Comparison, ...]
+    joins: tuple[JoinCondition, ...]
+    order_by: "tuple[OrderKey, ...]" = ()
+    limit: "int | None" = None
+
+    @property
+    def is_star(self) -> bool:
+        """Whether the statement selects every column."""
+        return not self.columns

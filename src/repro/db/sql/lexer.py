@@ -1,0 +1,97 @@
+"""Tokenizer for the restricted SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+# DATE is deliberately *not* a keyword: the paper's schema has an attribute
+# called ``date``, so ``DATE '2000-01-01'`` literals are recognized by the
+# parser with one token of lookahead instead.
+KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "ORDER", "BY", "LIMIT", "ASC", "DESC"}
+
+_COMPARATORS = ("<=", ">=", "<>", "<", ">", "=")
+_PUNCTUATION = {",", ".", "(", ")", "*"}
+
+
+class TokenKind(Enum):
+    """Lexical categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token with its source position (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        """Whether this token is the given keyword (case-insensitive match
+        already applied at lex time)."""
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Split ``sql`` into tokens; raises :class:`SQLSyntaxError` on garbage."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise SQLSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenKind.STRING, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        matched_op = next(
+            (op for op in _COMPARATORS if sql.startswith(op, i)), None
+        )
+        if matched_op is not None:
+            tokens.append(Token(TokenKind.OP, matched_op, i))
+            i += len(matched_op)
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and sql[i + 1].isdigit()):
+            j = i + 1
+            while j < n and sql[j].isdigit():
+                j += 1
+            text = sql[i:j]
+            tokens.append(Token(TokenKind.NUMBER, text, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i))
+            i = j
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenKind.END, "", n))
+    return tokens

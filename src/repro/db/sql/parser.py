@@ -1,0 +1,229 @@
+"""Recursive-descent parser for the restricted SQL subset."""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.db.sql.ast import (
+    ColumnRef,
+    Comparison,
+    JoinCondition,
+    Literal,
+    OrderKey,
+    SelectStatement,
+)
+from repro.db.sql.lexer import Token, TokenKind, tokenize
+from repro.errors import SQLSyntaxError
+
+__all__ = ["parse_select"]
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise SQLSyntaxError(
+                f"expected {word} at position {token.position}, got {token.text!r}"
+            )
+        return token
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._advance()
+        if token.kind is not kind:
+            raise SQLSyntaxError(
+                f"expected {kind.value} at position {token.position}, "
+                f"got {token.text!r}"
+            )
+        return token
+
+    def _at_date_literal(self) -> bool:
+        """Whether the cursor sits on ``DATE '<iso>'`` (needs lookahead
+        because ``date`` is also a valid column name)."""
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT or token.text.upper() != "DATE":
+            return False
+        lookahead = self._tokens[self._pos + 1]
+        return lookahead.kind is TokenKind.STRING
+
+    def _accept_punct(self, text: str) -> bool:
+        token = self._peek()
+        if token.kind is TokenKind.PUNCT and token.text == text:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        columns = self._parse_select_list()
+        self._expect_keyword("FROM")
+        relations = self._parse_relation_list()
+        comparisons: list[Comparison] = []
+        joins: list[JoinCondition] = []
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            self._parse_conditions(comparisons, joins)
+        order_by = self._parse_order_by()
+        limit = self._parse_limit()
+        end = self._advance()
+        if end.kind is not TokenKind.END:
+            raise SQLSyntaxError(
+                f"unexpected trailing input at position {end.position}: {end.text!r}"
+            )
+        return SelectStatement(
+            columns=tuple(columns),
+            relations=tuple(relations),
+            comparisons=tuple(comparisons),
+            joins=tuple(joins),
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_order_by(self) -> tuple[OrderKey, ...]:
+        if not self._peek().is_keyword("ORDER"):
+            return ()
+        self._advance()
+        self._expect_keyword("BY")
+        keys = [self._parse_order_key()]
+        while self._accept_punct(","):
+            keys.append(self._parse_order_key())
+        return tuple(keys)
+
+    def _parse_order_key(self) -> OrderKey:
+        column = self._parse_column()
+        ascending = True
+        token = self._peek()
+        if token.is_keyword("ASC"):
+            self._advance()
+        elif token.is_keyword("DESC"):
+            self._advance()
+            ascending = False
+        return OrderKey(column=column, ascending=ascending)
+
+    def _parse_limit(self) -> "int | None":
+        if not self._peek().is_keyword("LIMIT"):
+            return None
+        self._advance()
+        token = self._expect(TokenKind.NUMBER)
+        value = int(token.text)
+        if value < 0:
+            raise SQLSyntaxError(f"LIMIT must be non-negative, got {value}")
+        return value
+
+    def _parse_select_list(self) -> list[ColumnRef]:
+        if self._accept_punct("*"):
+            return []
+        columns = [self._parse_column()]
+        while self._accept_punct(","):
+            columns.append(self._parse_column())
+        return columns
+
+    def _parse_relation_list(self) -> list[str]:
+        relations = [self._expect(TokenKind.IDENT).text]
+        while self._accept_punct(","):
+            relations.append(self._expect(TokenKind.IDENT).text)
+        if len(set(relations)) != len(relations):
+            raise SQLSyntaxError("duplicate relation in FROM clause")
+        return relations
+
+    def _parse_column(self) -> ColumnRef:
+        first = self._expect(TokenKind.IDENT).text
+        if self._accept_punct("."):
+            second = self._expect(TokenKind.IDENT).text
+            return ColumnRef(relation=first, name=second)
+        return ColumnRef(relation=None, name=first)
+
+    def _parse_conditions(
+        self, comparisons: list[Comparison], joins: list[JoinCondition]
+    ) -> None:
+        self._parse_condition(comparisons, joins)
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            self._parse_condition(comparisons, joins)
+
+    def _parse_condition(
+        self, comparisons: list[Comparison], joins: list[JoinCondition]
+    ) -> None:
+        token = self._peek()
+        if token.kind is TokenKind.IDENT and not self._at_date_literal():
+            column = self._parse_column()
+            if self._peek().is_keyword("BETWEEN"):
+                self._advance()
+                low = self._parse_literal()
+                self._expect_keyword("AND")
+                high = self._parse_literal()
+                comparisons.append(Comparison(column, ">=", low))
+                comparisons.append(Comparison(column, "<=", high))
+                return
+            op = self._expect(TokenKind.OP).text
+            if op == "<>":
+                raise SQLSyntaxError("inequality predicates are not supported")
+            rhs = self._peek()
+            if rhs.kind is TokenKind.IDENT and not self._at_date_literal():
+                right = self._parse_column()
+                if op != "=":
+                    raise SQLSyntaxError(
+                        f"only equi-joins are supported, got {op!r} "
+                        f"at position {rhs.position}"
+                    )
+                joins.append(JoinCondition(column, right))
+                return
+            literal = self._parse_literal()
+            comparisons.append(Comparison(column, op, literal))
+            return
+        # literal-first comparison: 30 <= age
+        literal = self._parse_literal()
+        op = self._expect(TokenKind.OP).text
+        if op == "<>":
+            raise SQLSyntaxError("inequality predicates are not supported")
+        column = self._parse_column()
+        comparisons.append(Comparison(column, _FLIPPED[op], literal))
+
+    def _parse_literal(self) -> Literal:
+        token = self._advance()
+        if token.kind is TokenKind.NUMBER:
+            return Literal(int(token.text))
+        if token.kind is TokenKind.STRING:
+            return Literal(token.text)
+        if token.kind is TokenKind.IDENT and token.text.upper() == "DATE":
+            text = self._expect(TokenKind.STRING).text
+            try:
+                return Literal(_dt.date.fromisoformat(text))
+            except ValueError as exc:
+                raise SQLSyntaxError(
+                    f"bad date literal {text!r} at position {token.position}"
+                ) from exc
+        raise SQLSyntaxError(
+            f"expected a literal at position {token.position}, got {token.text!r}"
+        )
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement of the restricted subset.
+
+    >>> stmt = parse_select(
+    ...     "SELECT prescription FROM Prescription "
+    ...     "WHERE date BETWEEN DATE '2000-01-01' AND DATE '2002-12-31'"
+    ... )
+    >>> stmt.relations
+    ('Prescription',)
+    """
+    statement = _Parser(tokenize(sql)).parse()
+    return statement

@@ -1,0 +1,154 @@
+"""Table statistics: equi-width histograms and selectivity estimation.
+
+The stats the paper's future work gestures at ("planning a query ... based
+on available statistics") start with classic single-relation statistics.
+``analyze`` builds an :class:`EquiWidthHistogram` per orderable attribute
+and value counts per string attribute; the planner uses the estimates to
+order joins smallest-build-side first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.predicates import (
+    EqualityPredicate,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema
+from repro.errors import SchemaError
+from repro.ranges.interval import IntRange
+
+__all__ = ["EquiWidthHistogram", "TableStatistics", "analyze"]
+
+
+@dataclass(frozen=True)
+class EquiWidthHistogram:
+    """Counts of values in equal-width buckets over ``[low, high]``.
+
+    Estimation assumes uniformity within a bucket — the textbook model.
+    """
+
+    low: int
+    high: int
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise SchemaError("histogram bounds inverted")
+        if not self.counts:
+            raise SchemaError("histogram needs at least one bucket")
+
+    @classmethod
+    def build(
+        cls, values: list[int], low: int, high: int, n_buckets: int = 32
+    ) -> "EquiWidthHistogram":
+        """Histogram the values over [low, high]."""
+        if n_buckets <= 0:
+            raise SchemaError("need at least one bucket")
+        counts = [0] * n_buckets
+        span = high - low + 1
+        for value in values:
+            if not low <= value <= high:
+                raise SchemaError(f"value {value} outside histogram bounds")
+            index = min((value - low) * n_buckets // span, n_buckets - 1)
+            counts[index] += 1
+        return cls(low=low, high=high, counts=tuple(counts))
+
+    @property
+    def total(self) -> int:
+        """Number of values histogrammed."""
+        return sum(self.counts)
+
+    def _bucket_bounds(self, index: int) -> tuple[int, int]:
+        span = self.high - self.low + 1
+        n = len(self.counts)
+        lo = self.low + index * span // n
+        hi = self.low + (index + 1) * span // n - 1
+        if index == n - 1:
+            hi = self.high
+        return lo, hi
+
+    def estimate_range(self, r: IntRange) -> float:
+        """Estimated rows with value in ``r`` (uniform within buckets)."""
+        estimate = 0.0
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            lo, hi = self._bucket_bounds(index)
+            bucket = IntRange(lo, hi)
+            overlap = bucket.intersection_size(r)
+            if overlap:
+                estimate += count * overlap / len(bucket)
+        return estimate
+
+    def estimate_point(self, value: int) -> float:
+        """Estimated rows with exactly this value."""
+        if not self.low <= value <= self.high:
+            return 0.0
+        return self.estimate_range(IntRange(value, value))
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for one relation."""
+
+    row_count: int
+    histograms: dict[str, EquiWidthHistogram] = field(default_factory=dict)
+    string_counts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def estimate_predicate(self, predicate: Predicate) -> float:
+        """Estimated rows satisfying one predicate."""
+        if isinstance(predicate, TruePredicate):
+            return float(self.row_count)
+        if isinstance(predicate, RangePredicate):
+            histogram = self.histograms.get(predicate.attribute)
+            if histogram is None:
+                return float(self.row_count)
+            return histogram.estimate_range(predicate.range)
+        if isinstance(predicate, EqualityPredicate):
+            counts = self.string_counts.get(predicate.attribute)
+            if counts is not None:
+                return float(counts.get(predicate.value, 0))  # type: ignore[arg-type]
+            histogram = self.histograms.get(predicate.attribute)
+            if histogram is not None and isinstance(predicate.value, int):
+                return histogram.estimate_point(predicate.value)
+            return float(self.row_count)
+        return float(self.row_count)
+
+    def estimate_leaf(self, predicates: list[Predicate]) -> float:
+        """Estimate a conjunction by independence of selectivities."""
+        estimate = float(self.row_count)
+        if self.row_count == 0:
+            return 0.0
+        for predicate in predicates:
+            selectivity = self.estimate_predicate(predicate) / self.row_count
+            estimate *= selectivity
+        return estimate
+
+
+def analyze(
+    relation: Relation, schema: RelationSchema, n_buckets: int = 32
+) -> TableStatistics:
+    """Build statistics for one relation (the ANALYZE of this substrate)."""
+    stats = TableStatistics(row_count=len(relation))
+    for position, attr in enumerate(schema.attributes):
+        column = [row[position] for row in relation.scan()]
+        if attr.type.orderable:
+            assert attr.domain is not None
+            stats.histograms[attr.name] = EquiWidthHistogram.build(
+                [v for v in column if isinstance(v, int)],
+                low=attr.domain.low,
+                high=attr.domain.high,
+                n_buckets=n_buckets,
+            )
+        else:
+            counts: dict[str, int] = {}
+            for value in column:
+                assert isinstance(value, str)
+                counts[value] = counts.get(value, 0) + 1
+            stats.string_counts[attr.name] = counts
+    return stats

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  Subsystems get
+their own subclasses to make failures attributable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidRangeError(ReproError, ValueError):
+    """A range or range set was constructed with invalid endpoints."""
+
+
+class DomainError(ReproError, ValueError):
+    """A value fell outside the attribute domain it was declared against."""
+
+
+class HashFamilyError(ReproError, ValueError):
+    """A permutation family was configured with invalid parameters."""
+
+
+class ChordError(ReproError):
+    """Base class for Chord overlay errors."""
+
+
+class EmptyRingError(ChordError):
+    """An operation required at least one node but the ring was empty."""
+
+
+class NodeNotFoundError(ChordError, KeyError):
+    """A node id was not present in the ring."""
+
+
+class DuplicateNodeError(ChordError, ValueError):
+    """A node with the same identifier already exists in the ring."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network errors."""
+
+
+class UnknownPeerError(NetworkError, KeyError):
+    """A message was addressed to a peer the transport does not know."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A relation, attribute or tuple violated the declared schema."""
+
+
+class SQLSyntaxError(ReproError, ValueError):
+    """The restricted SQL parser rejected a statement."""
+
+
+class UnsupportedQueryError(ReproError, ValueError):
+    """The statement parsed but uses features outside the paper's subset."""
+
+
+class PlanningError(ReproError):
+    """The planner could not produce a plan for a parsed query."""
+
+
+class StorageError(ReproError):
+    """A partition store rejected an operation."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A system configuration value was out of range or inconsistent."""

@@ -1,0 +1,54 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each experiment class has two constructors — ``paper()`` with the paper's
+parameters and ``quick()`` with scaled-down parameters for CI — a ``run()``
+method returning a structured result, and a ``report()`` on the result that
+prints the same rows/series the figure plots.
+
+Figure index:
+
+- Figure 5  — :mod:`repro.experiments.fig5_timing`
+- Figures 6a/6b/7 — :mod:`repro.experiments.fig6_7_quality`
+- Figure 8  — :mod:`repro.experiments.fig8_recall`
+- Figure 9  — :mod:`repro.experiments.fig9_containment`
+- Figure 10 — :mod:`repro.experiments.fig10_padding`
+- Figure 11 — :mod:`repro.experiments.fig11_load`
+- Figure 12 — :mod:`repro.experiments.fig12_pathlen`
+
+Extensions (Sections 5.3 and 6 of the paper):
+
+- local peer index — :mod:`repro.experiments.ext_local_index`
+- adaptive padding — :mod:`repro.experiments.ext_adaptive_padding`
+- ideal permutations ablation — :mod:`repro.experiments.ext_ideal_family`
+"""
+
+from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
+from repro.experiments.ext_composite import CompositeAnswerExperiment
+from repro.experiments.ext_ideal_family import IdealFamilyAblation
+from repro.experiments.ext_local_index import LocalIndexExperiment
+from repro.experiments.ext_overlay_compare import OverlayComparisonExperiment
+from repro.experiments.ext_stats_planning import StatsPlanningExperiment
+from repro.experiments.fig5_timing import HashTimingExperiment
+from repro.experiments.fig6_7_quality import MatchQualityExperiment, QualityOutcome
+from repro.experiments.fig8_recall import RecallExperiment
+from repro.experiments.fig9_containment import ContainmentMatchingExperiment
+from repro.experiments.fig10_padding import PaddingExperiment
+from repro.experiments.fig11_load import LoadBalanceExperiment
+from repro.experiments.fig12_pathlen import PathLengthExperiment
+
+__all__ = [
+    "HashTimingExperiment",
+    "MatchQualityExperiment",
+    "QualityOutcome",
+    "RecallExperiment",
+    "ContainmentMatchingExperiment",
+    "PaddingExperiment",
+    "LoadBalanceExperiment",
+    "PathLengthExperiment",
+    "LocalIndexExperiment",
+    "AdaptivePaddingExperiment",
+    "IdealFamilyAblation",
+    "CompositeAnswerExperiment",
+    "OverlayComparisonExperiment",
+    "StatsPlanningExperiment",
+]

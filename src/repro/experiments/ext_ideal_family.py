@@ -1,0 +1,78 @@
+"""Ablation: the paper's Figure 3 construction versus ideal permutations.
+
+The "min-wise independent permutations" the paper implements (the
+recursive bit shuffle of Figure 3) only permute *bit positions* — a tiny,
+biased subfamily of all permutations.  The :class:`TablePermutationFamily`
+is exactly min-wise independent over the bounded experiment domain, so
+comparing the two families isolates how much match quality the cheap
+construction gives up relative to the theory of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig6_7_quality import MatchQualityExperiment, QualityOutcome
+from repro.metrics.recall import fraction_fully_answered
+from repro.metrics.report import format_table
+
+__all__ = ["IdealFamilyAblation", "IdealFamilyOutcome"]
+
+_FAMILIES = ("table", "min-wise", "approx-min-wise")
+
+
+@dataclass
+class IdealFamilyOutcome:
+    """Quality of each family over the shared trace."""
+
+    outcomes: dict[str, QualityOutcome]
+
+    def report(self) -> str:
+        rows = []
+        for family, outcome in self.outcomes.items():
+            rows.append(
+                [
+                    family,
+                    f"{outcome.good_match_percentage():.1f}%",
+                    f"{outcome.miss_percentage():.1f}%",
+                    f"{fraction_fully_answered(outcome.recalls):.1f}%",
+                ]
+            )
+        return format_table(
+            ["family", "good (>=0.9)", "no match", "fully answered"],
+            rows,
+            title="Ablation — ideal (table) permutations vs the paper's "
+            "Figure 3 construction",
+        )
+
+
+@dataclass
+class IdealFamilyAblation:
+    """Run ideal and bit-shuffle families over one trace."""
+
+    families: tuple[str, ...] = _FAMILIES
+    scale: str = "paper"
+
+    @classmethod
+    def paper(cls) -> "IdealFamilyAblation":
+        return cls(scale="paper")
+
+    @classmethod
+    def quick(cls) -> "IdealFamilyAblation":
+        return cls(scale="quick")
+
+    def run(self) -> IdealFamilyOutcome:
+        make = (
+            MatchQualityExperiment.paper
+            if self.scale == "paper"
+            else MatchQualityExperiment.quick
+        )
+        outcomes: dict[str, QualityOutcome] = {}
+        trace = None
+        for family in self.families:
+            experiment = make(family)
+            if trace is None:
+                trace = experiment.workload()
+            experiment.trace = trace
+            outcomes[family] = experiment.run()
+        return IdealFamilyOutcome(outcomes=outcomes)

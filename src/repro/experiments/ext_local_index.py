@@ -1,0 +1,79 @@
+"""Extension (Section 5.3): matching against a local peer index.
+
+The paper observes that since a peer owns *every* bucket between its
+predecessor and itself, it "could build up an index over all the
+partitions that get stored in various buckets" and search that index for a
+lookup instead of the single requested bucket — with recall approaching a
+centralized index as the system shrinks to one peer, and degrading to the
+bucket-only behaviour as peers multiply.  This experiment quantifies that:
+recall with and without the local index, across system sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig6_7_quality import MatchQualityExperiment
+from repro.metrics.recall import fraction_fully_answered
+from repro.metrics.report import format_table
+
+__all__ = ["LocalIndexExperiment", "LocalIndexOutcome"]
+
+
+@dataclass
+class LocalIndexOutcome:
+    """Full-answer percentages by system size, with and without the index."""
+
+    rows: list[tuple[int, float, float]]  # (peers, bucket-only %, local-index %)
+
+    def report(self) -> str:
+        table_rows = [
+            [peers, f"{bucket:.1f}%", f"{local:.1f}%"]
+            for peers, bucket, local in self.rows
+        ]
+        return format_table(
+            ["peers", "bucket only", "local index"],
+            table_rows,
+            title="Extension (Sec 5.3) — % of queries fully answered",
+        )
+
+
+@dataclass
+class LocalIndexExperiment:
+    """Sweep system size, toggling Section 5.3's local index."""
+
+    peer_counts: tuple[int, ...] = (1, 10, 100, 1000)
+    family: str = "approx-min-wise"
+    matcher: str = "containment"
+    # Smaller than the figure experiments: at one peer the local index
+    # scans every stored partition per query, which is O(n_queries^2).
+    n_queries: int = 2_000
+
+    @classmethod
+    def paper(cls) -> "LocalIndexExperiment":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "LocalIndexExperiment":
+        return cls(peer_counts=(1, 10, 100), n_queries=500)
+
+    def run(self) -> LocalIndexOutcome:
+        rows: list[tuple[int, float, float]] = []
+        trace = None
+        for n_peers in self.peer_counts:
+            results = {}
+            for use_index in (False, True):
+                experiment = MatchQualityExperiment(
+                    family=self.family,
+                    matcher=self.matcher,
+                    n_queries=self.n_queries,
+                    n_peers=n_peers,
+                    local_index=use_index,
+                )
+                if trace is None:
+                    trace = experiment.workload()
+                experiment.trace = trace
+                outcome = experiment.run()
+                results[use_index] = fraction_fully_answered(outcome.recalls)
+            rows.append((n_peers, results[False], results[True]))
+        return LocalIndexOutcome(rows=rows)

@@ -1,0 +1,136 @@
+"""Extension (Section 3.1) — Chord versus CAN as the DHT substrate.
+
+The paper treats the overlay as interchangeable ("Any of the distributed
+hash tables, e.g., CAN or Chord, can be used").  This experiment runs the
+same lookup workload over both and compares routing cost across system
+sizes — Chord's O(log N) against CAN's O(d/4 · N^(1/d)) — and verifies the
+match quality of the range-selection system is overlay-independent (the
+overlay only moves messages; it never affects which bucket a range lands
+in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.overlays import build_overlay
+from repro.core.system import RangeSelectionSystem
+from repro.experiments.fig6_7_quality import PAPER_DOMAIN, WARMUP_FRACTION
+from repro.metrics.collector import QueryLog
+from repro.metrics.recall import fraction_fully_answered
+from repro.metrics.report import format_table
+from repro.util.rng import derive_rng
+from repro.util.stats import SummaryStats, summarize
+from repro.workloads.generators import UniformRangeWorkload
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["OverlayComparisonExperiment", "OverlayOutcome"]
+
+
+@dataclass
+class OverlayOutcome:
+    """Routing cost per overlay and size, plus quality equivalence."""
+
+    hops: dict[str, list[tuple[int, SummaryStats]]]
+    quality: dict[str, float]  # overlay -> % fully answered
+    can_dimensions: int
+
+    def report(self) -> str:
+        sizes = [n for n, _ in self.hops["chord"]]
+        rows = []
+        for index, n in enumerate(sizes):
+            rows.append(
+                [
+                    n,
+                    f"{self.hops['chord'][index][1].mean:.2f}",
+                    f"{self.hops['can'][index][1].mean:.2f}",
+                ]
+            )
+        table = format_table(
+            ["peers", "chord mean hops", f"can (d={self.can_dimensions}) mean hops"],
+            rows,
+            title="Extension — Chord vs CAN routing cost",
+        )
+        quality = "  ".join(
+            f"{overlay}: {full:.1f}% fully answered"
+            for overlay, full in self.quality.items()
+        )
+        return f"{table}\nmatch quality is overlay-independent — {quality}"
+
+
+@dataclass
+class OverlayComparisonExperiment:
+    """Same keys, same origins, two overlays."""
+
+    peer_counts: tuple[int, ...] = (100, 400, 1600)
+    lookups_per_point: int = 3000
+    quality_queries: int = 3000
+    quality_peers: int = 200
+    can_dimensions: int = 2
+    seed: int = 2003
+
+    @classmethod
+    def paper(cls) -> "OverlayComparisonExperiment":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "OverlayComparisonExperiment":
+        return cls(
+            peer_counts=(50, 200),
+            lookups_per_point=600,
+            quality_queries=500,
+            quality_peers=60,
+        )
+
+    def _measure_hops(self) -> dict[str, list[tuple[int, SummaryStats]]]:
+        rng = derive_rng(self.seed, "overlay-compare")
+        out: dict[str, list[tuple[int, SummaryStats]]] = {"chord": [], "can": []}
+        for n_peers in self.peer_counts:
+            keys = [int(rng.integers(0, 2**32)) for _ in range(self.lookups_per_point)]
+            origin_picks = [
+                float(rng.random()) for _ in range(self.lookups_per_point)
+            ]
+            for kind in ("chord", "can"):
+                router = build_overlay(
+                    kind, n_peers, dimensions=self.can_dimensions, seed=self.seed
+                )
+                ids = router.node_ids
+                hops = []
+                for key, pick in zip(keys, origin_picks):
+                    start = ids[int(pick * len(ids))]
+                    _owner, hop_count = router.lookup(key, start_id=start)
+                    hops.append(hop_count)
+                out[kind].append((n_peers, summarize(hops)))
+        return out
+
+    def _measure_quality(self) -> dict[str, float]:
+        trace = WorkloadTrace(
+            UniformRangeWorkload(PAPER_DOMAIN, self.quality_queries, seed=77)
+        )
+        out: dict[str, float] = {}
+        for kind in ("chord", "can"):
+            system = RangeSelectionSystem(
+                SystemConfig(
+                    n_peers=self.quality_peers,
+                    overlay=kind,
+                    can_dimensions=self.can_dimensions,
+                    matcher="containment",
+                    domain=PAPER_DOMAIN,
+                    seed=self.seed,
+                )
+            )
+            log = QueryLog()
+            for query in trace:
+                log.add(system.query(query))
+            out[kind] = fraction_fully_answered(
+                log.recall_values(WARMUP_FRACTION)
+            )
+        return out
+
+    def run(self) -> OverlayOutcome:
+        return OverlayOutcome(
+            hops=self._measure_hops(),
+            quality=self._measure_quality(),
+            can_dimensions=self.can_dimensions,
+        )

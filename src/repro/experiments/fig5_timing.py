@@ -1,0 +1,101 @@
+"""Figure 5: execution time of the hash-function families.
+
+The paper times the full ``l x k = 100`` hash evaluation of one query
+range, for range sizes 10..1500, on a 900 MHz Pentium.  Absolute
+milliseconds are machine-bound; what the figure establishes — and what this
+experiment must preserve — is the *ordering and rough ratios*: linear
+permutations are orders of magnitude faster than full min-wise
+permutations, and approximate (single-iteration) min-wise sits about an
+order of magnitude above full min-wise's cost floor.
+
+We therefore time the element-at-a-time reference path
+(:meth:`MinHash.hash_range_slow`), which performs the per-element
+permutation work the paper describes with no vectorization hiding it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lsh import LSHIdentifierScheme, family_by_name
+from repro.metrics.report import format_table
+from repro.ranges.interval import IntRange
+from repro.util.timer import Timer
+
+__all__ = ["HashTimingExperiment", "TimingOutcome"]
+
+PAPER_RANGE_SIZES = (10, 100, 250, 500, 750, 1000, 1250, 1500)
+FAMILIES = ("linear", "approx-min-wise", "min-wise")
+
+
+@dataclass
+class TimingOutcome:
+    """Per-family series of (range size, ms per 100-function hash)."""
+
+    series: dict[str, list[tuple[int, float]]]
+
+    def mean_ms(self, family: str) -> float:
+        """Mean time across range sizes for one family."""
+        points = self.series[family]
+        return sum(ms for _, ms in points) / len(points)
+
+    def speedup(self, fast: str, slow: str) -> float:
+        """How many times faster ``fast`` is than ``slow`` on average."""
+        return self.mean_ms(slow) / self.mean_ms(fast)
+
+    def report(self) -> str:
+        """Figure 5 as a table (rows = range size, columns = family)."""
+        sizes = [size for size, _ in next(iter(self.series.values()))]
+        rows = []
+        for i, size in enumerate(sizes):
+            rows.append(
+                [size] + [f"{self.series[f][i][1]:.3f}" for f in FAMILIES]
+            )
+        table = format_table(
+            ["range size"] + [f"{f} (ms)" for f in FAMILIES],
+            rows,
+            title="Figure 5 — time to hash one range with 100 functions",
+        )
+        ratios = (
+            f"mean speedups: linear vs min-wise {self.speedup('linear', 'min-wise'):.0f}x, "
+            f"approx vs min-wise {self.speedup('approx-min-wise', 'min-wise'):.1f}x"
+        )
+        return f"{table}\n{ratios}"
+
+
+@dataclass
+class HashTimingExperiment:
+    """Time ``l x k`` element-at-a-time hashes per family and range size."""
+
+    range_sizes: tuple[int, ...] = PAPER_RANGE_SIZES
+    l: int = 5
+    k: int = 20
+    seed: int = 2003
+    domain_low: int = 0
+    families: tuple[str, ...] = field(default_factory=lambda: FAMILIES)
+
+    @classmethod
+    def paper(cls) -> "HashTimingExperiment":
+        """The paper's sizes (slow: full min-wise in pure Python)."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "HashTimingExperiment":
+        """Small sizes for CI; preserves the ordering."""
+        return cls(range_sizes=(10, 50, 150))
+
+    def run(self) -> TimingOutcome:
+        """Time each family over each range size (one pass each)."""
+        series: dict[str, list[tuple[int, float]]] = {}
+        for family_name in self.families:
+            scheme = LSHIdentifierScheme.from_family(
+                family_by_name(family_name), l=self.l, k=self.k, seed=self.seed
+            )
+            points: list[tuple[int, float]] = []
+            for size in self.range_sizes:
+                query = IntRange(self.domain_low, self.domain_low + size - 1)
+                with Timer() as timer:
+                    scheme.identifiers_slow(query)
+                points.append((size, timer.elapsed_ms))
+            series[family_name] = points
+        return TimingOutcome(series=series)

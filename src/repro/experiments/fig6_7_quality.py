@@ -1,0 +1,140 @@
+"""Figures 6 and 7: quality of matched partitions per hash family.
+
+The paper's setup (Section 5.1): 10,000 integer ranges with integers in
+[0, 1000], generated uniformly at random; an initially empty system that
+caches any query range not already stored; statistics over the last 80% of
+queries (20% warmup dropped); x-axis Jaccard similarity of the best match,
+y-axis percentage of queries.
+
+One :class:`MatchQualityExperiment` run produces everything Figures 6-10
+need (the similarity histogram *and* the per-query recalls), so the later
+figures reuse this module with different matchers/padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.metrics.collector import QueryLog
+from repro.metrics.report import format_histogram
+from repro.ranges.domain import Domain
+from repro.util.stats import Histogram
+from repro.workloads.generators import UniformRangeWorkload
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = ["MatchQualityExperiment", "QualityOutcome"]
+
+PAPER_N_QUERIES = 10_000
+PAPER_DOMAIN = Domain("value", 0, 1000)
+WARMUP_FRACTION = 0.2
+
+
+@dataclass
+class QualityOutcome:
+    """Everything measured in one quality run."""
+
+    family: str
+    matcher: str
+    padding: float
+    histogram: Histogram
+    recalls: list[float]
+    similarities: list[float]
+    exact_fraction: float
+    n_queries: int
+
+    def good_match_percentage(self, threshold: float = 0.9) -> float:
+        """Percentage of *all* measured queries whose best match has Jaccard
+        similarity >= threshold (the paper's "good matches"); queries with
+        no match count against the denominator."""
+        if self.n_queries == 0:
+            return 0.0
+        good = sum(1 for s in self.similarities if s >= threshold)
+        return 100.0 * good / self.n_queries
+
+    def miss_percentage(self) -> float:
+        """Percentage of measured queries with no match at all."""
+        return self.histogram.miss_percentage()
+
+    def report(self, title: str = "") -> str:
+        """The figure's histogram as text."""
+        header = title or (
+            f"Match quality — {self.family}, matcher={self.matcher}"
+            + (f", padding={self.padding:.0%}" if self.padding else "")
+        )
+        lines = [
+            format_histogram(self.histogram, title=header),
+            f"  good (>=0.9): {self.good_match_percentage():.1f}%   "
+            f"no match: {self.miss_percentage():.1f}%   "
+            f"exact: {100 * self.exact_fraction:.1f}%",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class MatchQualityExperiment:
+    """Run one hash family over the paper's uniform workload."""
+
+    family: str = "approx-min-wise"
+    n_queries: int = PAPER_N_QUERIES
+    n_peers: int = 1000
+    matcher: str = "jaccard"
+    padding: float = 0.0
+    local_index: bool = False
+    seed: int = 2003
+    workload_seed: int = 77
+    domain: Domain = field(default_factory=lambda: PAPER_DOMAIN)
+    trace: WorkloadTrace | None = None
+
+    @classmethod
+    def paper(cls, family: str, **overrides: object) -> "MatchQualityExperiment":
+        """The paper-scale configuration for one family."""
+        return cls(family=family, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def quick(cls, family: str, **overrides: object) -> "MatchQualityExperiment":
+        """A CI-scale configuration (same shapes, ~20x less work)."""
+        defaults: dict[str, object] = {"n_queries": 600, "n_peers": 120}
+        defaults.update(overrides)
+        return cls(family=family, **defaults)  # type: ignore[arg-type]
+
+    def build_system(self) -> RangeSelectionSystem:
+        """The system under test."""
+        config = SystemConfig(
+            n_peers=self.n_peers,
+            family=self.family,
+            matcher=self.matcher,
+            padding=self.padding,
+            local_index=self.local_index,
+            domain=self.domain,
+            seed=self.seed,
+        )
+        return RangeSelectionSystem(config)
+
+    def workload(self) -> WorkloadTrace:
+        """The query trace (shared across families via ``workload_seed``)."""
+        if self.trace is not None:
+            return self.trace
+        generated = UniformRangeWorkload(
+            self.domain, count=self.n_queries, seed=self.workload_seed
+        )
+        return WorkloadTrace(generated)
+
+    def run(self) -> QualityOutcome:
+        """Execute the workload and aggregate the figure's quantities."""
+        system = self.build_system()
+        log = QueryLog()
+        for query in self.workload():
+            log.add(system.query(query))
+        measured = log.measured(WARMUP_FRACTION)
+        return QualityOutcome(
+            family=self.family,
+            matcher=self.matcher,
+            padding=self.padding,
+            histogram=log.similarity_histogram(WARMUP_FRACTION),
+            recalls=[r.recall for r in measured],
+            similarities=[r.similarity for r in measured if r.found],
+            exact_fraction=log.exact_fraction(WARMUP_FRACTION),
+            n_queries=len(measured),
+        )

@@ -1,0 +1,90 @@
+"""Figure 8: recall of the matched partitions for the three families.
+
+Same runs as Figures 6-7, but the y-quantity is how much of the *desired
+answer* the match provides — containment of the query in the match.  The
+paper's orderings: linear answers the most queries completely (it matches
+broad partitions loosely), approx min-wise next, min-wise last; but
+min-wise and approx dominate at high partial recall ("they answer at least
+0.8 of 90% of the queries").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.fig6_7_quality import MatchQualityExperiment, QualityOutcome
+from repro.metrics.recall import (
+    fraction_at_least,
+    fraction_fully_answered,
+    recall_cdf,
+)
+from repro.metrics.report import format_recall_cdf
+
+__all__ = ["RecallExperiment", "RecallOutcome"]
+
+FAMILIES = ("min-wise", "approx-min-wise", "linear")
+
+
+@dataclass
+class RecallOutcome:
+    """Per-family recall distributions over the shared trace."""
+
+    outcomes: dict[str, QualityOutcome]
+
+    def cdf(self, family: str) -> list[tuple[float, float]]:
+        """The family's recall CDF on the paper's grid."""
+        return recall_cdf(self.outcomes[family].recalls)
+
+    def fully_answered(self, family: str) -> float:
+        """% of queries answered completely."""
+        return fraction_fully_answered(self.outcomes[family].recalls)
+
+    def at_least(self, family: str, threshold: float) -> float:
+        """% of queries with recall >= threshold."""
+        return fraction_at_least(self.outcomes[family].recalls, threshold)
+
+    def report(self) -> str:
+        """Figure 8 as a table of CDFs."""
+        series = {family: self.cdf(family) for family in self.outcomes}
+        table = format_recall_cdf(
+            series, title="Figure 8 — recall for the hash function families"
+        )
+        summary = "  ".join(
+            f"{family}: {self.fully_answered(family):.0f}% full"
+            for family in self.outcomes
+        )
+        return f"{table}\n{summary}"
+
+
+@dataclass
+class RecallExperiment:
+    """Run the three families over one shared workload trace."""
+
+    families: tuple[str, ...] = field(default_factory=lambda: FAMILIES)
+    scale: str = "paper"
+    overrides: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def paper(cls) -> "RecallExperiment":
+        return cls(scale="paper")
+
+    @classmethod
+    def quick(cls) -> "RecallExperiment":
+        return cls(scale="quick")
+
+    def run(self) -> RecallOutcome:
+        """One quality run per family, identical workload for all."""
+        make = (
+            MatchQualityExperiment.paper
+            if self.scale == "paper"
+            else MatchQualityExperiment.quick
+        )
+        outcomes: dict[str, QualityOutcome] = {}
+        trace = None
+        for family in self.families:
+            experiment = make(family, **self.overrides)
+            if trace is None:
+                trace = experiment.workload()
+            experiment.trace = trace
+            outcomes[family] = experiment.run()
+        return RecallOutcome(outcomes=outcomes)

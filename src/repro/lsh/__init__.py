@@ -1,0 +1,88 @@
+"""Locality sensitive hashing for range sets (paper Sections 3.3 and 4).
+
+Three permutation families are provided, matching the paper's comparison:
+
+- :class:`MinWiseFamily` — the full recursive bit-shuffle network of the
+  paper's Figure 3 (``log2(width)`` shuffle iterations);
+- :class:`ApproxMinWiseFamily` — only the first shuffle iteration,
+  "representable with a single 32-bit integer key";
+- :class:`LinearFamily` — linear permutations ``pi(x) = (a*x + b) mod p``.
+
+A :class:`MinHash` wraps one sampled permutation and hashes a range set to
+``min(pi(Q))``.  :class:`LSHIdentifierScheme` combines ``l`` groups of ``k``
+min-hashes into ``l`` 32-bit identifiers via XOR, exactly as the paper's
+querying-peer pseudocode does.
+"""
+
+from repro.lsh.accel import DomainMinHashIndex
+from repro.lsh.approx import ApproxMinWiseFamily, ApproxMinWisePermutation
+from repro.lsh.base import MinHash, Permutation, PermutationFamily
+from repro.lsh.bitshuffle import BitShufflePermutation, MinWiseFamily
+from repro.lsh.groups import HashGroup, LSHIdentifierScheme
+from repro.lsh.linear import LinearFamily, LinearPermutation
+from repro.lsh.table import TablePermutation, TablePermutationFamily
+from repro.lsh.theory import (
+    collision_probability,
+    group_match_probability,
+    recommend_parameters,
+    step_quality,
+)
+
+FAMILIES = {
+    "min-wise": MinWiseFamily,
+    "approx-min-wise": ApproxMinWiseFamily,
+    "linear": LinearFamily,
+    "table": TablePermutationFamily,
+}
+
+
+def family_by_name(name: str, **kwargs: object) -> PermutationFamily:
+    """Instantiate a permutation family from its canonical name."""
+    try:
+        cls = FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hash family {name!r}; choose from {sorted(FAMILIES)}"
+        ) from None
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+def family_for_domain(name: str, domain) -> PermutationFamily:
+    """Instantiate a family sized to an attribute domain.
+
+    Linear permutations take the smallest prime above the domain maximum
+    (the Broder construction); table permutations cover exactly the
+    domain's code space; the bit-shuffle families are domain-independent.
+    """
+    from repro.lsh.linear import next_prime_above
+
+    if name == "linear":
+        return LinearFamily(p=next_prime_above(int(domain.high)))
+    if name == "table":
+        return TablePermutationFamily(domain_size=int(domain.high) + 1)
+    return family_by_name(name)
+
+
+__all__ = [
+    "Permutation",
+    "PermutationFamily",
+    "MinHash",
+    "BitShufflePermutation",
+    "MinWiseFamily",
+    "ApproxMinWisePermutation",
+    "ApproxMinWiseFamily",
+    "LinearPermutation",
+    "LinearFamily",
+    "TablePermutation",
+    "TablePermutationFamily",
+    "HashGroup",
+    "LSHIdentifierScheme",
+    "DomainMinHashIndex",
+    "collision_probability",
+    "group_match_probability",
+    "step_quality",
+    "recommend_parameters",
+    "FAMILIES",
+    "family_by_name",
+    "family_for_domain",
+]

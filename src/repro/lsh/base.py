@@ -1,0 +1,104 @@
+"""Permutation and min-hash abstractions."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InvalidRangeError
+from repro.ranges.interval import IntRange
+
+__all__ = ["Permutation", "PermutationFamily", "MinHash"]
+
+
+class Permutation(ABC):
+    """A bijection of a finite integer code space onto itself.
+
+    Min-wise hashing (Section 3.3) is ``h(Q) = min(pi(Q))`` for a random
+    permutation ``pi``; concrete subclasses supply ``pi``.
+    """
+
+    #: Size of the permuted space; ``apply`` maps [0, space_size) to itself.
+    space_size: int
+
+    @abstractmethod
+    def apply(self, x: int) -> int:
+        """Image of a single value (reference, element-at-a-time path)."""
+
+    def apply_array(self, xs: np.ndarray) -> np.ndarray:
+        """Vectorized image of a ``uint64`` array of values.
+
+        Default falls back to the scalar path; subclasses override with a
+        numpy implementation.
+        """
+        return np.fromiter(
+            (self.apply(int(x)) for x in xs), dtype=np.uint64, count=len(xs)
+        )
+
+    def validate_input(self, x: int) -> None:
+        """Raise ``ValueError`` when ``x`` is outside the permuted space."""
+        if not 0 <= x < self.space_size:
+            raise ValueError(
+                f"value {x} outside permutation space [0, {self.space_size})"
+            )
+
+
+class PermutationFamily(ABC):
+    """A distribution over permutations that min-hash functions draw from."""
+
+    #: Canonical family name, used by configs and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> Permutation:
+        """Draw one permutation from the family."""
+
+    def sample_minhash(self, rng: np.random.Generator) -> "MinHash":
+        """Draw a permutation and wrap it as a :class:`MinHash`."""
+        return MinHash(self.sample(rng))
+
+    def sample_many(self, count: int, rng: np.random.Generator) -> list["MinHash"]:
+        """Draw ``count`` independent min-hash functions."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return [self.sample_minhash(rng) for _ in range(count)]
+
+
+class MinHash:
+    """``h(Q) = min(pi(Q))`` for one sampled permutation ``pi``.
+
+    The property this buys (Section 3.3): for a truly min-wise independent
+    family, ``Pr[h(Q) = h(R)]`` equals the Jaccard similarity of ``Q`` and
+    ``R``.
+    """
+
+    def __init__(self, permutation: Permutation) -> None:
+        self.permutation = permutation
+
+    def hash_values(self, values: "list[int] | np.ndarray") -> int:
+        """Min-hash of an arbitrary value set (vectorized)."""
+        arr = np.asarray(values, dtype=np.uint64)
+        if arr.size == 0:
+            raise InvalidRangeError("cannot min-hash an empty value set")
+        return int(self.permutation.apply_array(arr).min())
+
+    def hash_range(self, r: IntRange) -> int:
+        """Min-hash of the value set ``{r.start, ..., r.end}``."""
+        return self.hash_values(r.to_array())
+
+    def hash_range_slow(self, r: IntRange) -> int:
+        """Element-at-a-time min-hash, used by the Figure 5 cost experiment.
+
+        This path preserves the *relative* computational cost of the three
+        families (the quantity Figure 5 measures) because it performs the
+        per-element permutation work the paper describes, with no
+        vectorization hiding it.
+        """
+        best: int | None = None
+        for value in r.values():
+            image = self.permutation.apply(value)
+            if best is None or image < best:
+                best = image
+        assert best is not None  # IntRange is never empty
+        return best

@@ -1,0 +1,189 @@
+"""The recursive bit-shuffle permutation network of the paper's Figure 3.
+
+The paper builds a (min-wise independent style) permutation of the ``w``-bit
+integer space as a cascade of shuffle iterations:
+
+1. draw a ``w``-bit key with exactly ``w/2`` random bits set; move the bits
+   of the input word whose positions carry a key 1 to the upper half (in
+   order) and the rest to the lower half (in order);
+2. draw a ``w/2``-bit key with ``w/4`` ones and shuffle each half the same
+   way; and so on, until every 2-bit block has been permuted.
+
+Each iteration is a permutation of *bit positions*, so the whole cascade is
+a bijection of ``[0, 2^w)``.  The keys for a 32-bit space total
+``32 + 16 + 8 + 4 + 2 = 62`` bits ("representable as two [32-bit] integers"
+in the paper's 8-bit example scaled up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HashFamilyError
+from repro.lsh.base import Permutation, PermutationFamily
+from repro.util.bitops import is_power_of_two, ones_positions, popcount, random_key_with_ones
+
+__all__ = ["BitShufflePermutation", "MinWiseFamily", "shuffle_once", "bit_position_map"]
+
+
+def shuffle_once(x: int, key: int, block_size: int, width: int) -> int:
+    """One shuffle iteration applied to every ``block_size`` block of ``x``.
+
+    Within each block, bits at positions where ``key`` has a 1 move to the
+    upper half of the block in order; the others move to the lower half in
+    order.  This is the literal operation of Figure 3.
+    """
+    half = block_size // 2
+    ones = ones_positions(key, block_size)
+    zeros = [j for j in range(block_size) if not (key >> j) & 1]
+    out = 0
+    for base in range(0, width, block_size):
+        block = (x >> base) & ((1 << block_size) - 1)
+        permuted = 0
+        for rank, j in enumerate(zeros):
+            permuted |= ((block >> j) & 1) << rank
+        for rank, j in enumerate(ones):
+            permuted |= ((block >> j) & 1) << (half + rank)
+        out |= permuted << base
+    return out
+
+
+def bit_position_map(width: int, keys: list[int]) -> list[int]:
+    """Destination slot of every input bit after the full key cascade.
+
+    ``keys[i]`` is the key for iteration ``i`` (block size ``width >> i``).
+    Returns ``dest`` with ``dest[src] = final position of input bit src``.
+    """
+    # current[slot] = which input bit currently occupies that slot.
+    current = list(range(width))
+    block_size = width
+    for key in keys:
+        half = block_size // 2
+        ones = ones_positions(key, block_size)
+        zeros = [j for j in range(block_size) if not (key >> j) & 1]
+        moved = [0] * width
+        for base in range(0, width, block_size):
+            for rank, j in enumerate(zeros):
+                moved[base + rank] = current[base + j]
+            for rank, j in enumerate(ones):
+                moved[base + half + rank] = current[base + j]
+        current = moved
+        block_size = half
+    dest = [0] * width
+    for slot, src in enumerate(current):
+        dest[src] = slot
+    return dest
+
+
+class BitShufflePermutation(Permutation):
+    """A fully-cascaded bit-shuffle permutation of the ``width``-bit space.
+
+    ``keys`` must contain one key per iteration with block sizes
+    ``width, width/2, ..., 2`` and exactly half the block's bits set in each
+    key.  The scalar :meth:`apply` performs the honest iteration-by-
+    iteration shuffle (preserving the paper's computational cost for the
+    Figure 5 experiment); :meth:`apply_array` uses precomputed byte lookup
+    tables for the large-scale quality experiments.
+    """
+
+    def __init__(self, keys: list[int], width: int = 32) -> None:
+        if not is_power_of_two(width) or width < 2:
+            raise HashFamilyError("width must be a power of two >= 2")
+        expected_levels = width.bit_length() - 1  # log2(width)
+        if len(keys) != expected_levels:
+            raise HashFamilyError(
+                f"width {width} needs {expected_levels} keys, got {len(keys)}"
+            )
+        block_size = width
+        for level, key in enumerate(keys):
+            if not 0 <= key < (1 << block_size):
+                raise HashFamilyError(
+                    f"key {level} does not fit in {block_size} bits"
+                )
+            if popcount(key) != block_size // 2:
+                raise HashFamilyError(
+                    f"key {level} must have exactly {block_size // 2} ones"
+                )
+            block_size //= 2
+        self.width = width
+        self.keys = list(keys)
+        self.space_size = 1 << width
+        self._dest = bit_position_map(width, self.keys)
+        self._byte_tables: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Scalar (reference / cost-model) path
+    # ------------------------------------------------------------------
+
+    def apply(self, x: int) -> int:
+        """Shuffle ``x`` one iteration at a time, as Figure 3 describes."""
+        self.validate_input(x)
+        block_size = self.width
+        for key in self.keys:
+            x = shuffle_once(x, key, block_size, self.width)
+            block_size //= 2
+        return x
+
+    def apply_via_map(self, x: int) -> int:
+        """Shuffle ``x`` using the precomputed bit-position map.
+
+        Must agree with :meth:`apply`; tests assert the equivalence.
+        """
+        self.validate_input(x)
+        out = 0
+        for src, dst in enumerate(self._dest):
+            out |= ((x >> src) & 1) << dst
+        return out
+
+    # ------------------------------------------------------------------
+    # Vectorized path
+    # ------------------------------------------------------------------
+
+    def _build_byte_tables(self) -> list[np.ndarray]:
+        """Per-byte scatter tables: image = OR of one lookup per input byte."""
+        n_bytes = (self.width + 7) // 8
+        tables: list[np.ndarray] = []
+        for byte_index in range(n_bytes):
+            table = np.zeros(256, dtype=np.uint64)
+            base = byte_index * 8
+            for byte_value in range(256):
+                scattered = 0
+                for bit in range(8):
+                    src = base + bit
+                    if src < self.width and (byte_value >> bit) & 1:
+                        scattered |= 1 << self._dest[src]
+                table[byte_value] = scattered
+            tables.append(table)
+        return tables
+
+    def apply_array(self, xs: np.ndarray) -> np.ndarray:
+        arr = np.asarray(xs, dtype=np.uint64)
+        if self._byte_tables is None:
+            self._byte_tables = self._build_byte_tables()
+        out = np.zeros(arr.shape, dtype=np.uint64)
+        for byte_index, table in enumerate(self._byte_tables):
+            chunk = (arr >> np.uint64(8 * byte_index)) & np.uint64(0xFF)
+            out |= table[chunk.astype(np.intp)]
+        return out
+
+    def __repr__(self) -> str:
+        return f"BitShufflePermutation(width={self.width}, keys={self.keys!r})"
+
+
+class MinWiseFamily(PermutationFamily):
+    """The full min-wise independent permutation family (all iterations)."""
+
+    name = "min-wise"
+
+    def __init__(self, width: int = 32) -> None:
+        if not is_power_of_two(width) or width < 2:
+            raise HashFamilyError("width must be a power of two >= 2")
+        self.width = width
+
+    def sample(self, rng: np.random.Generator) -> BitShufflePermutation:
+        keys: list[int] = []
+        block_size = self.width
+        while block_size >= 2:
+            keys.append(random_key_with_ones(block_size, block_size // 2, rng))
+            block_size //= 2
+        return BitShufflePermutation(keys, width=self.width)

@@ -1,0 +1,86 @@
+"""Per-query result logging and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.system import RangeQueryResult
+from repro.errors import ConfigError
+from repro.ranges.interval import IntRange
+from repro.util.stats import Histogram
+
+__all__ = ["QueryRecord", "QueryLog"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """The subset of a query result the experiments aggregate."""
+
+    query: IntRange
+    similarity: float
+    recall: float
+    found: bool
+    exact: bool
+    hops: int
+
+    @classmethod
+    def from_result(cls, result: RangeQueryResult) -> "QueryRecord":
+        """Project a system result down to its measured quantities."""
+        return cls(
+            query=result.query,
+            similarity=result.similarity,
+            recall=result.recall,
+            found=result.found,
+            exact=result.exact,
+            hops=result.overlay_hops,
+        )
+
+
+@dataclass
+class QueryLog:
+    """An append-only log of query records with the paper's aggregations."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+
+    def add(self, result: RangeQueryResult) -> None:
+        """Record one system query result."""
+        self.records.append(QueryRecord.from_result(result))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def measured(self, warmup_fraction: float = 0.2) -> list[QueryRecord]:
+        """Records after dropping the warmup prefix (paper: first 20%)."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigError("warmup fraction must be within [0, 1)")
+        cut = int(len(self.records) * warmup_fraction)
+        return self.records[cut:]
+
+    def similarity_histogram(
+        self, warmup_fraction: float = 0.2, n_bins: int = 10
+    ) -> Histogram:
+        """The Figures 6-7 quantity: distribution of best-match Jaccard
+        similarity over measured queries; queries with no match at all are
+        recorded as misses."""
+        histogram = Histogram(n_bins=n_bins)
+        for record in self.measured(warmup_fraction):
+            if record.found:
+                histogram.add(record.similarity)
+            else:
+                histogram.add_miss()
+        return histogram
+
+    def recall_values(self, warmup_fraction: float = 0.2) -> list[float]:
+        """Recall per measured query (0.0 when nothing matched)."""
+        return [r.recall for r in self.measured(warmup_fraction)]
+
+    def hop_values(self, warmup_fraction: float = 0.0) -> list[int]:
+        """Overlay hops per measured query."""
+        return [r.hops for r in self.measured(warmup_fraction)]
+
+    def exact_fraction(self, warmup_fraction: float = 0.2) -> float:
+        """Fraction of measured queries answered by an identical partition."""
+        measured = self.measured(warmup_fraction)
+        if not measured:
+            return 0.0
+        return sum(1 for r in measured if r.exact) / len(measured)

@@ -1,0 +1,69 @@
+"""Recall aggregation: the quantities behind Figures 8-10."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.stats import cdf_points
+
+__all__ = [
+    "RECALL_GRID",
+    "recall_cdf",
+    "fraction_fully_answered",
+    "fraction_at_least",
+    "recall_comparison",
+]
+
+#: The x-axis grid of the paper's recall plots, 1.0 down to 0.0.
+RECALL_GRID: tuple[float, ...] = tuple(round(1.0 - 0.05 * i, 2) for i in range(21))
+
+
+def recall_cdf(
+    recalls: Sequence[float], grid: Sequence[float] = RECALL_GRID
+) -> list[tuple[float, float]]:
+    """Points ``(x, % of queries with recall >= x)`` on the paper's grid."""
+    return cdf_points(recalls, grid)
+
+
+def fraction_fully_answered(recalls: Sequence[float]) -> float:
+    """Percentage of queries answered completely (recall == 1.0)."""
+    arr = np.asarray(list(recalls), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(100.0 * np.mean(arr >= 1.0))
+
+
+def fraction_at_least(recalls: Sequence[float], threshold: float) -> float:
+    """Percentage of queries with recall >= threshold."""
+    arr = np.asarray(list(recalls), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(100.0 * np.mean(arr >= threshold))
+
+
+def recall_comparison(
+    baseline: Sequence[float], variant: Sequence[float]
+) -> dict[str, float]:
+    """Paired per-query comparison of two schemes over one trace.
+
+    The paper reports paired effects ("for approximately 78% of the queries
+    [padding] benefit[s] ... for the rest ... lesser recall"); this computes
+    the improved / worsened / unchanged percentages plus mean deltas.
+    """
+    a = np.asarray(list(baseline), dtype=float)
+    b = np.asarray(list(variant), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError("paired comparison needs equal-length recall vectors")
+    if a.size == 0:
+        raise ValueError("paired comparison needs at least one query")
+    delta = b - a
+    return {
+        "improved_pct": float(100.0 * np.mean(delta > 0)),
+        "worsened_pct": float(100.0 * np.mean(delta < 0)),
+        "unchanged_pct": float(100.0 * np.mean(delta == 0)),
+        "mean_delta": float(delta.mean()),
+        "baseline_full_pct": fraction_fully_answered(a),
+        "variant_full_pct": fraction_fully_answered(b),
+    }

@@ -1,0 +1,87 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that rendering consistent (fixed-width tables and
+simple horizontal-bar histograms that read well in a terminal or a log).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.stats import Histogram
+
+__all__ = ["format_table", "format_series", "format_histogram", "format_recall_cdf"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    y_label: str,
+    points: Sequence[tuple[float, float]],
+    title: str = "",
+) -> str:
+    """An (x, y) series as a two-column table."""
+    return format_table(
+        [x_label, y_label],
+        [(x, y) for x, y in points],
+        title=title,
+    )
+
+
+def format_histogram(histogram: Histogram, title: str = "") -> str:
+    """A similarity histogram with proportional bars (Figures 6-7 style)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    percentages = histogram.percentages()
+    scale = max(max(percentages, default=0.0), histogram.miss_percentage(), 1.0)
+    if histogram.misses:
+        bar = "#" * int(round(40 * histogram.miss_percentage() / scale))
+        lines.append(f"  no match   {histogram.miss_percentage():6.2f}%  {bar}")
+    for (low, high), pct in zip(histogram.bin_edges(), percentages):
+        bar = "#" * int(round(40 * pct / scale))
+        lines.append(f"  [{low:.1f},{high:.1f})  {pct:6.2f}%  {bar}")
+    return "\n".join(lines)
+
+
+def format_recall_cdf(
+    series: dict[str, Sequence[tuple[float, float]]], title: str = ""
+) -> str:
+    """Several recall CDFs side by side (Figures 8-10 style)."""
+    names = list(series)
+    if not names:
+        raise ValueError("need at least one series")
+    grid = [x for x, _ in series[names[0]]]
+    for name in names[1:]:
+        if [x for x, _ in series[name]] != grid:
+            raise ValueError("all series must share one recall grid")
+    headers = ["recall >="] + names
+    rows = []
+    for i, x in enumerate(grid):
+        rows.append([f"{x:.2f}"] + [f"{series[name][i][1]:.1f}%" for name in names])
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

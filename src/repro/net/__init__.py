@@ -1,0 +1,22 @@
+"""In-memory network simulation.
+
+The paper's peers talk over TCP/IP; its experiments, however, measure
+overlay-level quantities (hops, partition placements), not wire time.  This
+subpackage substitutes a deterministic in-memory transport that delivers
+messages synchronously while *accounting* for them: per-peer and global
+message counters, byte estimates, and a pluggable latency model, so example
+programs and extension experiments can report network cost.
+"""
+
+from repro.net.latency import ConstantLatency, LatencyModel, UniformLatency
+from repro.net.message import Message
+from repro.net.transport import SimulatedNetwork, TrafficStats
+
+__all__ = [
+    "Message",
+    "SimulatedNetwork",
+    "TrafficStats",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+]

@@ -1,0 +1,45 @@
+"""Latency models for the simulated transport."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["LatencyModel", "ConstantLatency", "UniformLatency"]
+
+
+class LatencyModel(ABC):
+    """Samples a one-way delivery delay (milliseconds) per message."""
+
+    @abstractmethod
+    def sample_ms(self, sender: int, recipient: int) -> float:
+        """Delay for one message from ``sender`` to ``recipient``."""
+
+
+class ConstantLatency(LatencyModel):
+    """Every message takes the same time; the default (and the value used
+    when only hop *counts* matter) is zero."""
+
+    def __init__(self, ms: float = 0.0) -> None:
+        if ms < 0:
+            raise ValueError("latency cannot be negative")
+        self.ms = ms
+
+    def sample_ms(self, sender: int, recipient: int) -> float:
+        return self.ms
+
+
+class UniformLatency(LatencyModel):
+    """Uniform random delay in ``[low_ms, high_ms]`` — a crude wide-area
+    model for example programs that want nonzero, varied timings."""
+
+    def __init__(self, low_ms: float, high_ms: float, rng: np.random.Generator) -> None:
+        if not 0 <= low_ms <= high_ms:
+            raise ValueError("need 0 <= low_ms <= high_ms")
+        self.low_ms = low_ms
+        self.high_ms = high_ms
+        self._rng = rng
+
+    def sample_ms(self, sender: int, recipient: int) -> float:
+        return float(self._rng.uniform(self.low_ms, self.high_ms))

@@ -1,0 +1,34 @@
+"""Messages exchanged between simulated peers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message"]
+
+_sequence = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One overlay message.
+
+    ``kind`` is a short routing tag ("lookup", "partition-request",
+    "partition-reply", "store", ...); ``payload`` is arbitrary and
+    ``size_bytes`` is the *modelled* wire size used for traffic accounting
+    (payloads are Python objects, so real serialized size is substituted by
+    the caller's estimate).
+    """
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any = None
+    size_bytes: int = 64
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("message size cannot be negative")

@@ -1,0 +1,16 @@
+"""Integer range algebra.
+
+A selection predicate ``start <= attr <= end`` over an integer-ordered
+attribute defines a *closed interval* of domain values; the paper treats that
+interval as the set ``{start, ..., end}``.  :class:`IntRange` models the
+interval with closed-form set arithmetic (no materialization), and
+:class:`RangeSet` models unions of disjoint intervals, which arise from
+multi-predicate selections and from measuring how much of a query several
+cached partitions jointly cover.
+"""
+
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.ranges.rangeset import RangeSet
+
+__all__ = ["IntRange", "RangeSet", "Domain"]

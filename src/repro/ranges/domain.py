@@ -1,0 +1,94 @@
+"""Attribute domains: the totally-ordered value spaces ranges live in.
+
+Min-wise hashing needs a totally ordered finite domain ``D`` (Section 3.3).
+A :class:`Domain` names that space, bounds it, and converts attribute values
+(ints, dates) to and from the integer code space that the permutations act
+on.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.errors import DomainError
+from repro.ranges.interval import IntRange
+
+__all__ = ["Domain"]
+
+_EPOCH = _dt.date(1970, 1, 1)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An inclusive integer domain ``[low, high]`` for one attribute.
+
+    >>> age = Domain("age", 0, 120)
+    >>> age.clamp(IntRange(100, 400))
+    IntRange(start=100, end=120)
+    """
+
+    name: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise DomainError(f"domain {self.name}: low {self.low} > high {self.high}")
+
+    @property
+    def size(self) -> int:
+        """Number of values in the domain."""
+        return self.high - self.low + 1
+
+    def full_range(self) -> IntRange:
+        """The whole domain as a range."""
+        return IntRange(self.low, self.high)
+
+    def __contains__(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+    def validate(self, value: int) -> int:
+        """Return ``value`` or raise :class:`DomainError` if out of bounds."""
+        if value not in self:
+            raise DomainError(
+                f"value {value} outside domain {self.name} [{self.low}, {self.high}]"
+            )
+        return value
+
+    def validate_range(self, r: IntRange) -> IntRange:
+        """Return ``r`` or raise if either endpoint is out of bounds."""
+        self.validate(r.start)
+        self.validate(r.end)
+        return r
+
+    def clamp(self, r: IntRange) -> IntRange:
+        """Intersect ``r`` with the domain; raise if fully outside."""
+        clamped = r.intersect(self.full_range())
+        if clamped is None:
+            raise DomainError(f"range {r} lies entirely outside domain {self.name}")
+        return clamped
+
+    # ------------------------------------------------------------------
+    # Date support (the paper's Prescription.date selection)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def date_to_code(date: _dt.date) -> int:
+        """Encode a date as days since 1970-01-01 (total order preserved)."""
+        return (date - _EPOCH).days
+
+    @staticmethod
+    def code_to_date(code: int) -> _dt.date:
+        """Inverse of :meth:`date_to_code`."""
+        return _EPOCH + _dt.timedelta(days=code)
+
+    @classmethod
+    def for_dates(cls, name: str, low: _dt.date, high: _dt.date) -> "Domain":
+        """A domain spanning the dates ``[low, high]`` in day codes."""
+        return cls(name, cls.date_to_code(low), cls.date_to_code(high))
+
+    @classmethod
+    def date_range(cls, low: _dt.date, high: _dt.date) -> IntRange:
+        """An :class:`IntRange` of day codes for ``[low, high]``."""
+        return IntRange(cls.date_to_code(low), cls.date_to_code(high))

@@ -1,0 +1,152 @@
+"""Unions of disjoint closed integer intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidRangeError
+from repro.ranges.interval import IntRange
+
+__all__ = ["RangeSet"]
+
+
+def _normalize(intervals: Iterable[IntRange]) -> tuple[IntRange, ...]:
+    """Sort intervals and merge any that overlap or touch."""
+    ordered = sorted(intervals, key=lambda r: (r.start, r.end))
+    merged: list[IntRange] = []
+    for interval in ordered:
+        if merged and merged[-1].touches(interval):
+            merged[-1] = merged[-1].hull(interval)
+        else:
+            merged.append(interval)
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class RangeSet:
+    """An immutable union of disjoint, non-adjacent closed intervals.
+
+    Construction normalizes its inputs, so two range sets covering the same
+    values always compare equal:
+
+    >>> RangeSet([IntRange(1, 3), IntRange(4, 6)]) == RangeSet([IntRange(1, 6)])
+    True
+    """
+
+    intervals: tuple[IntRange, ...] = field(default_factory=tuple)
+
+    def __init__(self, intervals: Iterable[IntRange] = ()) -> None:
+        object.__setattr__(self, "intervals", _normalize(intervals))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RangeSet":
+        """The empty set of values."""
+        return cls(())
+
+    @classmethod
+    def of(cls, *pairs: tuple[int, int]) -> "RangeSet":
+        """Build from ``(start, end)`` pairs: ``RangeSet.of((1, 3), (7, 9))``."""
+        return cls(IntRange(s, e) for s, e in pairs)
+
+    # ------------------------------------------------------------------
+    # Set-view basics
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self.intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def __contains__(self, value: int) -> bool:
+        return any(value in r for r in self.intervals)
+
+    def __iter__(self) -> Iterator[int]:
+        for interval in self.intervals:
+            yield from interval
+
+    def to_set(self) -> set[int]:
+        """Materialize as a Python set (small sets / tests only)."""
+        return set(iter(self))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: "RangeSet | IntRange") -> "RangeSet":
+        """Set union."""
+        other_intervals = (
+            (other,) if isinstance(other, IntRange) else other.intervals
+        )
+        return RangeSet(self.intervals + tuple(other_intervals))
+
+    def intersect(self, other: "RangeSet | IntRange") -> "RangeSet":
+        """Set intersection (two-pointer sweep over sorted intervals)."""
+        other_intervals = (
+            (other,) if isinstance(other, IntRange) else other.intervals
+        )
+        out: list[IntRange] = []
+        i, j = 0, 0
+        mine = self.intervals
+        theirs = tuple(other_intervals)
+        while i < len(mine) and j < len(theirs):
+            overlap = mine[i].intersect(theirs[j])
+            if overlap is not None:
+                out.append(overlap)
+            if mine[i].end < theirs[j].end:
+                i += 1
+            else:
+                j += 1
+        return RangeSet(out)
+
+    def difference(self, other: "RangeSet | IntRange") -> "RangeSet":
+        """Values in this set but not in ``other``."""
+        other_set = (
+            RangeSet((other,)) if isinstance(other, IntRange) else other
+        )
+        out: list[IntRange] = []
+        for interval in self.intervals:
+            pieces = [interval]
+            for cut in other_set.intervals:
+                next_pieces: list[IntRange] = []
+                for piece in pieces:
+                    overlap = piece.intersect(cut)
+                    if overlap is None:
+                        next_pieces.append(piece)
+                        continue
+                    if piece.start < overlap.start:
+                        next_pieces.append(IntRange(piece.start, overlap.start - 1))
+                    if overlap.end < piece.end:
+                        next_pieces.append(IntRange(overlap.end + 1, piece.end))
+                pieces = next_pieces
+                if not pieces:
+                    break
+            out.extend(pieces)
+        return RangeSet(out)
+
+    def coverage_of(self, query: IntRange) -> float:
+        """Fraction of ``query``'s values present in this set.
+
+        This is the *joint recall* when several cached partitions together
+        answer one query.
+        """
+        if len(query) == 0:
+            raise InvalidRangeError("query range cannot be empty")
+        covered = sum(r.intersection_size(query) for r in self.intervals)
+        return covered / len(query)
+
+    def hull(self) -> IntRange | None:
+        """Smallest single interval containing the whole set."""
+        if not self.intervals:
+            return None
+        return IntRange(self.intervals[0].start, self.intervals[-1].end)
+
+    def __str__(self) -> str:
+        if not self.intervals:
+            return "{}"
+        return " ∪ ".join(str(r) for r in self.intervals)

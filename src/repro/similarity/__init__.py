@@ -1,0 +1,36 @@
+"""Set-similarity measures and their LSH admissibility (paper Section 3.2).
+
+The paper's key theoretical observation: a similarity measure admits a
+locality sensitive hash family only if its distance ``1 - sim`` satisfies
+the triangle inequality (Charikar 2002).  Jaccard similarity does;
+containment does not — which is why the system *hashes* with Jaccard
+(min-wise permutations) and only *matches within a bucket* with containment.
+"""
+
+from repro.similarity.distance import (
+    distance,
+    find_triangle_violation,
+    satisfies_triangle_inequality,
+)
+from repro.similarity.measures import (
+    MEASURES,
+    containment,
+    dice,
+    jaccard,
+    overlap_coefficient,
+    recall_of_match,
+    similarity_measure,
+)
+
+__all__ = [
+    "jaccard",
+    "containment",
+    "dice",
+    "overlap_coefficient",
+    "recall_of_match",
+    "similarity_measure",
+    "MEASURES",
+    "distance",
+    "satisfies_triangle_inequality",
+    "find_triangle_violation",
+]

@@ -1,0 +1,77 @@
+"""Similarity measures over integer ranges.
+
+All measures accept :class:`~repro.ranges.IntRange` operands and use the
+closed-form intersection/union sizes, so no value set is ever materialized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ranges.interval import IntRange
+
+__all__ = [
+    "jaccard",
+    "containment",
+    "dice",
+    "overlap_coefficient",
+    "recall_of_match",
+    "similarity_measure",
+    "MEASURES",
+]
+
+SimilarityFn = Callable[[IntRange, IntRange], float]
+
+
+def jaccard(q: IntRange, r: IntRange) -> float:
+    """Jaccard similarity ``|Q ∩ R| / |Q ∪ R|`` — the measure the LSH family
+    is defined for (paper Section 3.2)."""
+    return q.jaccard(r)
+
+
+def containment(q: IntRange, r: IntRange) -> float:
+    """Containment ``|Q ∩ R| / |Q|``: how much of query ``q`` the cached
+    partition ``r`` covers.  Asymmetric; equals the recall of ``r`` for
+    ``q``.  Admits no LSH family (its distance violates the triangle
+    inequality), so it is used only for in-bucket matching (Section 5.2)."""
+    return q.containment(r)
+
+
+def dice(q: IntRange, r: IntRange) -> float:
+    """Dice coefficient ``2|Q ∩ R| / (|Q| + |R|)`` (extra measure for
+    comparison; monotone in Jaccard)."""
+    inter = q.intersection_size(r)
+    return 2.0 * inter / (len(q) + len(r))
+
+
+def overlap_coefficient(q: IntRange, r: IntRange) -> float:
+    """Szymkiewicz–Simpson overlap ``|Q ∩ R| / min(|Q|, |R|)``."""
+    return q.intersection_size(r) / min(len(q), len(r))
+
+
+def recall_of_match(query: IntRange, match: IntRange | None) -> float:
+    """Recall of a matched partition: 0.0 when nothing matched.
+
+    This is the y-quantity behind Figures 8-10 ("part of query answered").
+    """
+    if match is None:
+        return 0.0
+    return containment(query, match)
+
+
+MEASURES: dict[str, SimilarityFn] = {
+    "jaccard": jaccard,
+    "containment": containment,
+    "dice": dice,
+    "overlap": overlap_coefficient,
+}
+
+
+def similarity_measure(name: str) -> SimilarityFn:
+    """Look up a measure by name; raises ``KeyError`` with choices listed."""
+    try:
+        return MEASURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown similarity measure {name!r}; choose from {sorted(MEASURES)}"
+        ) from None

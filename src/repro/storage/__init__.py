@@ -1,0 +1,26 @@
+"""Per-peer partition stores.
+
+A peer "is responsible for all hash buckets corresponding to identifiers
+from the identifier of its predecessor node (excluding it) to itself"
+(Section 4).  :class:`PeerStore` holds those buckets: a mapping from
+identifier to the list of partitions stored under it, with optional
+capacity-bounded LRU eviction (an extension — the paper assumes unbounded
+caches).
+"""
+
+from repro.storage.bucket import Bucket, StoredEntry
+from repro.storage.store import EvictionPolicy, LRUEviction, NoEviction, PeerStore
+
+# NOTE: repro.storage.snapshot is intentionally *not* imported here: it
+# depends on repro.core.system (which itself imports repro.storage.store),
+# so pulling it in at package-import time would create an import cycle.
+# Import it explicitly: ``from repro.storage.snapshot import save_system``.
+
+__all__ = [
+    "Bucket",
+    "StoredEntry",
+    "PeerStore",
+    "EvictionPolicy",
+    "NoEviction",
+    "LRUEviction",
+]

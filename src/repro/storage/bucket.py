@@ -1,0 +1,90 @@
+"""One hash bucket: the partitions stored under a single identifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.ranges.interval import IntRange
+
+__all__ = ["StoredEntry", "Bucket"]
+
+
+@dataclass
+class StoredEntry:
+    """A cached partition: descriptor always, rows only when data is kept.
+
+    The scalability simulations store descriptors only (the paper's
+    simulator does the same — it tracks placements, not tuples); the full
+    database front end stores rows too.
+    """
+
+    descriptor: PartitionDescriptor
+    partition: Partition | None = None
+    access_clock: int = 0
+
+
+class Bucket:
+    """The list of entries stored under one identifier at one peer."""
+
+    def __init__(self, identifier: int) -> None:
+        self.identifier = identifier
+        self._entries: dict[PartitionDescriptor, StoredEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StoredEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, descriptor: PartitionDescriptor) -> bool:
+        return descriptor in self._entries
+
+    def add(self, entry: StoredEntry) -> bool:
+        """Insert unless an identical descriptor is already present.
+
+        Returns True when the entry was newly stored.  Re-adding an existing
+        descriptor *with* rows upgrades a descriptor-only entry in place.
+        """
+        existing = self._entries.get(entry.descriptor)
+        if existing is not None:
+            if existing.partition is None and entry.partition is not None:
+                existing.partition = entry.partition
+            return False
+        self._entries[entry.descriptor] = entry
+        return True
+
+    def remove(self, descriptor: PartitionDescriptor) -> StoredEntry | None:
+        """Remove and return the entry for ``descriptor``, if present."""
+        return self._entries.pop(descriptor, None)
+
+    def get(self, descriptor: PartitionDescriptor) -> StoredEntry | None:
+        """The entry for ``descriptor``, if present."""
+        return self._entries.get(descriptor)
+
+    def best_match(
+        self,
+        query: IntRange,
+        relation: str,
+        attribute: str,
+        score: Callable[[IntRange, PartitionDescriptor], float],
+    ) -> tuple[StoredEntry, float] | None:
+        """The highest-scoring entry for the query, restricted to the same
+        relation and attribute.  Exact matches win ties.
+        """
+        best: tuple[StoredEntry, float] | None = None
+        for entry in self._entries.values():
+            descriptor = entry.descriptor
+            if descriptor.relation != relation or descriptor.attribute != attribute:
+                continue
+            value = score(query, descriptor)
+            if best is None or value > best[1] or (
+                value == best[1] and descriptor.range == query
+            ):
+                best = (entry, value)
+        return best
+
+    def descriptors(self) -> list[PartitionDescriptor]:
+        """All descriptors in the bucket."""
+        return list(self._entries)

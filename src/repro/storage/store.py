@@ -1,0 +1,180 @@
+"""The per-peer store: buckets plus an optional eviction policy."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterator
+
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.errors import StorageError
+from repro.ranges.interval import IntRange
+from repro.storage.bucket import Bucket, StoredEntry
+
+__all__ = ["PeerStore", "EvictionPolicy", "NoEviction", "LRUEviction"]
+
+ScoreFn = Callable[[IntRange, PartitionDescriptor], float]
+
+
+class EvictionPolicy(ABC):
+    """Decides which entry leaves the store when capacity is exceeded."""
+
+    @abstractmethod
+    def on_insert(self, store: "PeerStore") -> None:
+        """Called after an insert; may evict entries to honour capacity."""
+
+    @abstractmethod
+    def on_access(self, entry: StoredEntry, clock: int) -> None:
+        """Called when an entry participates in a match."""
+
+
+class NoEviction(EvictionPolicy):
+    """Unbounded store (the paper's model)."""
+
+    def on_insert(self, store: "PeerStore") -> None:  # noqa: D102
+        pass
+
+    def on_access(self, entry: StoredEntry, clock: int) -> None:  # noqa: D102
+        pass
+
+
+class LRUEviction(EvictionPolicy):
+    """Capacity-bounded store, evicting the least recently used entry."""
+
+    def __init__(self, max_partitions: int) -> None:
+        if max_partitions <= 0:
+            raise StorageError("LRU capacity must be positive")
+        self.max_partitions = max_partitions
+
+    def on_insert(self, store: "PeerStore") -> None:
+        while store.partition_count > self.max_partitions:
+            victim = min(
+                store.entries(), key=lambda pair: pair[1].access_clock
+            )
+            identifier, entry = victim
+            store.remove(identifier, entry.descriptor)
+
+    def on_access(self, entry: StoredEntry, clock: int) -> None:
+        entry.access_clock = clock
+
+
+class PeerStore:
+    """All hash buckets one peer is responsible for."""
+
+    def __init__(self, peer_id: int, eviction: EvictionPolicy | None = None) -> None:
+        self.peer_id = peer_id
+        self.eviction = eviction if eviction is not None else NoEviction()
+        self._buckets: dict[int, Bucket] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def store(
+        self,
+        identifier: int,
+        descriptor: PartitionDescriptor,
+        partition: Partition | None = None,
+    ) -> bool:
+        """Store a partition under ``identifier``; returns True when new."""
+        bucket = self._buckets.get(identifier)
+        if bucket is None:
+            bucket = Bucket(identifier)
+            self._buckets[identifier] = bucket
+        self._clock += 1
+        added = bucket.add(
+            StoredEntry(
+                descriptor=descriptor,
+                partition=partition,
+                access_clock=self._clock,
+            )
+        )
+        if added:
+            self.eviction.on_insert(self)
+        return added
+
+    def remove(self, identifier: int, descriptor: PartitionDescriptor) -> bool:
+        """Remove one entry; prunes the bucket when it empties."""
+        bucket = self._buckets.get(identifier)
+        if bucket is None:
+            return False
+        removed = bucket.remove(descriptor) is not None
+        if removed and len(bucket) == 0:
+            del self._buckets[identifier]
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def bucket(self, identifier: int) -> Bucket | None:
+        """The bucket for ``identifier``, or None when empty."""
+        return self._buckets.get(identifier)
+
+    def best_match_in_bucket(
+        self,
+        identifier: int,
+        query: IntRange,
+        relation: str,
+        attribute: str,
+        score: ScoreFn,
+    ) -> tuple[StoredEntry, float] | None:
+        """Best match searching *only* the requested identifier's bucket
+        (the paper's base scheme)."""
+        bucket = self._buckets.get(identifier)
+        if bucket is None:
+            return None
+        best = bucket.best_match(query, relation, attribute, score)
+        if best is not None:
+            self._clock += 1
+            self.eviction.on_access(best[0], self._clock)
+        return best
+
+    def best_match_local(
+        self,
+        query: IntRange,
+        relation: str,
+        attribute: str,
+        score: ScoreFn,
+    ) -> tuple[StoredEntry, float] | None:
+        """Best match over *every* bucket at this peer.
+
+        Section 5.3's local-index refinement: "we could now build up an
+        index over all the partitions that get stored in various buckets at
+        a peer" and search it instead of one bucket.
+        """
+        best: tuple[StoredEntry, float] | None = None
+        for bucket in self._buckets.values():
+            candidate = bucket.best_match(query, relation, attribute, score)
+            if candidate is None:
+                continue
+            if best is None or candidate[1] > best[1]:
+                best = candidate
+        if best is not None:
+            self._clock += 1
+            self.eviction.on_access(best[0], self._clock)
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def partition_count(self) -> int:
+        """Total entries across all buckets (the paper's load metric)."""
+        return sum(len(b) for b in self._buckets.values())
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)
+
+    def entries(self) -> Iterator[tuple[int, StoredEntry]]:
+        """Every (identifier, entry) pair in the store."""
+        for identifier, bucket in self._buckets.items():
+            for entry in bucket:
+                yield identifier, entry
+
+    def identifiers(self) -> list[int]:
+        """Identifiers with non-empty buckets."""
+        return list(self._buckets)

@@ -1,0 +1,47 @@
+"""Shared utilities: deterministic RNG streams, bit operations, statistics.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from here, but ``repro.util`` imports nothing from the rest of the
+library.
+"""
+
+from repro.util.bitops import (
+    bit_length_of_space,
+    extract_bits,
+    is_power_of_two,
+    ones_positions,
+    popcount,
+    random_key_with_ones,
+    reverse_bits,
+)
+from repro.util.rng import SeedSequenceFactory, derive_rng, spawn_rngs
+from repro.util.stats import (
+    DiscretePdf,
+    Histogram,
+    SummaryStats,
+    cdf_points,
+    percentile,
+    summarize,
+)
+from repro.util.timer import Timer, time_call
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_rng",
+    "spawn_rngs",
+    "popcount",
+    "ones_positions",
+    "extract_bits",
+    "reverse_bits",
+    "is_power_of_two",
+    "bit_length_of_space",
+    "random_key_with_ones",
+    "percentile",
+    "summarize",
+    "SummaryStats",
+    "Histogram",
+    "DiscretePdf",
+    "cdf_points",
+    "Timer",
+    "time_call",
+]

@@ -1,0 +1,88 @@
+"""Bit-level helpers used by the min-wise permutation networks.
+
+All functions operate on plain Python ints interpreted as fixed-width
+unsigned words; widths are explicit arguments so the same code serves the
+8-bit worked example from the paper's Figure 3 and the 32-bit identifier
+space used by the system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "popcount",
+    "ones_positions",
+    "extract_bits",
+    "reverse_bits",
+    "is_power_of_two",
+    "bit_length_of_space",
+    "random_key_with_ones",
+]
+
+
+def popcount(x: int) -> int:
+    """Number of set bits in ``x`` (``x`` must be non-negative)."""
+    if x < 0:
+        raise ValueError("popcount requires a non-negative integer")
+    return int(x).bit_count()
+
+
+def ones_positions(x: int, width: int) -> list[int]:
+    """Positions (LSB = 0) of the set bits of ``x`` within ``width`` bits.
+
+    >>> ones_positions(0b1010, 4)
+    [1, 3]
+    """
+    return [i for i in range(width) if (x >> i) & 1]
+
+
+def extract_bits(x: int, positions: list[int]) -> int:
+    """Pack the bits of ``x`` found at ``positions`` into a compact int.
+
+    Bit ``positions[i]`` of ``x`` becomes bit ``i`` of the result, so order
+    is preserved ("in order" in the paper's shuffle description).
+
+    >>> bin(extract_bits(0b1100, [2, 3]))
+    '0b11'
+    """
+    out = 0
+    for i, pos in enumerate(positions):
+        out |= ((x >> pos) & 1) << i
+    return out
+
+
+def reverse_bits(x: int, width: int) -> int:
+    """Reverse the ``width`` low bits of ``x``."""
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (x & 1)
+        x >>= 1
+    return out
+
+
+def is_power_of_two(n: int) -> bool:
+    """True when ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def bit_length_of_space(size: int) -> int:
+    """Number of bits needed to index a space of ``size`` values."""
+    if size <= 0:
+        raise ValueError("space size must be positive")
+    return max(1, (size - 1).bit_length())
+
+
+def random_key_with_ones(width: int, ones: int, rng: np.random.Generator) -> int:
+    """Sample a ``width``-bit key with exactly ``ones`` bits set.
+
+    This is how the paper samples shuffle keys: "an 8-bit key that has
+    exactly 4 random bits set to 1".
+    """
+    if not 0 <= ones <= width:
+        raise ValueError(f"cannot set {ones} bits in a {width}-bit key")
+    positions = rng.choice(width, size=ones, replace=False)
+    key = 0
+    for pos in positions:
+        key |= 1 << int(pos)
+    return key

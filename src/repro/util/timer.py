@@ -1,0 +1,39 @@
+"""Wall-clock timing helpers for the hashing-cost experiment (Figure 5)."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["Timer", "time_call"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in milliseconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed_ms >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed_ms = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_ms = (time.perf_counter() - self._start) * 1000.0
+
+
+def time_call(fn: Callable[[], Any], repeats: int = 1) -> float:
+    """Average wall-clock milliseconds of ``fn()`` over ``repeats`` calls."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    with Timer() as t:
+        for _ in range(repeats):
+            fn()
+    return t.elapsed_ms / repeats

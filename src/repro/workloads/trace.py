@@ -1,0 +1,75 @@
+"""Workload traces: record a generated stream, replay it, persist it.
+
+Traces keep experiments honest: the same byte-for-byte query sequence can
+be replayed against every hash family, so quality differences come from
+hashing, never from workload noise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import InvalidRangeError
+from repro.ranges.interval import IntRange
+
+__all__ = ["WorkloadTrace"]
+
+
+class WorkloadTrace:
+    """An immutable recorded sequence of query ranges."""
+
+    def __init__(self, ranges: Iterable[IntRange]) -> None:
+        self._ranges = tuple(ranges)
+
+    def __iter__(self) -> Iterator[IntRange]:
+        return iter(self._ranges)
+
+    def __len__(self) -> int:
+        return len(self._ranges)
+
+    def __getitem__(self, index: int) -> IntRange:
+        return self._ranges[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkloadTrace):
+            return NotImplemented
+        return self._ranges == other._ranges
+
+    def __hash__(self) -> int:
+        return hash(self._ranges)
+
+    def warmup_split(self, fraction: float) -> tuple["WorkloadTrace", "WorkloadTrace"]:
+        """Split into (warmup, measured) — the paper drops "a warmup period
+        of [the] first 20% of the queries" from its statistics."""
+        if not 0.0 <= fraction < 1.0:
+            raise InvalidRangeError("warmup fraction must be within [0, 1)")
+        cut = int(len(self._ranges) * fraction)
+        return (WorkloadTrace(self._ranges[:cut]), WorkloadTrace(self._ranges[cut:]))
+
+    # ------------------------------------------------------------------
+    # Persistence (plain text, one "start end" pair per line)
+    # ------------------------------------------------------------------
+
+    def save(self, path: "str | Path") -> None:
+        """Write the trace to a text file."""
+        lines = [f"{r.start} {r.end}" for r in self._ranges]
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "WorkloadTrace":
+        """Read a trace previously written by :meth:`save`."""
+        ranges: list[IntRange] = []
+        for line_no, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            parts = stripped.split()
+            if len(parts) != 2:
+                raise InvalidRangeError(
+                    f"{path}:{line_no}: expected 'start end', got {stripped!r}"
+                )
+            ranges.append(IntRange(int(parts[0]), int(parts[1])))
+        return cls(ranges)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.ranges.domain import Domain
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for test-local randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_domain() -> Domain:
+    """The paper's experiment domain."""
+    return Domain("value", 0, 1000)
+
+
+@pytest.fixture
+def small_system() -> RangeSelectionSystem:
+    """A small but fully wired system (fast to build)."""
+    return RangeSelectionSystem(SystemConfig(n_peers=40, seed=99))

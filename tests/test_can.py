@@ -1,0 +1,211 @@
+"""Tests for the CAN overlay: zones, joins, departures, routing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.network import CanOverlay
+from repro.can.space import RESOLUTION, Zone, point_for_key, torus_distance
+from repro.errors import ChordError, DuplicateNodeError, EmptyRingError
+from repro.util.rng import derive_rng
+
+
+def built_overlay(n: int, dimensions: int = 2, seed: int = 1) -> CanOverlay:
+    overlay = CanOverlay(dimensions=dimensions)
+    overlay.build(n, seed=seed)
+    return overlay
+
+
+class TestZone:
+    def test_whole_space(self):
+        zone = Zone.whole_space(2)
+        assert zone.volume() == RESOLUTION**2
+        assert zone.contains((0, 0))
+        assert zone.contains((RESOLUTION - 1, RESOLUTION - 1))
+
+    def test_invalid_extent(self):
+        with pytest.raises(ChordError):
+            Zone((10,), (10,))
+        with pytest.raises(ChordError):
+            Zone((0, 0), (RESOLUTION,))
+
+    def test_split_halves_volume(self):
+        zone = Zone.whole_space(2)
+        lower, upper = zone.split()
+        assert lower.volume() + upper.volume() == zone.volume()
+        assert lower.volume() == upper.volume()
+
+    def test_split_along_widest_axis(self):
+        zone = Zone((0, 0), (RESOLUTION, RESOLUTION // 2))
+        lower, upper = zone.split()
+        assert lower.side(0) == RESOLUTION // 2  # axis 0 was widest
+        assert lower.side(1) == RESOLUTION // 2
+
+    def test_merge_roundtrip(self):
+        zone = Zone.whole_space(2)
+        lower, upper = zone.split()
+        assert lower.is_mergeable_with(upper)
+        assert lower.merge(upper) == zone
+
+    def test_merge_rejects_non_rectangular_union(self):
+        a = Zone((0, 0), (10, 10))
+        b = Zone((10, 0), (20, 5))
+        assert not a.is_mergeable_with(b)
+        with pytest.raises(ChordError):
+            a.merge(b)
+
+    def test_abuts_side_sharing(self):
+        a = Zone((0, 0), (10, 10))
+        b = Zone((10, 0), (20, 10))
+        corner = Zone((10, 10), (20, 20))
+        assert a.abuts(b)
+        assert not a.abuts(corner)  # corner contact is not neighbourhood
+
+    def test_abuts_across_wrap(self):
+        a = Zone((0, 0), (10, RESOLUTION))
+        b = Zone((RESOLUTION - 10, 0), (RESOLUTION, RESOLUTION))
+        assert a.abuts(b)
+
+    def test_distance_zero_inside(self):
+        zone = Zone((0, 0), (10, 10))
+        assert zone.distance_to_point((5, 5)) == 0.0
+        assert zone.distance_to_point((15, 5)) > 0.0
+
+    def test_torus_distance(self):
+        assert torus_distance(1, RESOLUTION - 1) == 2
+        assert torus_distance(5, 5) == 0
+
+
+class TestPointForKey:
+    def test_deterministic(self):
+        assert point_for_key(42, 2) == point_for_key(42, 2)
+
+    def test_dimensionality(self):
+        assert len(point_for_key(42, 3)) == 3
+
+    def test_axes_independent(self):
+        point = point_for_key(42, 2)
+        assert point[0] != point[1]  # hashing includes the axis
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ChordError):
+            point_for_key(42, 0)
+
+
+class TestMembership:
+    def test_bootstrap_owns_everything(self):
+        overlay = CanOverlay(dimensions=2)
+        node = overlay.bootstrap("first")
+        assert node.total_volume() == RESOLUTION**2
+        overlay.check_invariants()
+
+    def test_join_splits_space(self):
+        overlay = CanOverlay(dimensions=2)
+        overlay.bootstrap("first")
+        overlay.join("second")
+        overlay.check_invariants()
+        volumes = [n.total_volume() for n in overlay._nodes.values()]
+        assert sum(volumes) == RESOLUTION**2
+
+    def test_duplicate_address_rejected(self):
+        overlay = CanOverlay(dimensions=2)
+        overlay.bootstrap("first")
+        with pytest.raises(DuplicateNodeError):
+            overlay.join("first")
+
+    def test_build_reaches_target_size(self):
+        overlay = built_overlay(50)
+        assert len(overlay) == 50
+        overlay.check_invariants()
+
+    def test_neighbors_symmetric_after_build(self):
+        overlay = built_overlay(40)
+        for nid in overlay.node_ids:
+            for other in overlay.node(nid).neighbor_ids:
+                assert nid in overlay.node(other).neighbor_ids
+
+
+class TestRouting:
+    def test_lookup_reaches_owner(self, rng):
+        overlay = built_overlay(100)
+        ids = overlay.node_ids
+        for _ in range(200):
+            key = int(rng.integers(0, 2**32))
+            start = ids[int(rng.integers(len(ids)))]
+            owner, hops = overlay.lookup(key, start_id=start)
+            assert owner == overlay.owner_of(key)
+            assert hops >= 0
+
+    def test_owner_lookup_from_owner_is_free(self):
+        overlay = built_overlay(30)
+        key = 12345
+        owner = overlay.owner_of(key)
+        _, hops = overlay.lookup(key, start_id=owner)
+        assert hops == 0
+
+    def test_hops_scale_as_sqrt_for_2d(self):
+        """CAN routing is O(d/4 * N^(1/d)); for d=2 that's ~sqrt(N)/2."""
+        rng = derive_rng(5, "can-hops")
+        means = {}
+        for n in (25, 400):
+            overlay = built_overlay(n, seed=3)
+            ids = overlay.node_ids
+            hops = []
+            for _ in range(300):
+                key = int(rng.integers(0, 2**32))
+                start = ids[int(rng.integers(len(ids)))]
+                hops.append(overlay.lookup(key, start_id=start)[1])
+            means[n] = sum(hops) / len(hops)
+        # 16x more nodes => ~4x more hops (allow generous slack).
+        assert 2.0 < means[400] / means[25] < 8.0
+
+    def test_empty_overlay_raises(self):
+        with pytest.raises(EmptyRingError):
+            CanOverlay().lookup(5)
+
+
+class TestLeave:
+    def test_leave_preserves_tiling(self):
+        overlay = built_overlay(30)
+        for victim in overlay.node_ids[:10]:
+            overlay.leave(victim)
+            overlay.check_invariants()
+        assert len(overlay) == 20
+
+    def test_leave_then_routing_still_works(self, rng):
+        overlay = built_overlay(40)
+        for victim in overlay.node_ids[:15]:
+            overlay.leave(victim)
+        ids = overlay.node_ids
+        for _ in range(100):
+            key = int(rng.integers(0, 2**32))
+            start = ids[int(rng.integers(len(ids)))]
+            owner, _hops = overlay.lookup(key, start_id=start)
+            assert owner == overlay.owner_of(key)
+
+    def test_cannot_remove_last_node(self):
+        overlay = CanOverlay()
+        overlay.bootstrap("only")
+        with pytest.raises(ChordError):
+            overlay.leave(overlay.node_ids[0])
+
+
+class TestHigherDimensions:
+    @given(st.integers(1, 4))
+    @settings(max_examples=4, deadline=None)
+    def test_any_dimension_tiles(self, dimensions):
+        overlay = CanOverlay(dimensions=dimensions)
+        overlay.build(12, seed=2)
+        overlay.check_invariants()
+
+    def test_3d_routing(self, rng):
+        overlay = CanOverlay(dimensions=3)
+        overlay.build(60, seed=4)
+        ids = overlay.node_ids
+        for _ in range(60):
+            key = int(rng.integers(0, 2**32))
+            start = ids[int(rng.integers(len(ids)))]
+            owner, _ = overlay.lookup(key, start_id=start)
+            assert owner == overlay.owner_of(key)

@@ -1,0 +1,54 @@
+"""Tests for SHA-1 id derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.hashing import (
+    key_id,
+    node_id_for_address,
+    rehash_for_placement,
+    sha1_to_id,
+)
+
+
+class TestSha1ToId:
+    def test_deterministic(self):
+        assert sha1_to_id(b"peer-1") == sha1_to_id(b"peer-1")
+
+    def test_fits_in_m_bits(self):
+        for m in (8, 16, 32, 64):
+            assert 0 <= sha1_to_id(b"x", m) < (1 << m)
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            sha1_to_id(b"x", 0)
+        with pytest.raises(ValueError):
+            sha1_to_id(b"x", 65)
+
+    def test_distinct_inputs_rarely_collide(self):
+        ids = {sha1_to_id(f"peer-{i}".encode()) for i in range(2000)}
+        assert len(ids) == 2000  # 32-bit space, 2000 draws: no collision
+
+
+class TestNodeAndKeyIds:
+    def test_node_id_matches_raw_sha1(self):
+        assert node_id_for_address("10.0.0.1") == sha1_to_id(b"10.0.0.1")
+
+    def test_key_id_separator_prevents_ambiguity(self):
+        assert key_id("ab", "c") != key_id("a", "bc")
+
+    def test_key_id_type_sensitivity(self):
+        assert key_id("Patient", "age", 30) != key_id("Patient", "age", "30")
+
+    def test_rehash_spreads_identifiers(self):
+        """Min-hash identifiers are small; rehashing must spread them over
+        the whole 32-bit ring (this is why 'rehash' placement exists)."""
+        small_ids = range(1000, 3000)
+        rehashed = [rehash_for_placement(i) for i in small_ids]
+        top_quarter = sum(1 for r in rehashed if r >= 3 * (1 << 30))
+        # Uniform placement puts ~25% in the top quarter of the ring.
+        assert 0.15 < top_quarter / len(rehashed) < 0.35
+
+    def test_rehash_deterministic(self):
+        assert rehash_for_placement(12345) == rehash_for_placement(12345)

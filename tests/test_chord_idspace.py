@@ -1,0 +1,93 @@
+"""Tests for circular identifier-space arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chord.idspace import IdSpace
+
+SPACE = IdSpace(m=8)  # small space: every case easy to reason about
+ids = st.integers(0, 255)
+
+
+class TestBasics:
+    def test_size(self):
+        assert IdSpace(8).size == 256
+        assert IdSpace(32).size == 1 << 32
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            IdSpace(0)
+        with pytest.raises(ValueError):
+            IdSpace(65)
+
+    def test_wrap(self):
+        assert SPACE.wrap(256) == 0
+        assert SPACE.wrap(-1) == 255
+
+    def test_distance(self):
+        assert SPACE.distance(10, 20) == 10
+        assert SPACE.distance(250, 5) == 11  # wraps through 0
+        assert SPACE.distance(5, 5) == 0
+
+
+class TestIntervals:
+    def test_open_no_wrap(self):
+        assert SPACE.in_open(5, 1, 10)
+        assert not SPACE.in_open(1, 1, 10)
+        assert not SPACE.in_open(10, 1, 10)
+
+    def test_open_wrapping(self):
+        assert SPACE.in_open(250, 200, 10)
+        assert SPACE.in_open(5, 200, 10)
+        assert not SPACE.in_open(100, 200, 10)
+
+    def test_open_full_circle(self):
+        # a == b denotes the whole circle minus the endpoint.
+        assert SPACE.in_open(5, 7, 7)
+        assert not SPACE.in_open(7, 7, 7)
+
+    def test_half_open_no_wrap(self):
+        assert SPACE.in_half_open(10, 1, 10)
+        assert not SPACE.in_half_open(1, 1, 10)
+
+    def test_half_open_wrapping(self):
+        assert SPACE.in_half_open(10, 200, 10)
+        assert SPACE.in_half_open(255, 200, 10)
+        assert not SPACE.in_half_open(200, 200, 10)
+
+    def test_half_open_full_circle(self):
+        assert SPACE.in_half_open(42, 9, 9)
+        assert SPACE.in_half_open(9, 9, 9)
+
+    @given(ids, ids, ids)
+    def test_open_subset_of_half_open(self, x, a, b):
+        if SPACE.in_open(x, a, b):
+            assert SPACE.in_half_open(x, a, b)
+
+    @given(ids, ids)
+    def test_half_open_contains_endpoint(self, a, b):
+        assert SPACE.in_half_open(b, a, b)
+
+    @given(ids, ids, ids)
+    def test_rotation_invariance(self, x, a, b):
+        """Interval membership is invariant under rotating all points."""
+        shift = 37
+        assert SPACE.in_half_open(x, a, b) == SPACE.in_half_open(
+            x + shift, a + shift, b + shift
+        )
+
+
+class TestFingers:
+    def test_finger_start_values(self):
+        assert SPACE.finger_start(0, 0) == 1
+        assert SPACE.finger_start(0, 7) == 128
+        assert SPACE.finger_start(200, 7) == (200 + 128) % 256
+
+    def test_finger_index_bounds(self):
+        with pytest.raises(ValueError):
+            SPACE.finger_start(0, 8)
+        with pytest.raises(ValueError):
+            SPACE.finger_start(0, -1)

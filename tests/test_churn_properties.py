@@ -1,0 +1,71 @@
+"""Property-based churn tests: overlays stay consistent under any
+membership history hypothesis can invent."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.network import CanOverlay
+from repro.chord.ring import ChordRing
+from repro.util.rng import derive_rng
+
+# A membership script: True = join a fresh node, False = remove one.
+membership_scripts = st.lists(st.booleans(), min_size=1, max_size=24)
+
+
+@given(membership_scripts)
+@settings(max_examples=25, deadline=None)
+def test_chord_ring_consistent_under_any_membership_history(script):
+    ring = ChordRing(m=16)
+    boot = ring.bootstrap("boot")
+    counter = 0
+    for do_join in script:
+        if do_join or len(ring) <= 2:
+            counter += 1
+            try:
+                ring.join(f"node-{counter}", via=boot.node_id)
+            except Exception:
+                continue
+            ring.stabilize()
+        else:
+            victim = next(
+                nid for nid in ring.node_ids if nid != boot.node_id
+            )
+            ring.leave(victim)
+            ring.stabilize()
+    ring.check_invariants()
+    # Routing resolves every probe to the true successor.
+    rng = derive_rng(1, "churn-prop")
+    for _ in range(20):
+        key = int(rng.integers(0, ring.space.size))
+        assert ring.lookup(key, start_id=boot.node_id).owner_id == (
+            ring.successor_of(key)
+        )
+
+
+@given(membership_scripts)
+@settings(max_examples=20, deadline=None)
+def test_can_overlay_tiles_under_any_membership_history(script):
+    overlay = CanOverlay(dimensions=2)
+    overlay.bootstrap("boot")
+    boot_id = overlay.node_ids[0]
+    counter = 0
+    for do_join in script:
+        if do_join or len(overlay) <= 2:
+            counter += 1
+            try:
+                overlay.join(f"node-{counter}")
+            except Exception:
+                continue
+        else:
+            victim = next(nid for nid in overlay.node_ids if nid != boot_id)
+            overlay.leave(victim)
+    overlay.check_invariants()
+    rng = derive_rng(2, "can-churn-prop")
+    ids = overlay.node_ids
+    for _ in range(15):
+        key = int(rng.integers(0, 2**32))
+        start = ids[int(rng.integers(len(ids)))]
+        owner, _hops = overlay.lookup(key, start_id=start)
+        assert owner == overlay.owner_of(key)

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.peers == 200
+        assert args.overlay == "chord"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["flood"])
+
+
+class TestDemo:
+    def test_demo_runs(self):
+        code, text = run_cli("demo", "--peers", "50", "--seed", "3")
+        assert code == 0
+        assert "query [30, 50]" in text
+        assert "query [30, 49]" in text
+
+    def test_demo_on_can(self):
+        code, text = run_cli("demo", "--peers", "40", "--overlay", "can")
+        assert code == 0
+        assert "matched" in text
+
+
+class TestSql:
+    def test_explain(self):
+        code, text = run_cli(
+            "sql",
+            "SELECT name FROM Patient WHERE age BETWEEN 30 AND 50",
+            "--explain",
+            "--patients",
+            "50",
+        )
+        assert code == 0
+        assert "Project" in text and "Select" in text
+
+    def test_execute_with_repeat_shows_caching(self):
+        code, text = run_cli(
+            "sql",
+            "SELECT name FROM Patient WHERE age BETWEEN 30 AND 50",
+            "--patients",
+            "100",
+            "--peers",
+            "30",
+            "--repeat",
+            "2",
+        )
+        assert code == 0
+        assert "run 1:" in text and "run 2:" in text
+        assert "source accesses: 1" in text  # the repeat came from cache
+
+    def test_sql_error_is_reported(self, capsys):
+        code, _ = run_cli("sql", "SELECT FROM WHERE", "--patients", "10")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestInfo:
+    def test_info_prints_defaults(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "k=20" in text
+        assert "match probability" in text
+
+
+class TestExperiments:
+    def test_experiments_quick_writes_reports(self, tmp_path, monkeypatch):
+        # Restrict to a fast subset by monkeypatching the job list is
+        # intrusive; instead just verify dispatch with a tiny custom out dir
+        # and the quick scale, trusting experiment tests for content.
+        import repro.experiments.runall as runall_module
+
+        called = {}
+
+        def fake_run_all(scale: str, results_dir) -> None:
+            called["scale"] = scale
+            called["dir"] = results_dir
+
+        monkeypatch.setattr(runall_module, "run_all", fake_run_all)
+        code, _ = run_cli("experiments", "--scale", "quick", "--out", str(tmp_path))
+        assert code == 0
+        assert called == {"scale": "quick", "dir": str(tmp_path)}

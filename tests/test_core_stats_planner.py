@@ -1,0 +1,156 @@
+"""Tests for statistics-based routing (Section 6 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.stats_planner import (
+    AdaptiveRoutingProvider,
+    CostModel,
+    LeafStatistics,
+    StatisticsRegistry,
+)
+from repro.core.system import RangeSelectionSystem
+from repro.db.plan.nodes import LeafSelection
+from repro.db.predicates import RangePredicate
+from repro.errors import ConfigError
+from repro.experiments.ext_stats_planning import (
+    VALUE_DOMAIN,
+    StatsPlanningExperiment,
+    synthetic_catalog,
+)
+from repro.ranges.interval import IntRange
+
+
+class TestLeafStatistics:
+    def test_cold_prior_is_half(self):
+        assert LeafStatistics().hit_rate == 0.5
+
+    def test_records_accumulate(self):
+        stats = LeafStatistics()
+        stats.record_probe(True, hops=10)
+        stats.record_probe(False, hops=20)
+        assert stats.probes == 2
+        assert stats.cache_answers == 1
+        assert stats.mean_probe_hops == 15.0
+
+    def test_ewma_moves_toward_observations(self):
+        stats = LeafStatistics()
+        for _ in range(30):
+            stats.record_probe(True, hops=1)
+        assert stats.hit_rate > 0.95
+        for _ in range(30):
+            stats.record_probe(False, hops=1)
+        assert stats.hit_rate < 0.05
+
+
+class TestStatisticsRegistry:
+    def test_streams_are_separate(self):
+        registry = StatisticsRegistry()
+        registry.for_leaf("R", "a").record_probe(True, 1)
+        assert registry.for_leaf("R", "b").probes == 0
+        assert registry.for_leaf("R", "a").probes == 1
+
+    def test_snapshot(self):
+        registry = StatisticsRegistry()
+        registry.for_leaf("R", "a")
+        assert ("R", "a") in registry.snapshot()
+
+
+class TestCostModel:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CostModel(hop_cost=-1)
+
+    def test_probe_cost_uses_prior_when_cold(self):
+        model = CostModel(hop_cost=1, source_cost=50)
+        cold = LeafStatistics()
+        assert model.expected_probe_cost(cold, fallback_hops=20.0) == pytest.approx(
+            20.0 + 0.5 * 50
+        )
+
+    def test_probe_cost_drops_with_hit_rate(self):
+        model = CostModel(hop_cost=1, source_cost=50)
+        hot = LeafStatistics()
+        for _ in range(50):
+            hot.record_probe(True, hops=10)
+        cold = LeafStatistics()
+        for _ in range(50):
+            cold.record_probe(False, hops=10)
+        assert model.expected_probe_cost(hot, 20.0) < model.expected_probe_cost(
+            cold, 20.0
+        )
+
+
+class TestAdaptiveRoutingProvider:
+    def _provider(self) -> AdaptiveRoutingProvider:
+        catalog = synthetic_catalog()
+        system = RangeSelectionSystem(
+            SystemConfig(
+                n_peers=40, matcher="containment", domain=VALUE_DOMAIN, seed=3
+            )
+        )
+        return AdaptiveRoutingProvider(catalog, system)
+
+    def _leaf(self, start: int, end: int) -> LeafSelection:
+        return LeafSelection(
+            relation="R", primary=RangePredicate("R", "value", IntRange(start, end))
+        )
+
+    def test_rows_always_correct(self):
+        provider = self._provider()
+        for _ in range(3):
+            result = provider.fetch(self._leaf(100, 150))
+            values = sorted(row[0] for row in result.rows)
+            assert values == list(range(100, 151))
+
+    def test_repeated_identical_leaves_become_cache_hits(self):
+        provider = self._provider()
+        origins = [provider.fetch(self._leaf(100, 150)).origin for _ in range(6)]
+        assert "cache" in origins[1:]
+
+    def test_decision_counts_tracked(self):
+        provider = self._provider()
+        for i in range(12):
+            provider.fetch(self._leaf(i * 10, i * 10 + 5))
+        total = sum(provider.decision_counts.values())
+        assert total == 12
+
+    def test_explore_every_validation(self):
+        catalog = synthetic_catalog()
+        system = RangeSelectionSystem(
+            SystemConfig(n_peers=10, domain=VALUE_DOMAIN, seed=4)
+        )
+        with pytest.raises(ConfigError):
+            AdaptiveRoutingProvider(catalog, system, explore_every=1)
+
+    def test_bare_scan_goes_to_source(self):
+        provider = self._provider()
+        result = provider.fetch(LeafSelection(relation="R", primary=None))
+        assert result.origin == "source"
+        assert len(result.rows) == VALUE_DOMAIN.size
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return StatsPlanningExperiment.quick().run()
+
+    def test_probe_wins_on_clustered(self, outcome):
+        assert outcome.total("clustered", "always-probe") < outcome.total(
+            "clustered", "always-direct"
+        )
+
+    def test_adaptive_tracks_best_fixed_policy(self, outcome):
+        for regime in outcome.costs:
+            best_fixed = min(
+                outcome.total(regime, "always-probe"),
+                outcome.total(regime, "always-direct"),
+            )
+            assert outcome.total(regime, "adaptive") <= best_fixed * 1.35
+
+    def test_report_renders(self, outcome):
+        text = outcome.report()
+        assert "statistics-based routing" in text
+        assert "adaptive" in text

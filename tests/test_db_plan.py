@@ -1,0 +1,248 @@
+"""Tests for the planner and executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.catalog import medical_catalog
+from repro.db.plan.executor import SourceProvider, execute_plan
+from repro.db.plan.nodes import ColumnEqualsFilter, JoinNode, LeafSelection, ProjectNode
+from repro.db.plan.planner import plan_select
+from repro.db.predicates import EqualityPredicate, RangePredicate
+from repro.db.sql.parser import parse_select
+from repro.errors import PlanningError, UnsupportedQueryError
+from repro.ranges.interval import IntRange
+
+
+CATALOG = medical_catalog(n_patients=300, n_physicians=10)
+SCHEMA = CATALOG.schema
+
+
+def plan(sql: str) -> ProjectNode:
+    return plan_select(parse_select(sql), SCHEMA)
+
+
+def run(sql: str):
+    return execute_plan(plan(sql), SCHEMA, SourceProvider(CATALOG))
+
+
+class TestPlanner:
+    def test_selection_pushdown_shape(self):
+        p = plan(
+            "SELECT Prescription.prescription FROM Patient, Diagnosis, Prescription "
+            "WHERE age BETWEEN 30 AND 50 AND diagnosis = 'Glaucoma' "
+            "AND Patient.patient_id = Diagnosis.patient_id "
+            "AND Diagnosis.prescription_id = Prescription.prescription_id"
+        )
+        assert isinstance(p, ProjectNode)
+        top = p.child
+        assert isinstance(top, JoinNode)
+        # The leaves carry the pushed-down selections.
+        leaves = _collect_leaves(p)
+        patient = leaves["Patient"]
+        assert isinstance(patient.primary, RangePredicate)
+        assert patient.primary.range == IntRange(30, 50)
+        diagnosis = leaves["Diagnosis"]
+        assert isinstance(diagnosis.primary, EqualityPredicate)
+
+    def test_unqualified_column_resolution(self):
+        p = plan("SELECT * FROM Patient WHERE age >= 100")
+        leaf = _collect_leaves(p)["Patient"]
+        assert leaf.primary is not None
+        assert leaf.primary.relation == "Patient"
+
+    def test_ambiguous_column_rejected(self):
+        # Both Patient and Physician declare "age".
+        with pytest.raises(PlanningError):
+            plan(
+                "SELECT * FROM Patient, Physician "
+                "WHERE age >= 30 AND Patient.patient_id = Physician.physician_id"
+            )
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(PlanningError):
+            plan("SELECT * FROM Nurse")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(PlanningError):
+            plan("SELECT * FROM Patient WHERE weight >= 3")
+
+    def test_disconnected_join_graph_rejected(self):
+        with pytest.raises(PlanningError):
+            plan("SELECT * FROM Patient, Prescription WHERE age >= 30")
+
+    def test_contradictory_range_rejected(self):
+        with pytest.raises(PlanningError):
+            plan("SELECT * FROM Patient WHERE age >= 50 AND age <= 30")
+
+    def test_two_range_attributes_rejected(self):
+        """The paper's restriction: one selection attribute per relation."""
+        with pytest.raises(UnsupportedQueryError):
+            plan(
+                "SELECT * FROM Patient "
+                "WHERE age >= 30 AND patient_id <= 100"
+            )
+
+    def test_strict_inequalities_tighten_range(self):
+        p = plan("SELECT * FROM Patient WHERE age > 30 AND age < 50")
+        leaf = _collect_leaves(p)["Patient"]
+        assert isinstance(leaf.primary, RangePredicate)
+        assert leaf.primary.range == IntRange(31, 49)
+
+    def test_star_projection_covers_all_columns(self):
+        p = plan("SELECT * FROM Patient")
+        assert ("Patient", "age") in p.columns
+        assert len(p.columns) == 3
+
+    def test_redundant_join_becomes_filter(self):
+        p = plan(
+            "SELECT * FROM Patient, Diagnosis "
+            "WHERE Patient.patient_id = Diagnosis.patient_id "
+            "AND Diagnosis.patient_id = Patient.patient_id"
+        )
+        assert isinstance(p.child, ColumnEqualsFilter)
+
+    def test_pretty_renders_all_nodes(self):
+        text = plan(
+            "SELECT name FROM Patient WHERE age BETWEEN 30 AND 50"
+        ).pretty()
+        assert "Project" in text and "Select" in text
+
+
+class TestExecutor:
+    def test_single_relation_selection(self):
+        result = run("SELECT age FROM Patient WHERE age BETWEEN 30 AND 50")
+        assert len(result) > 0
+        assert all(30 <= row[0] <= 50 for row in result.rows)
+
+    def test_matches_manual_count(self):
+        result = run("SELECT * FROM Patient WHERE age >= 90")
+        expected = CATALOG.relation("Patient").select_range(
+            "age", IntRange(90, 120)
+        )
+        assert len(result) == len(expected)
+
+    def test_join_correctness_against_nested_loop(self):
+        result = run(
+            "SELECT Patient.patient_id, diagnosis FROM Patient, Diagnosis "
+            "WHERE age BETWEEN 30 AND 60 "
+            "AND Patient.patient_id = Diagnosis.patient_id"
+        )
+        # Naive reference: nested loops over the base data.
+        patients = {
+            row[0]: row
+            for row in CATALOG.relation("Patient").scan()
+            if 30 <= row[2] <= 60
+        }
+        expected = [
+            (row[0], row[1])
+            for row in CATALOG.relation("Diagnosis").scan()
+            if row[0] in patients
+        ]
+        assert sorted(result.rows) == sorted(expected)
+
+    def test_three_way_paper_query_runs(self):
+        result = run(
+            "SELECT Prescription.prescription FROM Patient, Diagnosis, Prescription "
+            "WHERE age BETWEEN 30 AND 50 AND diagnosis = 'Glaucoma' "
+            "AND Patient.patient_id = Diagnosis.patient_id "
+            "AND date BETWEEN DATE '2000-01-01' AND DATE '2002-12-31' "
+            "AND Diagnosis.prescription_id = Prescription.prescription_id"
+        )
+        assert result.stats.min_coverage == 1.0
+        # Every result must actually be a Glaucoma prescription in range.
+        diagnosis_by_rx = {
+            row[3]: row[1] for row in CATALOG.relation("Diagnosis").scan()
+        }
+        assert all(row for row in result.rows)
+        for row in result.rows:
+            assert isinstance(row[0], str)
+        assert set(result.stats.leaf_origins.values()) == {"source"}
+        assert diagnosis_by_rx  # sanity: data exists
+
+    def test_decoded_rows_convert_dates(self):
+        import datetime as dt
+
+        result = run(
+            "SELECT date FROM Prescription "
+            "WHERE date BETWEEN DATE '2000-01-01' AND DATE '2000-12-31'"
+        )
+        decoded = result.decoded_rows(SCHEMA)
+        assert all(isinstance(row[0], dt.date) for row in decoded)
+
+    def test_bare_scan_counts_source_access(self):
+        before = CATALOG.source_accesses
+        run("SELECT * FROM Physician")
+        assert CATALOG.source_accesses == before + 1
+
+    def test_redundant_join_filter_executes(self):
+        result = run(
+            "SELECT Patient.patient_id FROM Patient, Diagnosis "
+            "WHERE Patient.patient_id = Diagnosis.patient_id "
+            "AND Diagnosis.patient_id = Patient.patient_id"
+        )
+        assert len(result) == 300  # one diagnosis per patient
+
+
+def _collect_leaves(node) -> dict[str, LeafSelection]:
+    out: dict[str, LeafSelection] = {}
+
+    def walk(n):
+        if isinstance(n, LeafSelection):
+            out[n.relation] = n
+        elif isinstance(n, JoinNode):
+            walk(n.left)
+            walk(n.right)
+        elif isinstance(n, (ProjectNode, ColumnEqualsFilter)):
+            walk(n.child)
+
+    walk(node)
+    return out
+
+
+class TestOrderByLimitExecution:
+    def test_order_by_ascending(self):
+        result = run(
+            "SELECT age FROM Patient WHERE age BETWEEN 30 AND 60 ORDER BY age"
+        )
+        ages = [row[0] for row in result.rows]
+        assert ages == sorted(ages)
+
+    def test_order_by_descending_with_limit(self):
+        result = run(
+            "SELECT age FROM Patient ORDER BY age DESC LIMIT 5"
+        )
+        ages = [row[0] for row in result.rows]
+        assert len(ages) == 5
+        assert ages == sorted(ages, reverse=True)
+        top = max(row[2] for row in CATALOG.relation("Patient").scan())
+        assert ages[0] == top
+
+    def test_order_by_non_projected_column(self):
+        result = run(
+            "SELECT name FROM Patient WHERE age BETWEEN 30 AND 40 "
+            "ORDER BY age DESC"
+        )
+        # The projection drops age but ordering by it must still apply:
+        # reconstruct ages by name to verify.
+        age_by_name = {
+            row[1]: row[2] for row in CATALOG.relation("Patient").scan()
+        }
+        ages = [age_by_name[row[0]] for row in result.rows]
+        assert ages == sorted(ages, reverse=True)
+
+    def test_multi_key_ordering_is_stable(self):
+        result = run(
+            "SELECT age, patient_id FROM Patient ORDER BY age, patient_id DESC "
+            "LIMIT 50"
+        )
+        rows = result.rows
+        assert rows == sorted(rows, key=lambda r: (r[0], -r[1]))
+
+    def test_limit_zero(self):
+        assert len(run("SELECT * FROM Patient LIMIT 0")) == 0
+
+    def test_plan_prints_order_and_limit(self):
+        text = plan("SELECT age FROM Patient ORDER BY age DESC LIMIT 3").pretty()
+        assert "ORDER BY Patient.age DESC" in text
+        assert "LIMIT 3" in text

@@ -1,0 +1,145 @@
+"""Tests for relations, predicates and partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.db.predicates import EqualityPredicate, RangePredicate, TruePredicate
+from repro.db.relation import Relation
+from repro.db.schema import Attribute, AttrType, RelationSchema
+from repro.errors import SchemaError
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+
+SCHEMA = RelationSchema(
+    "Patient",
+    (
+        Attribute("patient_id", AttrType.INT, Domain("pid", 0, 10**6)),
+        Attribute("name", AttrType.STRING),
+        Attribute("age", AttrType.INT, Domain("age", 0, 120)),
+    ),
+)
+
+
+def sample_relation() -> Relation:
+    relation = Relation(SCHEMA)
+    for pid, age in enumerate((25, 30, 35, 40, 45, 50, 55)):
+        relation.insert({"patient_id": pid, "name": f"p{pid}", "age": age})
+    return relation
+
+
+class TestRelation:
+    def test_insert_and_len(self):
+        assert len(sample_relation()) == 7
+
+    def test_select_range(self):
+        rows = sample_relation().select_range("age", IntRange(30, 50))
+        assert [r[2] for r in rows] == [30, 35, 40, 45, 50]
+
+    def test_select_with_predicate(self):
+        pred = RangePredicate("Patient", "age", IntRange(30, 50))
+        assert len(sample_relation().select(pred)) == 5
+
+    def test_select_wrong_relation_predicate(self):
+        pred = RangePredicate("Doctor", "age", IntRange(0, 1))
+        with pytest.raises(SchemaError):
+            sample_relation().select(pred)
+
+    def test_project(self):
+        rows = sample_relation().project(["age", "name"])
+        assert rows[0] == (25, "p0")
+
+    def test_insert_encoded_arity_check(self):
+        relation = sample_relation()
+        with pytest.raises(SchemaError):
+            relation.insert_encoded((1, "x"))
+
+    def test_insert_many(self):
+        relation = Relation(SCHEMA)
+        n = relation.insert_many(
+            {"patient_id": i, "name": "x", "age": 20} for i in range(3)
+        )
+        assert n == 3 and len(relation) == 3
+
+    def test_decoded_rows(self):
+        relation = Relation(SCHEMA)
+        relation.insert({"patient_id": 1, "name": "a", "age": 30})
+        assert relation.decoded_rows() == [
+            {"patient_id": 1, "name": "a", "age": 30}
+        ]
+
+
+class TestPredicates:
+    def test_range_predicate_matches(self):
+        pred = RangePredicate("Patient", "age", IntRange(30, 50))
+        row = SCHEMA.encode_row({"patient_id": 1, "name": "x", "age": 30})
+        assert pred.matches(row, SCHEMA)
+        row2 = SCHEMA.encode_row({"patient_id": 1, "name": "x", "age": 29})
+        assert not pred.matches(row2, SCHEMA)
+
+    def test_range_predicate_validation(self):
+        pred = RangePredicate("Patient", "name", IntRange(0, 1))
+        with pytest.raises(SchemaError):
+            pred.validate_against(SCHEMA)
+
+    def test_range_predicate_widen_clamps(self):
+        pred = RangePredicate("Patient", "age", IntRange(0, 50))
+        widened = pred.widen(0.2, SCHEMA)
+        assert widened.range.start == 0  # clamped at the domain floor
+        assert widened.range.end == 60
+
+    def test_equality_predicate(self):
+        pred = EqualityPredicate("Patient", "name", "p3")
+        row = SCHEMA.encode_row({"patient_id": 3, "name": "p3", "age": 40})
+        assert pred.matches(row, SCHEMA)
+
+    def test_equality_as_point_range(self):
+        pred = EqualityPredicate("Patient", "age", 30)
+        point = pred.as_point_range(SCHEMA)
+        assert point is not None and point.range == IntRange(30, 30)
+        assert EqualityPredicate("Patient", "name", "x").as_point_range(SCHEMA) is None
+
+    def test_true_predicate(self):
+        row = SCHEMA.encode_row({"patient_id": 1, "name": "x", "age": 30})
+        assert TruePredicate("Patient").matches(row, SCHEMA)
+
+    def test_describe_strings(self):
+        assert "30" in RangePredicate("P", "age", IntRange(30, 50)).describe()
+        assert "Glaucoma" in EqualityPredicate("D", "d", "Glaucoma").describe()
+
+
+class TestPartition:
+    def test_descriptor_similarities(self):
+        desc = PartitionDescriptor("Patient", "age", IntRange(30, 50))
+        assert desc.jaccard_to(IntRange(30, 49)) == pytest.approx(20 / 21)
+        assert desc.containment_of(IntRange(35, 45)) == 1.0
+        assert desc.answers_exactly(IntRange(30, 50))
+        assert desc.can_answer(IntRange(31, 49))
+        assert not desc.can_answer(IntRange(29, 49))
+
+    def test_restrict_trims_rows(self):
+        relation = sample_relation()
+        rows = relation.select_range("age", IntRange(25, 55))
+        partition = Partition.from_rows("Patient", "age", IntRange(25, 55), rows)
+        narrowed = partition.restrict(IntRange(30, 50), SCHEMA.position("age"))
+        assert [r[2] for r in narrowed.rows] == [30, 35, 40, 45, 50]
+        assert narrowed.descriptor.range == IntRange(30, 50)
+
+    def test_restrict_disjoint_yields_empty(self):
+        partition = Partition.from_rows("Patient", "age", IntRange(25, 30), [])
+        empty = partition.restrict(IntRange(90, 95), SCHEMA.position("age"))
+        assert empty.rows == ()
+
+    def test_size_bytes_grows_with_rows(self):
+        small = Partition.from_rows("P", "age", IntRange(0, 1), [(1, "a", 30)])
+        large = Partition.from_rows(
+            "P", "age", IntRange(0, 1), [(i, "a", 30) for i in range(10)]
+        )
+        assert large.size_bytes > small.size_bytes
+
+    def test_descriptor_ordering_and_str(self):
+        a = PartitionDescriptor("A", "x", IntRange(0, 1))
+        b = PartitionDescriptor("B", "x", IntRange(0, 1))
+        assert a < b
+        assert str(a) == "A.x[0, 1]"

@@ -1,0 +1,158 @@
+"""Tests for schemas, attribute typing and the medical catalog."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.db.catalog import medical_catalog, medical_schema
+from repro.db.schema import Attribute, AttrType, GlobalSchema, RelationSchema
+from repro.errors import SchemaError
+from repro.ranges.domain import Domain
+
+
+AGE = Domain("age", 0, 120)
+
+
+class TestAttribute:
+    def test_orderable_needs_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("age", AttrType.INT)
+
+    def test_string_cannot_have_domain(self):
+        with pytest.raises(SchemaError):
+            Attribute("name", AttrType.STRING, AGE)
+
+    def test_int_encoding_validates_domain(self):
+        attr = Attribute("age", AttrType.INT, AGE)
+        assert attr.encode(30) == 30
+        with pytest.raises(SchemaError):
+            attr.encode("30")
+        with pytest.raises(SchemaError):
+            attr.encode(True)  # bool is not an int here
+
+    def test_date_encoding_roundtrip(self):
+        domain = Domain.for_dates("d", dt.date(2000, 1, 1), dt.date(2003, 1, 1))
+        attr = Attribute("d", AttrType.DATE, domain)
+        day = dt.date(2002, 6, 15)
+        assert attr.decode(attr.encode(day)) == day
+
+    def test_orderable_property(self):
+        assert AttrType.INT.orderable
+        assert AttrType.DATE.orderable
+        assert not AttrType.STRING.orderable
+
+
+class TestRelationSchema:
+    def make(self) -> RelationSchema:
+        return RelationSchema(
+            "Patient",
+            (
+                Attribute("patient_id", AttrType.INT, Domain("pid", 0, 10**6)),
+                Attribute("name", AttrType.STRING),
+                Attribute("age", AttrType.INT, AGE),
+            ),
+        )
+
+    def test_positions(self):
+        schema = self.make()
+        assert schema.position("age") == 2
+        assert schema.attribute("name").type is AttrType.STRING
+
+    def test_unknown_attribute(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.attribute("weight")
+        with pytest.raises(SchemaError):
+            schema.position("weight")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(
+                "R",
+                (
+                    Attribute("a", AttrType.STRING),
+                    Attribute("a", AttrType.STRING),
+                ),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_encode_row_roundtrip(self):
+        schema = self.make()
+        row = schema.encode_row({"patient_id": 1, "name": "n", "age": 30})
+        assert row == (1, "n", 30)
+        assert schema.decode_row(row) == {"patient_id": 1, "name": "n", "age": 30}
+
+    def test_encode_row_missing_and_unknown(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.encode_row({"patient_id": 1, "name": "n"})
+        with pytest.raises(SchemaError):
+            schema.encode_row(
+                {"patient_id": 1, "name": "n", "age": 30, "extra": 1}
+            )
+
+
+class TestGlobalSchema:
+    def test_medical_schema_has_paper_relations(self):
+        schema = medical_schema()
+        for name in ("Patient", "Diagnosis", "Physician", "Prescription"):
+            assert schema.has_relation(name)
+
+    def test_unknown_relation(self):
+        with pytest.raises(SchemaError):
+            medical_schema().relation("Nurse")
+
+    def test_duplicate_relations_rejected(self):
+        r = RelationSchema("R", (Attribute("a", AttrType.STRING),))
+        with pytest.raises(SchemaError):
+            GlobalSchema((r, r))
+
+    def test_relations_with_attribute(self):
+        schema = medical_schema()
+        hits = [r.name for r in schema.relations_with_attribute("age")]
+        assert set(hits) == {"Patient", "Physician"}
+
+
+class TestMedicalCatalog:
+    def test_referential_consistency(self):
+        catalog = medical_catalog(n_patients=100, n_physicians=5)
+        patients = {
+            row[0] for row in catalog.relation("Patient").scan()
+        }
+        prescriptions = {
+            row[0] for row in catalog.relation("Prescription").scan()
+        }
+        for row in catalog.relation("Diagnosis").scan():
+            assert row[0] in patients
+            assert row[3] in prescriptions
+
+    def test_sizes(self):
+        catalog = medical_catalog(n_patients=50, n_physicians=7)
+        assert len(catalog.relation("Patient")) == 50
+        assert len(catalog.relation("Physician")) == 7
+        assert len(catalog.relation("Diagnosis")) == 50
+        assert len(catalog.relation("Prescription")) == 50
+
+    def test_source_access_counter(self):
+        from repro.db.predicates import EqualityPredicate
+
+        catalog = medical_catalog(n_patients=10)
+        assert catalog.source_accesses == 0
+        catalog.fetch_from_source(
+            EqualityPredicate("Diagnosis", "diagnosis", "Glaucoma")
+        )
+        assert catalog.source_accesses == 1
+
+    def test_relation_names(self):
+        catalog = medical_catalog(n_patients=5)
+        assert catalog.relation_names == [
+            "Diagnosis",
+            "Patient",
+            "Physician",
+            "Prescription",
+        ]

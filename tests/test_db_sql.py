@@ -1,0 +1,186 @@
+"""Tests for the SQL lexer and parser."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.db.sql.ast import ColumnRef
+from repro.db.sql.lexer import TokenKind, tokenize
+from repro.db.sql.parser import parse_select
+from repro.errors import SQLSyntaxError
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where and BETWEEN")
+        assert [t.kind for t in tokens[:-1]] == [TokenKind.KEYWORD] * 5
+        assert tokens[0].text == "SELECT"
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Patient age_2")
+        assert tokens[0].text == "Patient"
+        assert tokens[1].text == "age_2"
+
+    def test_numbers(self):
+        tokens = tokenize("30 -5")
+        assert tokens[0].kind is TokenKind.NUMBER and tokens[0].text == "30"
+        assert tokens[1].text == "-5"
+
+    def test_strings(self):
+        tokens = tokenize("'Glaucoma'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "Glaucoma"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("<= >= < > =")
+        assert [t.text for t in tokens[:-1]] == ["<=", ">=", "<", ">", "="]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @ from x")
+
+    def test_end_token(self):
+        assert tokenize("x")[-1].kind is TokenKind.END
+
+
+class TestParserBasics:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM Patient")
+        assert stmt.is_star
+        assert stmt.relations == ("Patient",)
+
+    def test_column_list(self):
+        stmt = parse_select("SELECT name, Patient.age FROM Patient")
+        assert stmt.columns == (
+            ColumnRef(None, "name"),
+            ColumnRef("Patient", "age"),
+        )
+
+    def test_multiple_relations(self):
+        stmt = parse_select("SELECT * FROM Patient, Diagnosis")
+        assert stmt.relations == ("Patient", "Diagnosis")
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM Patient, Patient")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM Patient garbage garbage")
+
+
+class TestConditions:
+    def test_comparison_column_first(self):
+        stmt = parse_select("SELECT * FROM P WHERE age >= 30")
+        (cmp,) = stmt.comparisons
+        assert (cmp.column.name, cmp.op, cmp.literal.value) == ("age", ">=", 30)
+
+    def test_comparison_literal_first_is_flipped(self):
+        stmt = parse_select("SELECT * FROM P WHERE 30 <= age")
+        (cmp,) = stmt.comparisons
+        assert (cmp.column.name, cmp.op, cmp.literal.value) == ("age", ">=", 30)
+
+    def test_between_expands_to_two_comparisons(self):
+        stmt = parse_select("SELECT * FROM P WHERE age BETWEEN 30 AND 50")
+        ops = [(c.op, c.literal.value) for c in stmt.comparisons]
+        assert ops == [(">=", 30), ("<=", 50)]
+
+    def test_string_equality(self):
+        stmt = parse_select("SELECT * FROM D WHERE diagnosis = 'Glaucoma'")
+        (cmp,) = stmt.comparisons
+        assert cmp.literal.value == "Glaucoma"
+        assert cmp.literal.kind == "str"
+
+    def test_date_literal(self):
+        stmt = parse_select("SELECT * FROM P WHERE date >= DATE '2000-01-01'")
+        (cmp,) = stmt.comparisons
+        assert cmp.literal.value == dt.date(2000, 1, 1)
+        assert cmp.literal.kind == "date"
+
+    def test_date_column_name_still_works(self):
+        # "date" is both an attribute name and the literal prefix.
+        stmt = parse_select(
+            "SELECT * FROM P WHERE date BETWEEN DATE '2000-01-01' AND DATE '2001-01-01'"
+        )
+        assert stmt.comparisons[0].column.name == "date"
+
+    def test_bad_date_literal(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM P WHERE date >= DATE 'not-a-date'")
+
+    def test_join_condition(self):
+        stmt = parse_select(
+            "SELECT * FROM A, B WHERE A.x = B.y AND A.v >= 3"
+        )
+        (join,) = stmt.joins
+        assert (str(join.left), str(join.right)) == ("A.x", "B.y")
+        assert len(stmt.comparisons) == 1
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM A, B WHERE A.x < B.y")
+
+    def test_inequality_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM A WHERE x <> 3")
+
+    def test_missing_literal(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM A WHERE x >=")
+
+
+class TestPaperQuery:
+    SQL = """
+    Select Prescription.prescription
+    from Patient, Diagnosis, Prescription
+    where 30 <= age and age <= 50
+    and diagnosis = 'Glaucoma'
+    and Patient.patient_id = Diagnosis.patient_id
+    and date between DATE '2000-01-01' and DATE '2002-12-31'
+    and Diagnosis.prescription_id = Prescription.prescription_id
+    """
+
+    def test_full_parse(self):
+        stmt = parse_select(self.SQL)
+        assert stmt.relations == ("Patient", "Diagnosis", "Prescription")
+        assert len(stmt.joins) == 2
+        assert len(stmt.comparisons) == 5  # two age + one diagnosis + two date
+
+
+class TestOrderByAndLimit:
+    def test_order_by_single_key(self):
+        stmt = parse_select("SELECT age FROM Patient ORDER BY age")
+        (key,) = stmt.order_by
+        assert key.column.name == "age" and key.ascending
+
+    def test_order_by_desc_and_multiple_keys(self):
+        stmt = parse_select(
+            "SELECT * FROM P ORDER BY a DESC, P.b ASC, c"
+        )
+        directions = [(k.column.name, k.ascending) for k in stmt.order_by]
+        assert directions == [("a", False), ("b", True), ("c", True)]
+
+    def test_limit(self):
+        stmt = parse_select("SELECT * FROM P LIMIT 5")
+        assert stmt.limit == 5
+
+    def test_order_by_with_limit_after_where(self):
+        stmt = parse_select(
+            "SELECT age FROM Patient WHERE age >= 30 ORDER BY age DESC LIMIT 3"
+        )
+        assert stmt.limit == 3
+        assert not stmt.order_by[0].ascending
+
+    def test_limit_rejects_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM P LIMIT x")
+
+    def test_order_requires_by(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_select("SELECT * FROM P ORDER age")

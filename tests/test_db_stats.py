@@ -1,0 +1,158 @@
+"""Tests for table statistics and statistics-driven join ordering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.catalog import medical_catalog
+from repro.db.plan.executor import SourceProvider, execute_plan
+from repro.db.plan.nodes import JoinNode, LeafSelection
+from repro.db.plan.planner import plan_select
+from repro.db.predicates import EqualityPredicate, RangePredicate, TruePredicate
+from repro.db.sql.parser import parse_select
+from repro.db.stats import EquiWidthHistogram, TableStatistics, analyze
+from repro.errors import SchemaError
+from repro.ranges.interval import IntRange
+
+
+class TestEquiWidthHistogram:
+    def test_build_and_total(self):
+        histogram = EquiWidthHistogram.build(
+            list(range(0, 100)), low=0, high=99, n_buckets=10
+        )
+        assert histogram.total == 100
+        assert histogram.counts == (10,) * 10
+
+    def test_estimate_exact_for_uniform_data(self):
+        histogram = EquiWidthHistogram.build(
+            list(range(0, 100)), low=0, high=99, n_buckets=10
+        )
+        assert histogram.estimate_range(IntRange(0, 49)) == pytest.approx(50.0)
+        assert histogram.estimate_range(IntRange(25, 34)) == pytest.approx(10.0)
+
+    def test_estimate_outside_data(self):
+        histogram = EquiWidthHistogram.build([5, 6, 7], low=0, high=99)
+        assert histogram.estimate_range(IntRange(90, 99)) == 0.0
+
+    def test_point_estimate(self):
+        histogram = EquiWidthHistogram.build(
+            [10] * 50, low=0, high=99, n_buckets=10
+        )
+        assert histogram.estimate_point(10) == pytest.approx(5.0)  # 50/10 wide
+        assert histogram.estimate_point(500) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            EquiWidthHistogram(low=5, high=4, counts=(1,))
+        with pytest.raises(SchemaError):
+            EquiWidthHistogram.build([], low=0, high=9, n_buckets=0)
+        with pytest.raises(SchemaError):
+            EquiWidthHistogram.build([100], low=0, high=9)
+
+    @given(
+        st.lists(st.integers(0, 200), min_size=1, max_size=200),
+        st.tuples(st.integers(0, 200), st.integers(0, 200)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_estimates_conserve_mass(self, values, endpoints):
+        histogram = EquiWidthHistogram.build(values, low=0, high=200, n_buckets=16)
+        full = histogram.estimate_range(IntRange(0, 200))
+        assert full == pytest.approx(len(values), rel=1e-9)
+        query = IntRange(min(endpoints), max(endpoints))
+        partial = histogram.estimate_range(query)
+        assert -1e-9 <= partial <= len(values) + 1e-9
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        return medical_catalog(n_patients=400, n_physicians=10)
+
+    def test_row_counts(self, catalog):
+        stats = catalog.analyze()
+        assert stats["Patient"].row_count == 400
+        assert stats["Physician"].row_count == 10
+
+    def test_histogram_estimate_close_to_truth(self, catalog):
+        stats = catalog.analyze(n_buckets=16)
+        predicate = RangePredicate("Patient", "age", IntRange(30, 50))
+        truth = len(catalog.relation("Patient").select(predicate))
+        estimate = stats["Patient"].estimate_predicate(predicate)
+        assert truth * 0.5 - 8 <= estimate <= truth * 2.0 + 8
+
+    def test_string_counts_exact(self, catalog):
+        stats = catalog.analyze()
+        predicate = EqualityPredicate("Diagnosis", "diagnosis", "Glaucoma")
+        truth = len(catalog.relation("Diagnosis").select(predicate))
+        assert stats["Diagnosis"].estimate_predicate(predicate) == truth
+
+    def test_true_predicate(self, catalog):
+        stats = catalog.analyze()
+        assert stats["Patient"].estimate_predicate(
+            TruePredicate("Patient")
+        ) == 400
+
+    def test_conjunction_independence(self, catalog):
+        stats = catalog.analyze()
+        both = stats["Patient"].estimate_leaf(
+            [
+                RangePredicate("Patient", "age", IntRange(0, 120)),
+                RangePredicate("Patient", "age", IntRange(30, 50)),
+            ]
+        )
+        one = stats["Patient"].estimate_leaf(
+            [RangePredicate("Patient", "age", IntRange(30, 50))]
+        )
+        assert both <= one + 1e-9
+
+    def test_empty_relation_estimates_zero(self):
+        stats = TableStatistics(row_count=0)
+        assert stats.estimate_leaf([TruePredicate("R")]) == 0.0
+
+
+class TestStatisticsDrivenJoinOrder:
+    SQL = (
+        "SELECT Prescription.prescription FROM Prescription, Patient, Diagnosis "
+        "WHERE age BETWEEN 30 AND 50 AND diagnosis = 'Glaucoma' "
+        "AND Patient.patient_id = Diagnosis.patient_id "
+        "AND Diagnosis.prescription_id = Prescription.prescription_id"
+    )
+
+    def test_smallest_leaf_becomes_build_base(self):
+        catalog = medical_catalog(n_patients=400)
+        statistics = catalog.analyze()
+        plan = plan_select(parse_select(self.SQL), catalog.schema, statistics)
+        # Deepest leaf (the starting relation) must be the most selective
+        # one — Diagnosis (equality on one disease) or Patient (age range),
+        # never the unselected Prescription that FROM lists first.
+        node = plan.child
+        while isinstance(node, JoinNode):
+            node = node.left
+        assert isinstance(node, LeafSelection)
+        assert node.relation != "Prescription"
+
+    def test_results_identical_with_and_without_statistics(self):
+        catalog = medical_catalog(n_patients=300)
+        statistics = catalog.analyze()
+        with_stats = execute_plan(
+            plan_select(parse_select(self.SQL), catalog.schema, statistics),
+            catalog.schema,
+            SourceProvider(catalog),
+        )
+        without = execute_plan(
+            plan_select(parse_select(self.SQL), catalog.schema),
+            catalog.schema,
+            SourceProvider(catalog),
+        )
+        assert sorted(with_stats.rows) == sorted(without.rows)
+
+    def test_from_order_preserved_without_statistics(self):
+        catalog = medical_catalog(n_patients=100)
+        plan = plan_select(parse_select(self.SQL), catalog.schema)
+        node = plan.child
+        while isinstance(node, JoinNode):
+            node = node.left
+        assert isinstance(node, LeafSelection)
+        assert node.relation == "Prescription"  # first in FROM

@@ -1,0 +1,77 @@
+"""Smoke tests: the example programs must run and print what they promise.
+
+The fast examples run end to end in-process; the slower ones are compiled
+and imported (their ``main`` is exercised by equivalent integration tests
+elsewhere), so a broken import or API drift still fails here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "medical_records.py",
+    "padding_tradeoff.py",
+    "scalability_tour.py",
+    "workload_comparison.py",
+]
+
+
+def _load_module(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = _load_module(name)
+    assert callable(getattr(module, "main", None)), f"{name} needs a main()"
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    text = buffer.getvalue()
+    assert "query [30, 49]" in text
+    assert "recall 1.00" in text
+    assert "placements in the system" in text
+
+
+def test_medical_records_runs_end_to_end():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "medical_records.py"), run_name="__main__"
+        )
+    text = buffer.getvalue()
+    assert "first execution" in text
+    assert "repeat execution" in text
+    assert "(unchanged)" in text
+
+
+def test_examples_have_usage_docstrings():
+    for name in ALL_EXAMPLES:
+        source = (EXAMPLES_DIR / name).read_text(encoding="utf-8")
+        assert source.startswith('"""'), f"{name} lacks a module docstring"
+        assert "Run:" in source, f"{name} docstring lacks a Run: line"
+
+
+def test_sys_path_untouched_by_loading():
+    before = list(sys.path)
+    _load_module("quickstart.py")
+    assert sys.path == before

@@ -1,0 +1,79 @@
+"""Tests for the accelerated (RMQ) identifier computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError, HashFamilyError
+from repro.lsh import (
+    ApproxMinWiseFamily,
+    DomainMinHashIndex,
+    LinearFamily,
+    LSHIdentifierScheme,
+    MinWiseFamily,
+)
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+
+DOMAIN = Domain("value", 0, 400)
+
+
+def build_index(family, l=3, k=4, seed=8):
+    scheme = LSHIdentifierScheme.from_family(family, l=l, k=k, seed=seed)
+    return DomainMinHashIndex(scheme, DOMAIN)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "family", [MinWiseFamily(), ApproxMinWiseFamily(), LinearFamily()]
+    )
+    def test_matches_naive_on_probes(self, family):
+        index = build_index(family)
+        probes = [
+            IntRange(0, 400),
+            IntRange(0, 0),
+            IntRange(400, 400),
+            IntRange(37, 255),
+            IntRange(100, 101),
+        ]
+        DomainMinHashIndex.validate_against_scheme(index, probes)
+
+    @given(st.tuples(st.integers(0, 400), st.integers(0, 400)))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_property(self, endpoints):
+        index = _CACHED_INDEX
+        r = IntRange(min(endpoints), max(endpoints))
+        assert index.identifiers(r) == index.scheme.identifiers(r)
+
+    def test_validate_raises_on_divergence(self):
+        index = build_index(LinearFamily())
+        # Corrupt the sparse table to force a divergence.
+        index._levels[0][0, 0] ^= 1
+        with pytest.raises(HashFamilyError):
+            DomainMinHashIndex.validate_against_scheme(index, [IntRange(0, 0)])
+
+
+class TestBoundaries:
+    def test_rejects_out_of_domain(self):
+        index = build_index(LinearFamily())
+        with pytest.raises(DomainError):
+            index.identifiers(IntRange(0, 401))
+
+    def test_memory_accounting_positive(self):
+        index = build_index(LinearFamily())
+        assert index.memory_bytes() > 0
+
+    def test_minhashes_group_major_layout(self):
+        index = build_index(LinearFamily(), l=2, k=3)
+        r = IntRange(10, 20)
+        values = index.minhashes(r)
+        assert values.shape == (6,)
+        fns = index.scheme.all_functions()
+        assert [int(v) for v in values] == [fn.hash_range(r) for fn in fns]
+
+
+# Module-level index shared by the hypothesis test (building per example
+# would dominate the runtime).
+_CACHED_INDEX = build_index(ApproxMinWiseFamily())

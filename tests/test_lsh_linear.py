@@ -1,0 +1,85 @@
+"""Tests for linear permutations pi(x) = (a*x + b) mod p."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HashFamilyError
+from repro.lsh.linear import (
+    MERSENNE_31,
+    LinearFamily,
+    LinearPermutation,
+    is_probable_prime,
+)
+from repro.util.rng import derive_rng
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for p in (2, 3, 5, 7, 1031, MERSENNE_31):
+            assert is_probable_prime(p)
+
+    def test_known_composites(self):
+        for n in (0, 1, 4, 1001, 2**31 - 2, 561, 341):  # incl. pseudoprimes
+            assert not is_probable_prime(n)
+
+
+class TestValidation:
+    def test_a_zero_rejected(self):
+        with pytest.raises(HashFamilyError):
+            LinearPermutation(0, 5)
+
+    def test_composite_modulus_rejected(self):
+        with pytest.raises(HashFamilyError):
+            LinearPermutation(1, 0, p=1000)
+
+    def test_b_out_of_range_rejected(self):
+        with pytest.raises(HashFamilyError):
+            LinearPermutation(1, MERSENNE_31, p=MERSENNE_31)
+
+
+class TestSemantics:
+    def test_known_values(self):
+        perm = LinearPermutation(3, 4, p=7)
+        assert [perm.apply(x) for x in range(7)] == [4, 0, 3, 6, 2, 5, 1]
+
+    def test_bijective_small_prime(self):
+        perm = LinearPermutation(5, 2, p=11)
+        assert {perm.apply(x) for x in range(11)} == set(range(11))
+
+    def test_inverse(self):
+        perm = LinearPermutation(12345, 6789, p=MERSENNE_31)
+        for x in (0, 1, 99999, MERSENNE_31 - 1):
+            assert perm.inverse(perm.apply(x)) == x
+
+    def test_apply_array_matches_scalar(self, rng):
+        perm = LinearFamily().sample(rng)
+        xs = np.arange(0, 2000, dtype=np.uint64)
+        fast = perm.apply_array(xs)
+        slow = np.array([perm.apply(int(x)) for x in xs], dtype=np.uint64)
+        assert (fast == slow).all()
+
+    def test_apply_array_no_overflow_at_domain_edge(self, rng):
+        perm = LinearPermutation(MERSENNE_31 - 1, MERSENNE_31 - 1)
+        xs = np.array([MERSENNE_31 - 1], dtype=np.uint64)
+        assert int(perm.apply_array(xs)[0]) == perm.apply(MERSENNE_31 - 1)
+
+    @given(st.integers(1, 10**6), st.integers(0, 10**6))
+    @settings(max_examples=25)
+    def test_bijectivity_property(self, a, b):
+        perm = LinearPermutation(a, b, p=MERSENNE_31)
+        xs = list(range(0, 500))
+        images = {perm.apply(x) for x in xs}
+        assert len(images) == len(xs)
+
+    def test_family_sampling_deterministic(self):
+        x = LinearFamily().sample(derive_rng(5, "lin"))
+        y = LinearFamily().sample(derive_rng(5, "lin"))
+        assert (x.a, x.b) == (y.a, y.b)
+
+    def test_family_rejects_composite(self):
+        with pytest.raises(HashFamilyError):
+            LinearFamily(p=100)

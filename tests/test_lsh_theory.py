@@ -1,0 +1,108 @@
+"""Tests for the analytic collision curves and parameter chooser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lsh.theory import (
+    collision_probability,
+    expected_identical_fraction,
+    group_match_probability,
+    recommend_parameters,
+    step_quality,
+    threshold_similarity,
+)
+
+
+class TestCollisionProbability:
+    def test_single_function(self):
+        assert collision_probability(0.5, 1) == 0.5
+
+    def test_group_power(self):
+        assert collision_probability(0.9, 20) == pytest.approx(0.9**20)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            collision_probability(1.5, 3)
+        with pytest.raises(ValueError):
+            collision_probability(0.5, 0)
+
+
+class TestGroupMatchProbability:
+    def test_paper_parameters_make_a_step_at_09(self):
+        """Paper: k=20, l=5 'reasonably estimate a step function with a
+        step at 0.9'."""
+        low = group_match_probability(0.6, 20, 5)
+        mid = group_match_probability(0.9, 20, 5)
+        high = group_match_probability(0.99, 20, 5)
+        assert low < 0.001
+        assert 0.3 < mid < 0.7  # the step is *at* 0.9
+        assert high > 0.99
+
+    def test_monotone_in_similarity(self):
+        values = [group_match_probability(p / 20, 20, 5) for p in range(21)]
+        assert values == sorted(values)
+
+    def test_more_groups_raise_probability(self):
+        assert group_match_probability(0.85, 20, 10) > group_match_probability(
+            0.85, 20, 5
+        )
+
+    def test_more_functions_per_group_lower_probability(self):
+        assert group_match_probability(0.85, 30, 5) < group_match_probability(
+            0.85, 20, 5
+        )
+
+    def test_invalid_l(self):
+        with pytest.raises(ValueError):
+            group_match_probability(0.5, 5, 0)
+
+
+class TestThreshold:
+    def test_paper_parameters_threshold_near_09(self):
+        t = threshold_similarity(20, 5)
+        assert 0.85 < t < 0.93
+
+    def test_half_probability_at_threshold(self):
+        t = threshold_similarity(20, 5)
+        assert group_match_probability(t, 20, 5) == pytest.approx(0.5)
+
+
+class TestStepQuality:
+    def test_paper_parameters_beat_naive_choices(self):
+        paper = step_quality(20, 5, step_at=0.9)
+        assert paper < step_quality(1, 1, step_at=0.9)
+        assert paper < step_quality(2, 2, step_at=0.9)
+
+    def test_quality_bounds(self):
+        assert 0.0 <= step_quality(20, 5) <= 1.0
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            step_quality(20, 5, samples=1)
+
+
+class TestRecommendParameters:
+    def test_recommendation_lands_near_paper_choice(self):
+        """With the paper's ~100-function budget and a step at 0.9, the
+        search should pick parameters whose threshold is near 0.9."""
+        choice = recommend_parameters(step_at=0.9, max_total_functions=120)
+        assert 0.85 <= choice.threshold <= 0.95
+        assert choice.k * choice.l <= 120
+
+    def test_respects_budget(self):
+        choice = recommend_parameters(step_at=0.9, max_total_functions=10)
+        assert choice.k * choice.l <= 10
+
+
+class TestRepetitionEstimate:
+    def test_matches_birthday_intuition(self):
+        # 10k uniform draws from ~501k distinct ranges: about 1% repeats.
+        frac = expected_identical_fraction(10_000, 501_501)
+        assert 0.005 < frac < 0.02
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            expected_identical_fraction(-1, 10)
+        with pytest.raises(ValueError):
+            expected_identical_fraction(10, 0)

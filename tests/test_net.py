@@ -1,0 +1,90 @@
+"""Tests for the simulated network transport."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import UnknownPeerError
+from repro.net import (
+    ConstantLatency,
+    Message,
+    SimulatedNetwork,
+    UniformLatency,
+)
+
+
+class TestMessage:
+    def test_sequence_numbers_increase(self):
+        a = Message(1, 2, "x")
+        b = Message(1, 2, "x")
+        assert b.seq > a.seq
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(1, 2, "x", size_bytes=-1)
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        assert ConstantLatency(5.0).sample_ms(1, 2) == 5.0
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+    def test_uniform_within_bounds(self):
+        model = UniformLatency(10, 20, np.random.default_rng(0))
+        for _ in range(50):
+            assert 10 <= model.sample_ms(1, 2) <= 20
+
+    def test_uniform_validates_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(20, 10, np.random.default_rng(0))
+
+
+class TestSimulatedNetwork:
+    def test_delivery_and_reply(self):
+        net = SimulatedNetwork()
+        net.register(7, lambda msg: ("echo", msg.payload))
+        assert net.send(1, 7, "ping", payload=42) == ("echo", 42)
+
+    def test_unknown_recipient_raises(self):
+        with pytest.raises(UnknownPeerError):
+            SimulatedNetwork().send(1, 99, "ping")
+
+    def test_unregister(self):
+        net = SimulatedNetwork()
+        net.register(7, lambda msg: None)
+        assert net.is_registered(7)
+        net.unregister(7)
+        assert not net.is_registered(7)
+        with pytest.raises(UnknownPeerError):
+            net.send(1, 7, "ping")
+
+    def test_traffic_accounting(self):
+        net = SimulatedNetwork(latency=ConstantLatency(2.0))
+        net.register(7, lambda msg: None)
+        net.register(8, lambda msg: None)
+        net.send(1, 7, "a", size_bytes=100)
+        net.send(1, 8, "a", size_bytes=50)
+        net.send(7, 8, "b", size_bytes=10)
+        stats = net.stats
+        assert stats.messages == 3
+        assert stats.bytes == 160
+        assert stats.latency_ms == pytest.approx(6.0)
+        assert stats.by_kind == {"a": 2, "b": 1}
+        assert stats.sent_by_peer[1] == 2
+        assert stats.received_by_peer[8] == 2
+
+    def test_stats_reset(self):
+        net = SimulatedNetwork()
+        net.register(7, lambda msg: None)
+        net.send(1, 7, "a")
+        net.stats.reset()
+        assert net.stats.messages == 0
+        assert net.stats.by_kind == {}
+
+    def test_peer_count(self):
+        net = SimulatedNetwork()
+        net.register(1, lambda m: None)
+        net.register(2, lambda m: None)
+        assert net.peer_count == 2

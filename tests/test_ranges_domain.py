@@ -1,0 +1,72 @@
+"""Tests for attribute domains and date encoding."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import DomainError
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+
+
+class TestBasics:
+    def test_size_and_contains(self):
+        d = Domain("age", 0, 120)
+        assert d.size == 121
+        assert 0 in d and 120 in d and 121 not in d
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(DomainError):
+            Domain("bad", 10, 5)
+
+    def test_full_range(self):
+        assert Domain("v", 3, 9).full_range() == IntRange(3, 9)
+
+    def test_validate(self):
+        d = Domain("v", 0, 10)
+        assert d.validate(5) == 5
+        with pytest.raises(DomainError):
+            d.validate(11)
+
+    def test_validate_range(self):
+        d = Domain("v", 0, 10)
+        assert d.validate_range(IntRange(0, 10)) == IntRange(0, 10)
+        with pytest.raises(DomainError):
+            d.validate_range(IntRange(5, 11))
+
+    def test_clamp(self):
+        d = Domain("v", 0, 10)
+        assert d.clamp(IntRange(-5, 25)) == IntRange(0, 10)
+        assert d.clamp(IntRange(3, 7)) == IntRange(3, 7)
+
+    def test_clamp_disjoint_raises(self):
+        d = Domain("v", 0, 10)
+        with pytest.raises(DomainError):
+            d.clamp(IntRange(50, 60))
+
+
+class TestDates:
+    def test_epoch_is_zero(self):
+        assert Domain.date_to_code(dt.date(1970, 1, 1)) == 0
+
+    def test_roundtrip(self):
+        day = dt.date(2002, 12, 31)
+        assert Domain.code_to_date(Domain.date_to_code(day)) == day
+
+    def test_order_preserved(self):
+        early = Domain.date_to_code(dt.date(2000, 1, 1))
+        late = Domain.date_to_code(dt.date(2002, 12, 31))
+        assert early < late
+
+    def test_for_dates_domain(self):
+        d = Domain.for_dates("date", dt.date(2000, 1, 1), dt.date(2000, 1, 31))
+        assert d.size == 31
+
+    def test_date_range(self):
+        r = Domain.date_range(dt.date(2000, 1, 1), dt.date(2000, 1, 3))
+        assert len(r) == 3
+
+    def test_pre_epoch_dates_are_negative(self):
+        assert Domain.date_to_code(dt.date(1969, 12, 31)) == -1

@@ -1,0 +1,155 @@
+"""Tests for IntRange, including set-semantics property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidRangeError
+from repro.ranges.interval import IntRange
+
+
+def int_ranges(low=-500, high=1500):
+    """Strategy producing valid IntRanges."""
+    return st.tuples(
+        st.integers(low, high), st.integers(low, high)
+    ).map(lambda t: IntRange(min(t), max(t)))
+
+
+class TestConstruction:
+    def test_valid_range(self):
+        r = IntRange(3, 7)
+        assert (r.start, r.end) == (3, 7)
+
+    def test_singleton(self):
+        assert len(IntRange(5, 5)) == 1
+
+    def test_inverted_raises(self):
+        with pytest.raises(InvalidRangeError):
+            IntRange(10, 9)
+
+    def test_non_integer_raises(self):
+        with pytest.raises(InvalidRangeError):
+            IntRange(1.5, 2.5)  # type: ignore[arg-type]
+
+    def test_numpy_endpoints_normalized(self):
+        import numpy as np
+
+        r = IntRange(np.int64(3), np.int64(9))
+        assert isinstance(r.start, int) and isinstance(r.end, int)
+        assert r == IntRange(3, 9)
+        assert hash(r) == hash(IntRange(3, 9))
+
+    def test_ordering_is_lexicographic(self):
+        assert IntRange(1, 5) < IntRange(2, 3)
+        assert IntRange(1, 3) < IntRange(1, 5)
+
+
+class TestSetView:
+    def test_len_contains_iter(self):
+        r = IntRange(30, 50)
+        assert len(r) == 21
+        assert 30 in r and 50 in r and 29 not in r
+        assert list(r)[:3] == [30, 31, 32]
+
+    def test_to_array_and_set(self):
+        r = IntRange(2, 5)
+        assert list(r.to_array()) == [2, 3, 4, 5]
+        assert r.to_set() == {2, 3, 4, 5}
+
+
+class TestArithmetic:
+    def test_intersect_overlapping(self):
+        assert IntRange(0, 10).intersect(IntRange(5, 15)) == IntRange(5, 10)
+
+    def test_intersect_disjoint(self):
+        assert IntRange(0, 4).intersect(IntRange(5, 9)) is None
+
+    def test_touches_adjacent(self):
+        assert IntRange(1, 3).touches(IntRange(4, 6))
+        assert not IntRange(1, 3).touches(IntRange(5, 6))
+
+    def test_hull(self):
+        assert IntRange(1, 3).hull(IntRange(7, 9)) == IntRange(1, 9)
+
+    def test_contains_range(self):
+        assert IntRange(0, 10).contains_range(IntRange(3, 7))
+        assert not IntRange(0, 10).contains_range(IntRange(3, 11))
+
+    @given(int_ranges(), int_ranges())
+    def test_intersection_size_matches_sets(self, a, b):
+        assert a.intersection_size(b) == len(a.to_set() & b.to_set())
+
+    @given(int_ranges(), int_ranges())
+    def test_union_size_matches_sets(self, a, b):
+        assert a.union_size(b) == len(a.to_set() | b.to_set())
+
+    @given(int_ranges(), int_ranges())
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.intersection_size(b) == b.intersection_size(a)
+
+
+class TestSimilarity:
+    def test_jaccard_paper_example(self):
+        # [30,50] vs [30,49]: 20 shared of 21 union values
+        assert IntRange(30, 50).jaccard(IntRange(30, 49)) == pytest.approx(20 / 21)
+
+    def test_jaccard_identical(self):
+        r = IntRange(1, 9)
+        assert r.jaccard(r) == 1.0
+
+    def test_jaccard_disjoint(self):
+        assert IntRange(0, 4).jaccard(IntRange(10, 14)) == 0.0
+
+    def test_containment_is_asymmetric(self):
+        q = IntRange(30, 50)
+        r = IntRange(30, 60)
+        assert q.containment(r) == 1.0  # r fully contains q
+        assert r.containment(q) == pytest.approx(21 / 31)
+
+    @given(int_ranges(), int_ranges())
+    def test_jaccard_matches_set_definition(self, a, b):
+        expected = len(a.to_set() & b.to_set()) / len(a.to_set() | b.to_set())
+        assert a.jaccard(b) == pytest.approx(expected)
+
+    @given(int_ranges(), int_ranges())
+    def test_jaccard_bounded_and_symmetric(self, a, b):
+        assert 0.0 <= a.jaccard(b) <= 1.0
+        assert a.jaccard(b) == pytest.approx(b.jaccard(a))
+
+
+class TestPadding:
+    def test_pad_20_percent(self):
+        # |Q| = 21, 20% of 21 = 4.2 -> rounds to 4 on each edge
+        assert IntRange(30, 50).pad(0.2) == IntRange(26, 54)
+
+    def test_pad_clamps_to_domain(self):
+        assert IntRange(0, 10).pad(0.5, lower_bound=0, upper_bound=1000) == IntRange(
+            0, 16
+        )
+
+    def test_pad_zero_is_identity(self):
+        r = IntRange(5, 9)
+        assert r.pad(0.0) == r
+
+    def test_pad_negative_raises(self):
+        with pytest.raises(InvalidRangeError):
+            IntRange(0, 10).pad(-0.1)
+
+    def test_pad_absolute(self):
+        assert IntRange(10, 20).pad_absolute(3) == IntRange(7, 23)
+
+    @given(int_ranges(0, 1000), st.floats(0, 1))
+    def test_pad_always_contains_original(self, r, fraction):
+        padded = r.pad(fraction, lower_bound=-10_000, upper_bound=10_000)
+        assert padded.contains_range(r)
+
+
+def test_str_format():
+    assert str(IntRange(30, 50)) == "[30, 50]"
+
+
+def test_from_predicate():
+    assert IntRange.from_predicate(3, 9) == IntRange(3, 9)

@@ -1,0 +1,111 @@
+"""Tests for RangeSet, validated against Python set semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ranges.interval import IntRange
+from repro.ranges.rangeset import RangeSet
+
+
+def small_rangesets():
+    interval = st.tuples(st.integers(0, 60), st.integers(0, 60)).map(
+        lambda t: IntRange(min(t), max(t))
+    )
+    return st.lists(interval, min_size=0, max_size=4).map(RangeSet)
+
+
+class TestNormalization:
+    def test_merges_overlapping(self):
+        rs = RangeSet([IntRange(1, 5), IntRange(4, 9)])
+        assert rs.intervals == (IntRange(1, 9),)
+
+    def test_merges_adjacent(self):
+        rs = RangeSet([IntRange(1, 3), IntRange(4, 6)])
+        assert rs.intervals == (IntRange(1, 6),)
+
+    def test_keeps_gaps(self):
+        rs = RangeSet([IntRange(1, 3), IntRange(5, 6)])
+        assert rs.intervals == (IntRange(1, 3), IntRange(5, 6))
+
+    def test_equality_is_semantic(self):
+        assert RangeSet([IntRange(1, 3), IntRange(4, 6)]) == RangeSet(
+            [IntRange(1, 6)]
+        )
+
+    def test_unordered_input(self):
+        rs = RangeSet([IntRange(10, 12), IntRange(1, 2)])
+        assert rs.intervals[0] == IntRange(1, 2)
+
+
+class TestBasics:
+    def test_empty(self):
+        rs = RangeSet.empty()
+        assert len(rs) == 0
+        assert not rs
+        assert 5 not in rs
+
+    def test_of_constructor(self):
+        rs = RangeSet.of((1, 3), (7, 9))
+        assert len(rs) == 6
+
+    def test_len_and_iter(self):
+        rs = RangeSet.of((1, 2), (5, 5))
+        assert len(rs) == 3
+        assert list(rs) == [1, 2, 5]
+
+    def test_hull(self):
+        assert RangeSet.of((1, 2), (8, 9)).hull() == IntRange(1, 9)
+        assert RangeSet.empty().hull() is None
+
+
+class TestAlgebra:
+    @given(small_rangesets(), small_rangesets())
+    def test_union_matches_sets(self, a, b):
+        assert a.union(b).to_set() == a.to_set() | b.to_set()
+
+    @given(small_rangesets(), small_rangesets())
+    def test_intersect_matches_sets(self, a, b):
+        assert a.intersect(b).to_set() == a.to_set() & b.to_set()
+
+    @given(small_rangesets(), small_rangesets())
+    def test_difference_matches_sets(self, a, b):
+        assert a.difference(b).to_set() == a.to_set() - b.to_set()
+
+    def test_union_with_interval(self):
+        rs = RangeSet.of((1, 3)).union(IntRange(5, 6))
+        assert rs.to_set() == {1, 2, 3, 5, 6}
+
+    def test_intersect_with_interval(self):
+        rs = RangeSet.of((1, 10)).intersect(IntRange(5, 20))
+        assert rs.to_set() == set(range(5, 11))
+
+    def test_difference_with_interval(self):
+        rs = RangeSet.of((1, 10)).difference(IntRange(4, 6))
+        assert rs.to_set() == {1, 2, 3, 7, 8, 9, 10}
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        assert RangeSet.of((0, 100)).coverage_of(IntRange(10, 20)) == 1.0
+
+    def test_partial_coverage_from_two_pieces(self):
+        rs = RangeSet.of((0, 4), (8, 10))
+        # query [0, 9]: covered values 0-4 and 8-9 -> 7 of 10
+        assert rs.coverage_of(IntRange(0, 9)) == pytest.approx(0.7)
+
+    def test_zero_coverage(self):
+        assert RangeSet.of((50, 60)).coverage_of(IntRange(0, 10)) == 0.0
+
+    @given(small_rangesets(), st.tuples(st.integers(0, 60), st.integers(0, 60)))
+    def test_coverage_matches_set_count(self, rs, endpoints):
+        query = IntRange(min(endpoints), max(endpoints))
+        expected = len(rs.to_set() & query.to_set()) / len(query)
+        assert rs.coverage_of(query) == pytest.approx(expected)
+
+
+def test_str_rendering():
+    assert str(RangeSet.empty()) == "{}"
+    assert "∪" in str(RangeSet.of((1, 2), (5, 6)))

@@ -1,0 +1,102 @@
+"""Tests for similarity measures and LSH admissibility (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ranges.interval import IntRange
+from repro.similarity import (
+    containment,
+    dice,
+    distance,
+    find_triangle_violation,
+    jaccard,
+    overlap_coefficient,
+    recall_of_match,
+    satisfies_triangle_inequality,
+    similarity_measure,
+)
+
+
+def int_ranges():
+    return st.tuples(st.integers(0, 120), st.integers(0, 120)).map(
+        lambda t: IntRange(min(t), max(t))
+    )
+
+
+class TestMeasures:
+    def test_jaccard_known(self):
+        assert jaccard(IntRange(0, 9), IntRange(5, 14)) == pytest.approx(5 / 15)
+
+    def test_containment_known(self):
+        assert containment(IntRange(0, 9), IntRange(5, 14)) == pytest.approx(0.5)
+
+    def test_dice_known(self):
+        assert dice(IntRange(0, 9), IntRange(5, 14)) == pytest.approx(10 / 20)
+
+    def test_overlap_known(self):
+        assert overlap_coefficient(IntRange(0, 9), IntRange(5, 7)) == 1.0
+
+    def test_recall_of_match_none(self):
+        assert recall_of_match(IntRange(0, 9), None) == 0.0
+
+    def test_recall_of_match_partial(self):
+        assert recall_of_match(IntRange(0, 9), IntRange(0, 4)) == pytest.approx(0.5)
+
+    def test_registry_lookup(self):
+        assert similarity_measure("jaccard") is jaccard
+        with pytest.raises(KeyError):
+            similarity_measure("cosine")
+
+    @given(int_ranges(), int_ranges())
+    def test_all_measures_bounded(self, a, b):
+        for measure in (jaccard, containment, dice, overlap_coefficient):
+            assert 0.0 <= measure(a, b) <= 1.0
+
+    @given(int_ranges())
+    def test_identity_scores_one(self, r):
+        for measure in (jaccard, containment, dice, overlap_coefficient):
+            assert measure(r, r) == 1.0
+
+
+class TestTriangleInequality:
+    """The paper's key theoretical point: Jaccard distance is a metric,
+    containment distance is not — hence no LSH family for containment."""
+
+    PROBES = [
+        IntRange(0, 9),
+        IntRange(0, 99),
+        IntRange(50, 59),
+        IntRange(200, 299),
+        IntRange(0, 299),
+        IntRange(5, 14),
+        IntRange(90, 110),
+    ]
+
+    def test_jaccard_satisfies_triangle_inequality(self):
+        assert satisfies_triangle_inequality(jaccard, self.PROBES)
+
+    @given(st.lists(int_ranges(), min_size=3, max_size=6))
+    def test_jaccard_satisfies_triangle_inequality_random(self, ranges):
+        assert satisfies_triangle_inequality(jaccard, ranges)
+
+    def test_containment_violates_triangle_inequality(self):
+        # Witness from the structure the paper alludes to: a small range, a
+        # huge range containing it, and a range disjoint from the small one
+        # but inside the huge one.
+        small = IntRange(0, 0)
+        huge = IntRange(0, 999)
+        other = IntRange(500, 500)
+        # d(small, huge) = 0 (fully contained), d(huge, other) small? No:
+        # containment is measured from the first argument.
+        witness = find_triangle_violation(containment, [small, huge, other])
+        assert witness is not None
+
+    def test_violation_finder_returns_none_for_jaccard(self):
+        assert find_triangle_violation(jaccard, self.PROBES) is None
+
+    def test_distance_complements_similarity(self):
+        a, b = IntRange(0, 9), IntRange(5, 14)
+        assert distance(jaccard, a, b) == pytest.approx(1 - jaccard(a, b))

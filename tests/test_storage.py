@@ -1,0 +1,139 @@
+"""Tests for buckets, peer stores and eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.errors import StorageError
+from repro.ranges.interval import IntRange
+from repro.similarity.measures import jaccard
+from repro.storage.bucket import Bucket, StoredEntry
+from repro.storage.store import LRUEviction, PeerStore
+
+
+def desc(start: int, end: int, relation: str = "R") -> PartitionDescriptor:
+    return PartitionDescriptor(relation, "value", IntRange(start, end))
+
+
+def score(query: IntRange, candidate: PartitionDescriptor) -> float:
+    return jaccard(query, candidate.range)
+
+
+class TestBucket:
+    def test_add_and_contains(self):
+        bucket = Bucket(7)
+        assert bucket.add(StoredEntry(desc(0, 10)))
+        assert desc(0, 10) in bucket
+        assert len(bucket) == 1
+
+    def test_duplicate_add_returns_false(self):
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 10)))
+        assert not bucket.add(StoredEntry(desc(0, 10)))
+        assert len(bucket) == 1
+
+    def test_readd_with_rows_upgrades(self):
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 10)))
+        partition = Partition(descriptor=desc(0, 10), rows=((1,),))
+        bucket.add(StoredEntry(desc(0, 10), partition=partition))
+        assert bucket.get(desc(0, 10)).partition is partition
+
+    def test_best_match_picks_highest_score(self):
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 100)))
+        bucket.add(StoredEntry(desc(40, 60)))
+        best = bucket.best_match(IntRange(45, 55), "R", "value", score)
+        assert best is not None
+        assert best[0].descriptor == desc(40, 60)
+
+    def test_best_match_filters_relation_and_attribute(self):
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 10, relation="S")))
+        assert bucket.best_match(IntRange(0, 10), "R", "value", score) is None
+
+    def test_exact_match_wins_ties(self):
+        bucket = Bucket(7)
+        query = IntRange(10, 20)
+        bucket.add(StoredEntry(desc(10, 20)))
+        best = bucket.best_match(query, "R", "value", score)
+        assert best[0].descriptor.range == query and best[1] == 1.0
+
+    def test_remove(self):
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 10)))
+        assert bucket.remove(desc(0, 10)) is not None
+        assert bucket.remove(desc(0, 10)) is None
+
+
+class TestPeerStore:
+    def test_store_and_count(self):
+        store = PeerStore(1)
+        assert store.store(100, desc(0, 10))
+        assert not store.store(100, desc(0, 10))  # duplicate
+        assert store.store(200, desc(0, 10))  # same descriptor, other bucket
+        assert store.partition_count == 2
+        assert store.bucket_count == 2
+
+    def test_best_match_in_bucket_only_searches_that_bucket(self):
+        store = PeerStore(1)
+        store.store(100, desc(0, 10))
+        store.store(200, desc(40, 60))
+        found = store.best_match_in_bucket(100, IntRange(45, 55), "R", "value", score)
+        assert found is None or found[1] == 0.0  # [0,10] scores 0 vs [45,55]
+        assert (
+            store.best_match_in_bucket(200, IntRange(45, 55), "R", "value", score)[1]
+            > 0.5
+        )
+
+    def test_best_match_local_searches_everything(self):
+        store = PeerStore(1)
+        store.store(100, desc(0, 10))
+        store.store(200, desc(40, 60))
+        found = store.best_match_local(IntRange(45, 55), "R", "value", score)
+        assert found is not None
+        assert found[0].descriptor == desc(40, 60)
+
+    def test_missing_bucket(self):
+        store = PeerStore(1)
+        assert store.bucket(5) is None
+        assert store.best_match_in_bucket(5, IntRange(0, 1), "R", "value", score) is None
+
+    def test_remove_prunes_empty_bucket(self):
+        store = PeerStore(1)
+        store.store(100, desc(0, 10))
+        assert store.remove(100, desc(0, 10))
+        assert store.bucket_count == 0
+        assert not store.remove(100, desc(0, 10))
+
+    def test_entries_iteration(self):
+        store = PeerStore(1)
+        store.store(100, desc(0, 10))
+        store.store(100, desc(5, 15))
+        pairs = list(store.entries())
+        assert len(pairs) == 2
+        assert all(identifier == 100 for identifier, _ in pairs)
+
+
+class TestLRUEviction:
+    def test_capacity_enforced(self):
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=3))
+        for i in range(5):
+            store.store(i, desc(i, i + 10))
+        assert store.partition_count == 3
+
+    def test_recently_matched_entry_survives(self):
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        store.store(1, desc(0, 10))
+        store.store(2, desc(100, 110))
+        # Touch the first entry so the second becomes the LRU victim.
+        store.best_match_in_bucket(1, IntRange(0, 10), "R", "value", score)
+        store.store(3, desc(200, 210))
+        remaining = {entry.descriptor for _, entry in store.entries()}
+        assert desc(0, 10) in remaining
+        assert desc(100, 110) not in remaining
+
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            LRUEviction(max_partitions=0)

@@ -1,0 +1,92 @@
+"""Edge-case tests for the assembled system: eviction, latency, handlers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.errors import ConfigError
+from repro.net.latency import ConstantLatency
+from repro.ranges.interval import IntRange
+from repro.workloads.generators import UniformRangeWorkload
+
+
+class TestSystemLevelEviction:
+    def test_capacity_respected_under_load(self):
+        system = RangeSelectionSystem(
+            SystemConfig(n_peers=10, seed=101, max_partitions_per_peer=5)
+        )
+        for query in UniformRangeWorkload(system.config.domain, 300, seed=102):
+            system.query(query)
+        for store in system.stores.values():
+            assert store.partition_count <= 5
+
+    def test_eviction_can_forget_partitions(self):
+        """With tiny caches, a previously-exact query can miss again — the
+        price of bounded storage."""
+        system = RangeSelectionSystem(
+            SystemConfig(n_peers=4, seed=103, max_partitions_per_peer=2)
+        )
+        target = IntRange(100, 200)
+        system.query(target)
+        # Flood with unrelated ranges to push the target out everywhere.
+        for start in range(0, 900, 25):
+            system.query(IntRange(start, start + 10))
+        result = system.query(target)
+        # Either it survived in some bucket or it was evicted; both are
+        # legal, but the store sizes must still respect the cap.
+        assert result.query == target
+        for store in system.stores.values():
+            assert store.partition_count <= 2
+
+    def test_unbounded_by_default(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=4, seed=104))
+        for query in UniformRangeWorkload(system.config.domain, 200, seed=105):
+            system.query(query)
+        assert system.total_placements() > 4 * 5  # way past any tiny cap
+
+
+class TestLatencyAccounting:
+    def test_latency_accumulates_when_configured(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=20, seed=106))
+        system.network.latency = ConstantLatency(2.5)
+        system.query(IntRange(10, 60))
+        # 5 match requests + 5 stores at 2.5 ms each (routing hops are
+        # accounted as messages but carry no modelled latency).
+        assert system.network.stats.latency_ms == pytest.approx(25.0)
+
+
+class TestHandlerErrors:
+    def test_unknown_message_kind_rejected(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=3, seed=107))
+        some_peer = system.router.node_ids[0]
+        with pytest.raises(ConfigError):
+            system.network.send(some_peer, some_peer, "gossip", payload=None)
+
+    def test_fetch_partition_for_unknown_descriptor_returns_none(self):
+        from repro.db.partition import PartitionDescriptor
+
+        system = RangeSelectionSystem(SystemConfig(n_peers=3, seed=108))
+        peer = system.router.node_ids[0]
+        ghost = PartitionDescriptor("R", "value", IntRange(1, 2))
+        answer = system.network.send(
+            peer, peer, "fetch-partition", payload=(42, ghost)
+        )
+        assert answer is None
+
+
+class TestLocateWithoutStoring:
+    def test_locate_is_read_only(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=10, seed=109))
+        before = system.total_placements()
+        system.locate(IntRange(50, 150))
+        assert system.total_placements() == before
+
+    def test_store_partition_explicit_counts(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=10, seed=110))
+        placed = system.store_partition(IntRange(50, 150))
+        assert 1 <= placed <= 5
+        assert system.counters.placements == placed
+        again = system.store_partition(IntRange(50, 150))
+        assert again == 0  # all duplicates

@@ -1,0 +1,61 @@
+"""Tests for traffic accounting at the system level."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.net.transport import TrafficStats
+from repro.ranges.interval import IntRange
+from repro.workloads.generators import ZipfRangeWorkload
+
+
+class TestRoutingHopAccounting:
+    def test_record_routing_hops(self):
+        stats = TrafficStats()
+        stats.record_routing_hops(5)
+        assert stats.messages == 5
+        assert stats.by_kind["route-hop"] == 5
+        assert stats.bytes == 5 * 32
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficStats().record_routing_hops(-1)
+
+    def test_query_traffic_includes_routing(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=150, seed=44))
+        system.network.stats.reset()
+        result = system.query(IntRange(200, 400))
+        stats = system.network.stats
+        assert stats.by_kind["route-hop"] == result.overlay_hops
+        # Total messages: hops + l match requests + l stores (cold miss).
+        assert stats.messages == result.overlay_hops + 10
+
+    def test_exact_hit_cheaper_than_miss(self):
+        system = RangeSelectionSystem(SystemConfig(n_peers=150, seed=44))
+        system.query(IntRange(200, 400))
+        system.network.stats.reset()
+        system.query(IntRange(200, 400))  # exact hit: no stores
+        assert "store-request" not in system.network.stats.by_kind
+
+
+class TestCacheEconomics:
+    def test_repeated_workload_amortizes_traffic(self):
+        """Under heavy reuse, per-query messages approach probe-only cost."""
+        system = RangeSelectionSystem(SystemConfig(n_peers=100, seed=45))
+        workload = ZipfRangeWorkload(
+            system.config.domain, 600, seed=9, pool_size=40
+        ).ranges()
+        first_half, second_half = workload[:300], workload[300:]
+        for query in first_half:
+            system.query(query)
+        system.network.stats.reset()
+        for query in second_half:
+            system.query(query)
+        warm_messages = system.network.stats.messages / len(second_half)
+        # Almost everything is an exact hit by now: stores are rare, so the
+        # per-query message count is near the probe floor (hops + 5).
+        stores = system.network.stats.by_kind.get("store-request", 0)
+        assert stores < 0.2 * 5 * len(second_half)
+        assert warm_messages < 40

@@ -1,0 +1,100 @@
+"""Tests for bit-level helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_length_of_space,
+    extract_bits,
+    is_power_of_two,
+    ones_positions,
+    popcount,
+    random_key_with_ones,
+    reverse_bits,
+)
+
+
+def test_popcount_known_values():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount((1 << 32) - 1) == 32
+
+
+def test_popcount_rejects_negative():
+    with pytest.raises(ValueError):
+        popcount(-1)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 62) - 1))
+def test_popcount_matches_bin_count(x):
+    assert popcount(x) == bin(x).count("1")
+
+
+def test_ones_positions_order_and_content():
+    assert ones_positions(0b1010, 4) == [1, 3]
+    assert ones_positions(0, 8) == []
+    assert ones_positions(0b11111111, 8) == list(range(8))
+
+
+def test_extract_bits_preserves_order():
+    # bits at positions 2 and 3 of 0b1100 are (1, 1) -> 0b11
+    assert extract_bits(0b1100, [2, 3]) == 0b11
+    # order of positions controls output order
+    assert extract_bits(0b0100, [2, 0]) == 0b01
+    assert extract_bits(0b0100, [0, 2]) == 0b10
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_extract_bits_identity(x):
+    assert extract_bits(x, list(range(8))) == x
+
+
+def test_reverse_bits():
+    assert reverse_bits(0b0001, 4) == 0b1000
+    assert reverse_bits(0b1101, 4) == 0b1011
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_reverse_bits_involution(x):
+    assert reverse_bits(reverse_bits(x, 16), 16) == x
+
+
+def test_is_power_of_two():
+    assert [n for n in range(1, 70) if is_power_of_two(n)] == [1, 2, 4, 8, 16, 32, 64]
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(-4)
+
+
+def test_bit_length_of_space():
+    assert bit_length_of_space(1) == 1
+    assert bit_length_of_space(2) == 1
+    assert bit_length_of_space(3) == 2
+    assert bit_length_of_space(1024) == 10
+    assert bit_length_of_space(1025) == 11
+    with pytest.raises(ValueError):
+        bit_length_of_space(0)
+
+
+def test_random_key_with_ones_properties():
+    rng = np.random.default_rng(0)
+    for width, ones in ((8, 4), (32, 16), (4, 2), (2, 1)):
+        key = random_key_with_ones(width, ones, rng)
+        assert 0 <= key < (1 << width)
+        assert popcount(key) == ones
+
+
+def test_random_key_with_ones_bounds():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        random_key_with_ones(8, 9, rng)
+    with pytest.raises(ValueError):
+        random_key_with_ones(8, -1, rng)
+
+
+def test_random_key_with_ones_varies(rng):
+    keys = {random_key_with_ones(32, 16, rng) for _ in range(20)}
+    assert len(keys) > 1

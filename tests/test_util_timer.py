@@ -1,0 +1,37 @@
+"""Tests for wall-clock timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.util.timer import Timer, time_call
+
+
+def test_timer_measures_elapsed_time():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed_ms >= 5.0
+
+
+def test_timer_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed_ms
+    with t:
+        time.sleep(0.005)
+    assert t.elapsed_ms >= first
+
+
+def test_time_call_averages():
+    calls = []
+    ms = time_call(lambda: calls.append(1), repeats=5)
+    assert len(calls) == 5
+    assert ms >= 0.0
+
+
+def test_time_call_rejects_bad_repeats():
+    with pytest.raises(ValueError):
+        time_call(lambda: None, repeats=0)

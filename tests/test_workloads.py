@@ -1,0 +1,119 @@
+"""Tests for workload generators and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, InvalidRangeError
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.workloads import (
+    ClusteredRangeWorkload,
+    UniformRangeWorkload,
+    WorkloadTrace,
+    ZipfRangeWorkload,
+)
+
+DOMAIN = Domain("value", 0, 1000)
+
+
+class TestUniform:
+    def test_count_and_bounds(self):
+        wl = UniformRangeWorkload(DOMAIN, count=500, seed=1)
+        ranges = wl.ranges()
+        assert len(ranges) == 500
+        assert all(0 <= r.start <= r.end <= 1000 for r in ranges)
+
+    def test_deterministic(self):
+        a = UniformRangeWorkload(DOMAIN, count=100, seed=1).ranges()
+        b = UniformRangeWorkload(DOMAIN, count=100, seed=1).ranges()
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = UniformRangeWorkload(DOMAIN, count=100, seed=1).ranges()
+        b = UniformRangeWorkload(DOMAIN, count=100, seed=2).ranges()
+        assert a != b
+
+    def test_repetitions_in_paper_regime(self):
+        """The paper reports ~0.2% repetitions in 10k uniform ranges; ours
+        should be below ~2% (the birthday-bound regime)."""
+        wl = UniformRangeWorkload(DOMAIN, count=10_000, seed=3)
+        assert wl.repetition_fraction() < 0.02
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            UniformRangeWorkload(DOMAIN, count=0, seed=1)
+
+    def test_mean_width_near_third_of_domain(self):
+        """|end - start| of two uniform draws averages ~domain/3."""
+        wl = UniformRangeWorkload(DOMAIN, count=5000, seed=4)
+        mean_width = sum(len(r) for r in wl) / 5000
+        assert 280 < mean_width < 390
+
+
+class TestZipf:
+    def test_draws_come_from_pool(self):
+        wl = ZipfRangeWorkload(DOMAIN, count=500, seed=5, pool_size=50)
+        distinct = set(wl.ranges())
+        assert len(distinct) <= 50
+
+    def test_skew_produces_repeats(self):
+        wl = ZipfRangeWorkload(DOMAIN, count=1000, seed=6, pool_size=500)
+        assert wl.repetition_fraction() > 0.3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            ZipfRangeWorkload(DOMAIN, count=10, seed=1, pool_size=0)
+        with pytest.raises(ConfigError):
+            ZipfRangeWorkload(DOMAIN, count=10, seed=1, exponent=1.0)
+
+
+class TestClustered:
+    def test_ranges_near_cluster_width(self):
+        wl = ClusteredRangeWorkload(
+            DOMAIN, count=300, seed=7, n_clusters=4, base_width=100, jitter=5
+        )
+        for r in wl:
+            assert len(r) <= 100 + 2 * 5 + 1
+        assert all(0 <= r.start <= r.end <= 1000 for r in wl)
+
+    def test_similar_but_not_identical(self):
+        wl = ClusteredRangeWorkload(
+            DOMAIN, count=500, seed=8, n_clusters=2, jitter=10
+        )
+        distinct = set(wl.ranges())
+        assert 2 < len(distinct) < 500
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigError):
+            ClusteredRangeWorkload(DOMAIN, count=10, seed=1, n_clusters=0)
+
+
+class TestTrace:
+    def test_roundtrip_through_file(self, tmp_path):
+        trace = WorkloadTrace(UniformRangeWorkload(DOMAIN, 50, seed=9))
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        assert WorkloadTrace.load(path) == trace
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(InvalidRangeError):
+            WorkloadTrace.load(path)
+
+    def test_warmup_split(self):
+        trace = WorkloadTrace(IntRange(i, i + 1) for i in range(10))
+        warmup, measured = trace.warmup_split(0.2)
+        assert len(warmup) == 2 and len(measured) == 8
+        assert measured[0] == IntRange(2, 3)
+
+    def test_warmup_split_validation(self):
+        trace = WorkloadTrace([IntRange(0, 1)])
+        with pytest.raises(InvalidRangeError):
+            trace.warmup_split(1.0)
+
+    def test_indexing(self):
+        trace = WorkloadTrace([IntRange(0, 1), IntRange(2, 3)])
+        assert trace[1] == IntRange(2, 3)
+        assert len(trace) == 2
