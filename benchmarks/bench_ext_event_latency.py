@@ -1,0 +1,68 @@
+"""Extension — event-driven query latency under loss and peer failure.
+
+Asserts the shapes the simulation kernel exists to show: with no faults,
+no chain ever times out and a query's completion time is the *max* (not
+the sum) of its ``l`` parallel lookup chains; message loss pushes the
+tail latency up against the retry schedule; crashed peers cost timed-out
+chains and degraded (yet still answered) queries.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.experiments.ext_event_latency import EventLatencyExperiment
+from repro.net.latency import SeededLatency
+from repro.ranges.interval import IntRange
+from repro.sim import AsyncQueryEngine
+
+
+def _make(scale: str) -> EventLatencyExperiment:
+    return (
+        EventLatencyExperiment.paper()
+        if scale == "paper"
+        else EventLatencyExperiment.quick()
+    )
+
+
+def test_ext_event_latency(benchmark, scale, emit):
+    experiment = _make(scale)
+    outcome = run_once(benchmark, lambda: experiment.run())
+    emit("ext_event_latency", outcome.report())
+
+    baseline = outcome.cell(0.0, 0.0)
+    lossy = outcome.cell(max(experiment.drop_rates), 0.0)
+    crashed = outcome.cell(0.0, max(experiment.fail_fractions))
+    benchmark.extra_info["baseline_p99_ms"] = baseline.p99_ms
+    benchmark.extra_info["lossy_p95_ms"] = lossy.p95_ms
+    benchmark.extra_info["crashed_recall"] = crashed.mean_recall
+
+    # Fault-free: the retry machinery never engages.
+    assert baseline.chain_timeouts == 0
+    assert baseline.degraded_queries == 0
+    # Loss inflates the tail (retries wait out at least one timeout).
+    assert lossy.p95_ms >= baseline.p95_ms
+    # Crashes cost timed-out chains, but the surviving replies still answer.
+    assert crashed.chain_timeouts > 0
+    assert crashed.degraded_queries > 0
+    assert crashed.mean_recall > 0.0
+
+
+def test_parallel_chains_complete_at_max(benchmark, scale):
+    """Completion time of one query == slowest chain, far below the sum."""
+    n_peers = 1000 if scale == "paper" else 150
+    system = RangeSelectionSystem(SystemConfig(n_peers=n_peers, seed=7))
+    engine = AsyncQueryEngine(system, latency=SeededLatency(10.0, 100.0, seed=7))
+
+    def exercise():
+        engine.run(IntRange(100, 200))  # cold miss populates the buckets
+        return engine.run(IntRange(100, 199))
+
+    timed = run_once(benchmark, exercise)
+    chain_times = [chain.completed_ms for chain in timed.chains]
+    assert timed.locate_ms == max(chain_times)
+    assert timed.locate_ms < sum(chain_times)
+    benchmark.extra_info["locate_ms"] = timed.locate_ms
+    benchmark.extra_info["chain_sum_ms"] = sum(chain_times)

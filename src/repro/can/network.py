@@ -216,16 +216,28 @@ class CanOverlay:
         point = point_for_key(key, self.dimensions)
         return self.route_to_point(point, start_id)
 
+    def lookup_path(
+        self, key: int, start_id: int | None = None
+    ) -> tuple[int, ...]:
+        """Greedy-route a key and return the full node-id path traversed
+        (first element is the start node, last is the owner)."""
+        point = point_for_key(key, self.dimensions)
+        return self._route(point, start_id)
+
     def route_to_point(
         self, point: Point, start_id: int | None = None
     ) -> tuple[int, int]:
         """Greedy coordinate routing; returns (owner_id, hops)."""
+        path = self._route(point, start_id)
+        return (path[-1], len(path) - 1)
+
+    def _route(self, point: Point, start_id: int | None = None) -> tuple[int, ...]:
         if not self._nodes:
             raise EmptyRingError("CAN overlay has no nodes")
         if start_id is None:
             start_id = self.node_ids[0]
         current = self.node(start_id)
-        hops = 0
+        path = [current.node_id]
         visited = {current.node_id}
         max_hops = 4 * len(self._nodes) + 16
         while not current.owns_point(point):
@@ -244,10 +256,10 @@ class CanOverlay:
                 pool, key=lambda n: (n.distance_to_point(point), n.node_id)
             )
             visited.add(current.node_id)
-            hops += 1
-            if hops > max_hops:
+            path.append(current.node_id)
+            if len(path) - 1 > max_hops:
                 raise ChordError("CAN routing exceeded hop bound")
-        return (current.node_id, hops)
+        return tuple(path)
 
     # ------------------------------------------------------------------
     # Diagnostics

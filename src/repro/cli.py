@@ -62,6 +62,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute N times (later runs show cache behaviour)",
     )
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="event-driven queries: latency percentiles under loss/failure",
+    )
+    simulate.add_argument("--peers", type=int, default=1000)
+    simulate.add_argument("--queries", type=int, default=100)
+    simulate.add_argument(
+        "--warm-queries",
+        type=int,
+        default=200,
+        help="synchronous warmup queries that populate the buckets",
+    )
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument(
+        "--drop", type=float, default=0.0, help="message drop probability [0, 1)"
+    )
+    simulate.add_argument(
+        "--fail",
+        type=float,
+        default=0.0,
+        help="fraction of peers crashed before the timed phase [0, 1)",
+    )
+    simulate.add_argument(
+        "--latency-ms",
+        type=float,
+        nargs=2,
+        default=(10.0, 100.0),
+        metavar=("LOW", "HIGH"),
+        help="per-link one-way delay band",
+    )
+    simulate.add_argument(
+        "--timeout-ms", type=float, default=400.0, help="per-attempt request timeout"
+    )
+    simulate.add_argument(
+        "--retries", type=int, default=2, help="re-sends after the first attempt"
+    )
+
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's figures"
     )
@@ -122,6 +159,60 @@ def _run_sql(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_simulate(args: argparse.Namespace, out) -> int:
+    from repro.metrics.latency import LatencyCollector
+    from repro.net.latency import SeededLatency
+    from repro.sim import AsyncQueryEngine, RetryPolicy
+    from repro.util.rng import derive_rng
+    from repro.workloads.generators import UniformRangeWorkload
+
+    if not 0.0 <= args.drop < 1.0:
+        raise ReproError("--drop must be within [0, 1)")
+    if not 0.0 <= args.fail < 1.0:
+        raise ReproError("--fail must be within [0, 1)")
+    low_ms, high_ms = args.latency_ms
+    if not 0.0 <= low_ms <= high_ms:
+        raise ReproError("--latency-ms needs 0 <= LOW <= HIGH")
+    config = SystemConfig(n_peers=args.peers, seed=args.seed)
+    system = RangeSelectionSystem(config)
+    print(f"system: {config.describe()}", file=out)
+    for query in UniformRangeWorkload(
+        config.domain, args.warm_queries, seed=args.seed + 1
+    ).ranges():
+        system.query(query)
+    engine = AsyncQueryEngine(
+        system,
+        latency=SeededLatency(low_ms, high_ms, seed=args.seed),
+        drop_probability=args.drop,
+        policy=RetryPolicy(timeout_ms=args.timeout_ms, max_retries=args.retries),
+        seed=args.seed,
+    )
+    node_ids = system.router.node_ids
+    n_crashed = int(round(args.fail * len(node_ids)))
+    crash_rng = derive_rng(args.seed, "cli/simulate-crashes")
+    for index in crash_rng.choice(len(node_ids), size=n_crashed, replace=False):
+        engine.crash_peer(node_ids[int(index)])
+    print(
+        f"faults: drop={args.drop:.0%}, crashed {n_crashed}/{len(node_ids)} peers; "
+        f"link delay [{low_ms:g}, {high_ms:g}] ms, "
+        f"timeout {args.timeout_ms:g} ms x{args.retries + 1} attempts",
+        file=out,
+    )
+    collector = LatencyCollector()
+    for query in UniformRangeWorkload(
+        config.domain, args.queries, seed=args.seed + 2
+    ).ranges():
+        collector.add(engine.run(query))
+    print(collector.report(), file=out)
+    stats = engine.net.stats
+    print(
+        f"traffic: {stats.messages} messages, {stats.drops} dropped, "
+        f"{stats.retries} retries, {stats.timeouts} request timeouts",
+        file=out,
+    )
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace, out) -> int:
     from repro.experiments.runall import run_all
 
@@ -151,6 +242,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_demo(args, out)
         if args.command == "sql":
             return _run_sql(args, out)
+        if args.command == "simulate":
+            return _run_simulate(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "info":

@@ -31,8 +31,16 @@ class OverlayRouter(ABC):
         """Peer id responsible for a bucket identifier."""
 
     @abstractmethod
+    def route(self, key: int, start_id: int) -> tuple[int, ...]:
+        """Route ``key`` from ``start_id``; return the node-id path
+        traversed.  The first element is ``start_id`` itself and the last
+        is the owner, so the path has ``hops + 1`` entries (a start node
+        that already owns the key yields a one-element path)."""
+
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         """Route ``key`` from ``start_id``; return (owner id, hops)."""
+        path = self.route(key, start_id)
+        return (path[-1], len(path) - 1)
 
 
 class ChordRouter(OverlayRouter):
@@ -54,6 +62,9 @@ class ChordRouter(OverlayRouter):
 
     def owner_of(self, key: int) -> int:
         return self.ring.successor_of(key)
+
+    def route(self, key: int, start_id: int) -> tuple[int, ...]:
+        return self.ring.lookup(key, start_id=start_id).path
 
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         result = self.ring.lookup(key, start_id=start_id)
@@ -78,6 +89,9 @@ class CanRouter(OverlayRouter):
 
     def owner_of(self, key: int) -> int:
         return self.overlay.owner_of(key)
+
+    def route(self, key: int, start_id: int) -> tuple[int, ...]:
+        return self.overlay.lookup_path(key, start_id=start_id)
 
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         return self.overlay.lookup(key, start_id=start_id)

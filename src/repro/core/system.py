@@ -158,6 +158,16 @@ class RangeSelectionSystem:
         self.stores[node_id] = PeerStore(node_id, eviction)
         self.network.register(node_id, self._make_handler(node_id))
 
+    def peer_handler(self, node_id: int):
+        """The message handler of one peer, for wiring onto other
+        transports (the event-driven engine registers these on its
+        :class:`~repro.sim.network.AsyncNetwork`)."""
+        return self._make_handler(node_id)
+
+    def place_identifier(self, identifier: int) -> int:
+        """Public access to the placement mapping (see :meth:`_place`)."""
+        return self._place(identifier)
+
     def _make_handler(self, node_id: int):
         def handler(message: Message):
             kind = message.kind
@@ -241,11 +251,10 @@ class RangeSelectionSystem:
         replies: list[MatchReply] = []
         hops = 0
         for identifier in identifiers:
-            owner_id, lookup_hops = self.router.lookup(
-                self._place(identifier), start_id=origin
-            )
+            route_path = self.router.route(self._place(identifier), start_id=origin)
+            owner_id, lookup_hops = route_path[-1], len(route_path) - 1
             hops += lookup_hops
-            self.network.stats.record_routing_hops(lookup_hops)
+            self.network.charge_route(route_path)
             owners.append(owner_id)
             answer = self.network.send(
                 origin,

@@ -48,6 +48,29 @@ class UnknownPeerError(NetworkError, KeyError):
     """A message was addressed to a peer the transport does not know."""
 
 
+class RequestTimeoutError(NetworkError, TimeoutError):
+    """A request exhausted its retry budget without receiving a reply.
+
+    Raised (or used to reject a :class:`~repro.sim.futures.SimFuture`) by the
+    asynchronous transport when every attempt was dropped, or the recipient
+    was crashed, for the whole retry schedule.
+    """
+
+    def __init__(self, recipient: int, attempts: int, waited_ms: float) -> None:
+        super().__init__(
+            f"request to peer {recipient} timed out after {attempts} "
+            f"attempt(s) and {waited_ms:.1f} ms"
+        )
+        self.recipient = recipient
+        self.attempts = attempts
+        self.waited_ms = waited_ms
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used inconsistently (e.g. the event
+    queue drained while a future someone is waiting on is still pending)."""
+
+
 class SchemaError(ReproError, ValueError):
     """A relation, attribute or tuple violated the declared schema."""
 

@@ -17,6 +17,7 @@ from pathlib import Path
 
 from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
 from repro.experiments.ext_composite import CompositeAnswerExperiment
+from repro.experiments.ext_event_latency import EventLatencyExperiment
 from repro.experiments.ext_ideal_family import IdealFamilyAblation
 from repro.experiments.ext_local_index import LocalIndexExperiment
 from repro.experiments.ext_overlay_compare import OverlayComparisonExperiment
@@ -79,6 +80,7 @@ def run_all(scale: str = "paper", results_dir: "str | Path" = "results") -> None
         ("ext_composite", lambda: scaled(CompositeAnswerExperiment).run().report()),
         ("ext_overlay_compare", lambda: scaled(OverlayComparisonExperiment).run().report()),
         ("ext_stats_planning", lambda: scaled(StatsPlanningExperiment).run().report()),
+        ("ext_event_latency", lambda: scaled(EventLatencyExperiment).run().report()),
     ]
     for name, job in jobs:
         start = time.perf_counter()

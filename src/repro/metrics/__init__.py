@@ -1,6 +1,12 @@
 """Experiment metrics: per-query logs and the paper's summary statistics."""
 
 from repro.metrics.collector import QueryLog, QueryRecord
+from repro.metrics.latency import (
+    LatencyCollector,
+    LatencyHistogram,
+    PhasePercentiles,
+    phase_percentiles,
+)
 from repro.metrics.recall import (
     recall_cdf,
     recall_comparison,
@@ -17,6 +23,10 @@ from repro.metrics.report import (
 __all__ = [
     "QueryLog",
     "QueryRecord",
+    "LatencyCollector",
+    "LatencyHistogram",
+    "PhasePercentiles",
+    "phase_percentiles",
     "recall_cdf",
     "recall_comparison",
     "fraction_fully_answered",

@@ -1,0 +1,178 @@
+"""Latency aggregation for event-driven experiments.
+
+The paper's evaluation never reports time-to-answer (its simulator, like
+our synchronous transport, had no clock).  The event-driven engine does,
+so this module adds the summaries a latency evaluation needs: per-phase
+percentile tables (p50/p95/p99 — tail percentiles, unlike the p01/p99
+band :mod:`repro.util.stats` computes for the paper's figures) and a
+log-spaced histogram for eyeballing a distribution's shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.metrics.report import format_table
+from repro.sim.query import TimedQueryResult
+
+__all__ = [
+    "PhasePercentiles",
+    "phase_percentiles",
+    "LatencyHistogram",
+    "LatencyCollector",
+    "QUERY_PHASES",
+]
+
+#: The phases of one query, in execution order.
+QUERY_PHASES = ("route", "match", "fetch", "store", "total")
+
+
+@dataclass(frozen=True)
+class PhasePercentiles:
+    """Tail summary of one phase's latency samples (milliseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def as_row(self) -> list[str]:
+        return [
+            str(self.count),
+            f"{self.mean:.1f}",
+            f"{self.p50:.1f}",
+            f"{self.p95:.1f}",
+            f"{self.p99:.1f}",
+            f"{self.maximum:.1f}",
+        ]
+
+
+def phase_percentiles(values: Iterable[float]) -> PhasePercentiles:
+    """Compute :class:`PhasePercentiles` over ``values`` (must be nonempty)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return PhasePercentiles(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+@dataclass
+class LatencyHistogram:
+    """Counts over log-spaced latency buckets (..1, 1-2, 2-5, 5-10 ms, ...).
+
+    The 1-2-5 decade ladder keeps the bucket count small across the six
+    orders of magnitude a timeout-laden distribution spans.
+    """
+
+    edges_ms: tuple[float, ...] = field(
+        default_factory=lambda: tuple(
+            base * 10**exp for exp in range(5) for base in (1.0, 2.0, 5.0)
+        )
+    )
+    counts: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if list(self.edges_ms) != sorted(self.edges_ms):
+            raise ValueError("histogram edges must be ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.edges_ms) + 1)
+
+    def add(self, value_ms: float) -> None:
+        """Record one latency sample."""
+        if value_ms < 0:
+            raise ValueError("latency cannot be negative")
+        self.counts[int(np.searchsorted(self.edges_ms, value_ms, side="left"))] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def nonzero_buckets(self) -> list[tuple[str, int]]:
+        """(label, count) for every populated bucket, ascending."""
+        out: list[tuple[str, int]] = []
+        for index, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if index == 0:
+                label = f"<{self.edges_ms[0]:g}"
+            elif index == len(self.edges_ms):
+                label = f">={self.edges_ms[-1]:g}"
+            else:
+                label = f"{self.edges_ms[index - 1]:g}-{self.edges_ms[index]:g}"
+            out.append((label, count))
+        return out
+
+
+@dataclass
+class LatencyCollector:
+    """Accumulates :class:`TimedQueryResult`\\ s into per-phase summaries."""
+
+    phases: dict[str, list[float]] = field(
+        default_factory=lambda: {phase: [] for phase in QUERY_PHASES}
+    )
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    queries: int = 0
+    #: Individual lookup chains that timed out.
+    chain_timeouts: int = 0
+    #: Queries answered from fewer than ``l`` replies.
+    degraded_queries: int = 0
+    #: Queries that located no partition at all.
+    misses: int = 0
+    recalls: list[float] = field(default_factory=list)
+
+    def add(self, result: TimedQueryResult) -> None:
+        """Record one event-driven query result."""
+        self.phases["route"].append(result.route_ms)
+        self.phases["match"].append(result.match_ms)
+        self.phases["fetch"].append(result.fetch_ms)
+        self.phases["store"].append(result.store_ms)
+        self.phases["total"].append(result.total_ms)
+        self.histogram.add(result.total_ms)
+        self.queries += 1
+        self.chain_timeouts += result.timeouts
+        if result.degraded:
+            self.degraded_queries += 1
+        if not result.found:
+            self.misses += 1
+        self.recalls.append(result.recall)
+
+    def phase_summary(self) -> dict[str, PhasePercentiles]:
+        """Per-phase percentiles over all recorded queries."""
+        return {
+            phase: phase_percentiles(values)
+            for phase, values in self.phases.items()
+            if values
+        }
+
+    def mean_recall(self) -> float:
+        """Mean recall across recorded queries (0.0 when none recorded)."""
+        return float(np.mean(self.recalls)) if self.recalls else 0.0
+
+    def report(self, title: str = "Query latency by phase") -> str:
+        """Human-readable phase table plus the fault tallies."""
+        summary = self.phase_summary()
+        rows: list[Sequence[object]] = [
+            [phase, *summary[phase].as_row()] for phase in QUERY_PHASES if phase in summary
+        ]
+        table = format_table(
+            ["phase", "n", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+            rows,
+            title=title,
+        )
+        tail = (
+            f"queries={self.queries}  chain timeouts={self.chain_timeouts}  "
+            f"degraded={self.degraded_queries}  misses={self.misses}  "
+            f"mean recall={self.mean_recall():.3f}"
+        )
+        return f"{table}\n{tail}"

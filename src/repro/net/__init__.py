@@ -6,9 +6,18 @@ subpackage substitutes a deterministic in-memory transport that delivers
 messages synchronously while *accounting* for them: per-peer and global
 message counters, byte estimates, and a pluggable latency model, so example
 programs and extension experiments can report network cost.
+
+For experiments that need *time* rather than counts — delivery delay,
+loss, crashes, timeouts — the event-driven transport lives in
+:mod:`repro.sim`, layered on the same latency models.
 """
 
-from repro.net.latency import ConstantLatency, LatencyModel, UniformLatency
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    SeededLatency,
+    UniformLatency,
+)
 from repro.net.message import Message
 from repro.net.transport import SimulatedNetwork, TrafficStats
 
@@ -19,4 +28,5 @@ __all__ = [
     "LatencyModel",
     "ConstantLatency",
     "UniformLatency",
+    "SeededLatency",
 ]

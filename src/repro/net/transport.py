@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import UnknownPeerError
 from repro.net.latency import ConstantLatency, LatencyModel
@@ -22,6 +22,12 @@ class TrafficStats:
     messages: int = 0
     bytes: int = 0
     latency_ms: float = 0.0
+    #: Messages lost in flight (event-driven transport only).
+    drops: int = 0
+    #: Requests whose retry budget was exhausted (event-driven transport only).
+    timeouts: int = 0
+    #: Re-sends after an unanswered attempt (event-driven transport only).
+    retries: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     sent_by_peer: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     received_by_peer: dict[int, int] = field(default_factory=lambda: defaultdict(int))
@@ -35,17 +41,25 @@ class TrafficStats:
         self.sent_by_peer[message.sender] += 1
         self.received_by_peer[message.recipient] += 1
 
-    def record_routing_hops(self, hops: int, size_bytes: int = 32) -> None:
+    def record_routing_hops(
+        self, hops: int, size_bytes: int = 32, latency_ms: float = 0.0
+    ) -> None:
         """Account for overlay routing traffic (one small message per hop).
 
         The DHT simulators compute lookups structurally for speed; this
         keeps the traffic totals honest by charging each traversed edge as
-        a routing message.
+        a routing message.  ``latency_ms`` is the *total* wire time of the
+        hop sequence (each traversed edge costs real latency, so leaving it
+        at zero understates ``latency_ms`` whenever a latency model is in
+        play — prefer :meth:`SimulatedNetwork.charge_route`).
         """
         if hops < 0:
             raise ValueError("hops cannot be negative")
+        if latency_ms < 0:
+            raise ValueError("latency cannot be negative")
         self.messages += hops
         self.bytes += hops * size_bytes
+        self.latency_ms += latency_ms
         self.by_kind["route-hop"] += hops
 
     def reset(self) -> None:
@@ -53,6 +67,9 @@ class TrafficStats:
         self.messages = 0
         self.bytes = 0
         self.latency_ms = 0.0
+        self.drops = 0
+        self.timeouts = 0
+        self.retries = 0
         self.by_kind.clear()
         self.sent_by_peer.clear()
         self.received_by_peer.clear()
@@ -106,6 +123,22 @@ class SimulatedNetwork:
         delay = self.latency.sample_ms(sender, recipient)
         self.stats.record(message, delay)
         return handler(message)
+
+    def charge_route(self, path: Sequence[int], size_bytes: int = 32) -> float:
+        """Account for a routed lookup, edge by edge.
+
+        ``path`` is the node-id sequence a lookup traversed (as reported by
+        the overlay); every consecutive pair is charged one routing message
+        with latency sampled from the network's model.  Returns the total
+        latency of the route in milliseconds.
+        """
+        total = 0.0
+        for hop_from, hop_to in zip(path, path[1:]):
+            total += self.latency.sample_ms(hop_from, hop_to)
+        self.stats.record_routing_hops(
+            max(0, len(path) - 1), size_bytes=size_bytes, latency_ms=total
+        )
+        return total
 
     @property
     def peer_count(self) -> int:

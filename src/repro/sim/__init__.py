@@ -1,0 +1,34 @@
+"""Discrete-event simulation: virtual time, loss, crashes, timeouts.
+
+The synchronous transport (:mod:`repro.net`) answers "how many messages";
+this subpackage answers "how long, and what breaks".  It provides:
+
+- :class:`~repro.sim.kernel.Simulator` — virtual clock + priority event
+  queue + cancellable timers;
+- :class:`~repro.sim.futures.SimFuture` — values that settle at a later
+  virtual time, with :func:`~repro.sim.futures.gather` for fan-out;
+- :class:`~repro.sim.network.AsyncNetwork` — delayed, droppable delivery
+  over any :class:`~repro.net.latency.LatencyModel`, with per-peer crash
+  injection and :class:`~repro.sim.network.RetryPolicy` timeouts;
+- :class:`~repro.sim.query.AsyncQueryEngine` — the paper's query procedure
+  with the ``l`` lookups genuinely concurrent, timed per phase.
+"""
+
+from repro.sim.faults import FaultInjector
+from repro.sim.futures import SimFuture, gather
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.network import AsyncNetwork, RetryPolicy
+from repro.sim.query import AsyncQueryEngine, ChainOutcome, TimedQueryResult
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "SimFuture",
+    "gather",
+    "FaultInjector",
+    "AsyncNetwork",
+    "RetryPolicy",
+    "AsyncQueryEngine",
+    "ChainOutcome",
+    "TimedQueryResult",
+]

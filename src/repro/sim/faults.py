@@ -1,0 +1,73 @@
+"""Fault injection for the event-driven transport.
+
+Two fault classes the paper's testbed could not explore:
+
+- **message loss** — every directed delivery is independently dropped with
+  a configurable probability (one deterministic stream per injector, so a
+  seed replays the same losses);
+- **peer crashes** — a crashed peer silently ignores everything addressed
+  to it until it recovers, which is how a fail-stop node looks from the
+  outside: no error, just no reply.
+
+Crashes can be toggled directly (:meth:`crash` / :meth:`recover`) or
+scheduled on a :class:`~repro.sim.kernel.Simulator` clock to model churn
+mid-run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.kernel import Simulator, Timer
+from repro.util.rng import derive_rng
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Loss and crash state consulted by :class:`~repro.sim.network.AsyncNetwork`."""
+
+    def __init__(self, drop_probability: float = 0.0, seed: int = 0) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop probability must be within [0, 1)")
+        self.drop_probability = drop_probability
+        self._rng: np.random.Generator = derive_rng(seed, "sim/faults")
+        self._crashed: set[int] = set()
+
+    # -- crashes -------------------------------------------------------
+
+    def crash(self, peer_id: int) -> None:
+        """Fail-stop a peer: it stops handling and acknowledging messages."""
+        self._crashed.add(peer_id)
+
+    def recover(self, peer_id: int) -> None:
+        """Bring a crashed peer back (idempotent)."""
+        self._crashed.discard(peer_id)
+
+    def is_crashed(self, peer_id: int) -> bool:
+        return peer_id in self._crashed
+
+    @property
+    def crashed_peers(self) -> frozenset[int]:
+        """Snapshot of currently crashed peer ids."""
+        return frozenset(self._crashed)
+
+    def schedule_crash(
+        self, sim: Simulator, peer_id: int, at_ms: float, recover_at_ms: float | None = None
+    ) -> tuple[Timer, Timer | None]:
+        """Arrange a crash (and optional recovery) on the virtual clock."""
+        crash_timer = sim.call_at(at_ms, lambda: self.crash(peer_id))
+        recover_timer = None
+        if recover_at_ms is not None:
+            if recover_at_ms <= at_ms:
+                raise ValueError("recovery must come after the crash")
+            recover_timer = sim.call_at(recover_at_ms, lambda: self.recover(peer_id))
+        return (crash_timer, recover_timer)
+
+    # -- loss ----------------------------------------------------------
+
+    def drops_delivery(self) -> bool:
+        """Sample whether the next delivery is lost in flight."""
+        if self.drop_probability == 0.0:
+            return False
+        return bool(self._rng.random() < self.drop_probability)

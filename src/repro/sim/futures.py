@@ -1,0 +1,147 @@
+"""Futures for the discrete-event simulator.
+
+A :class:`SimFuture` is the value of an operation that completes at a later
+*virtual* time: an in-flight request, a timer, a whole query.  It is
+deliberately tiny — settle once, run callbacks immediately on settle — and
+synchronous under the hood: the simulator's event loop is single-threaded,
+so no locking is needed, and "concurrency" means interleaved virtual-time
+events, not threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["SimFuture", "gather"]
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_REJECTED = "rejected"
+
+
+class SimFuture(Generic[T]):
+    """A single-assignment slot filled at some later virtual time."""
+
+    __slots__ = ("_state", "_value", "_error", "_callbacks")
+
+    def __init__(self) -> None:
+        self._state = _PENDING
+        self._value: T | None = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[["SimFuture[T]"], None]] = []
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the future has settled (either way)."""
+        return self._state != _PENDING
+
+    @property
+    def failed(self) -> bool:
+        """Whether the future settled with an error."""
+        return self._state == _REJECTED
+
+    def result(self) -> T:
+        """The resolved value; raises the error if rejected, or
+        :class:`RuntimeError` if still pending."""
+        if self._state == _RESOLVED:
+            return self._value  # type: ignore[return-value]
+        if self._state == _REJECTED:
+            assert self._error is not None
+            raise self._error
+        raise RuntimeError("future is still pending")
+
+    def exception(self) -> BaseException | None:
+        """The rejection error, or None when pending/resolved."""
+        return self._error
+
+    # -- settling ------------------------------------------------------
+
+    def resolve(self, value: T) -> None:
+        """Settle successfully with ``value``."""
+        self._settle(_RESOLVED, value=value)
+
+    def reject(self, error: BaseException) -> None:
+        """Settle with an error."""
+        self._settle(_REJECTED, error=error)
+
+    def _settle(self, state: str, value: Any = None, error: BaseException | None = None) -> None:
+        if self._state != _PENDING:
+            raise RuntimeError(f"future already {self._state}")
+        self._state = state
+        self._value = value
+        self._error = error
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- composition ---------------------------------------------------
+
+    def add_done_callback(self, callback: Callable[["SimFuture[T]"], None]) -> None:
+        """Run ``callback(self)`` on settle (immediately if already settled)."""
+        if self.done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def then(self, on_value: Callable[[T], Any]) -> "SimFuture[Any]":
+        """Chain: a future of ``on_value(result)``, propagating errors.
+
+        If ``on_value`` returns a :class:`SimFuture` the chain flattens
+        into it (so multi-round-trip protocols compose left to right).
+        """
+        out: SimFuture[Any] = SimFuture()
+
+        def on_done(settled: "SimFuture[T]") -> None:
+            if settled.failed:
+                out.reject(settled.exception())  # type: ignore[arg-type]
+                return
+            try:
+                mapped = on_value(settled.result())
+            except Exception as exc:  # noqa: BLE001 — forwarded, not dropped
+                out.reject(exc)
+                return
+            if isinstance(mapped, SimFuture):
+                mapped.add_done_callback(
+                    lambda inner: out.reject(inner.exception())  # type: ignore[arg-type]
+                    if inner.failed
+                    else out.resolve(inner.result())
+                )
+            else:
+                out.resolve(mapped)
+
+        self.add_done_callback(on_done)
+        return out
+
+
+def gather(futures: Sequence[SimFuture[Any]]) -> SimFuture[list[Any]]:
+    """A future of every input's outcome, resolving when *all* settle.
+
+    Rejections do not fail the gather: each slot of the resolved list holds
+    either the value or the exception instance, in input order — the
+    query engine needs exactly this to degrade to the replies that survived
+    while still seeing which chains timed out.
+    """
+    out: SimFuture[list[Any]] = SimFuture()
+    if not futures:
+        out.resolve([])
+        return out
+    results: list[Any] = [None] * len(futures)
+    remaining = len(futures)
+
+    def make_callback(slot: int) -> Callable[[SimFuture[Any]], None]:
+        def on_done(settled: SimFuture[Any]) -> None:
+            nonlocal remaining
+            results[slot] = settled.exception() if settled.failed else settled.result()
+            remaining -= 1
+            if remaining == 0:
+                out.resolve(results)
+
+        return on_done
+
+    for slot, future in enumerate(futures):
+        future.add_done_callback(make_callback(slot))
+    return out

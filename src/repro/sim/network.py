@@ -1,0 +1,254 @@
+"""Event-driven message transport.
+
+Where :class:`~repro.net.transport.SimulatedNetwork` delivers synchronously
+and instantly (right for hop-count experiments), :class:`AsyncNetwork`
+delivers on a :class:`~repro.sim.kernel.Simulator` clock: every message
+takes latency sampled from a :class:`~repro.net.latency.LatencyModel`,
+may be dropped in flight, and is silently swallowed by a crashed recipient.
+Requests therefore need timeouts — :meth:`request` arms a retry schedule
+(:class:`RetryPolicy`) and rejects with
+:class:`~repro.errors.RequestTimeoutError` once it is exhausted.
+
+Traffic accounting reuses :class:`~repro.net.transport.TrafficStats`;
+messages are charged at send time (the wire carries a lost packet just the
+same) and drops/retries/timeouts are counted separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RequestTimeoutError, UnknownPeerError
+from repro.net.latency import LatencyModel, SeededLatency
+from repro.net.message import Message
+from repro.net.transport import TrafficStats
+from repro.sim.faults import FaultInjector
+from repro.sim.futures import SimFuture
+from repro.sim.kernel import Simulator
+
+__all__ = ["AsyncNetwork", "RetryPolicy"]
+
+Handler = Callable[[Message], Any]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How long to wait for a reply, and how stubbornly to re-ask.
+
+    Attempt ``i`` (0-based) waits ``timeout_ms * backoff**i`` before giving
+    up on it; after ``max_retries`` re-sends the request as a whole fails.
+    The defaults suit a wide-area RTT of ~100-200 ms.
+    """
+
+    timeout_ms: float = 400.0
+    max_retries: int = 2
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if self.backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+
+    @property
+    def total_attempts(self) -> int:
+        """Sends performed before the request fails."""
+        return self.max_retries + 1
+
+    def timeout_for(self, attempt: int) -> float:
+        """Patience for the given 0-based attempt."""
+        return self.timeout_ms * self.backoff**attempt
+
+    def worst_case_ms(self) -> float:
+        """Total virtual time a request can occupy before rejecting."""
+        return sum(self.timeout_for(i) for i in range(self.total_attempts))
+
+
+class AsyncNetwork:
+    """Peers exchanging delayed, droppable messages on a virtual clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.latency = latency if latency is not None else SeededLatency(seed=seed)
+        self.faults = FaultInjector(drop_probability, seed=seed)
+        self.stats = TrafficStats()
+        self._handlers: dict[int, Handler] = {}
+
+    # -- membership (mirrors SimulatedNetwork) -------------------------
+
+    def register(self, peer_id: int, handler: Handler) -> None:
+        """Attach ``handler`` for messages addressed to ``peer_id``."""
+        self._handlers[peer_id] = handler
+
+    def unregister(self, peer_id: int) -> None:
+        """Detach a peer (it stops receiving messages)."""
+        self._handlers.pop(peer_id, None)
+
+    def is_registered(self, peer_id: int) -> bool:
+        return peer_id in self._handlers
+
+    @property
+    def peer_count(self) -> int:
+        return len(self._handlers)
+
+    # -- faults --------------------------------------------------------
+
+    def crash(self, peer_id: int) -> None:
+        """Fail-stop ``peer_id``: it stays registered but answers nothing."""
+        self.faults.crash(peer_id)
+
+    def recover(self, peer_id: int) -> None:
+        """Un-crash ``peer_id``."""
+        self.faults.recover(peer_id)
+
+    def is_alive(self, peer_id: int) -> bool:
+        """Registered and not currently crashed."""
+        return self.is_registered(peer_id) and not self.faults.is_crashed(peer_id)
+
+    # -- delivery ------------------------------------------------------
+
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 64,
+        reply_size_bytes: int = 64,
+    ) -> SimFuture[Any]:
+        """One request/reply exchange, no retries.
+
+        Resolves with the recipient handler's return value after a full
+        round trip of sampled latency.  A message lost to a drop or a
+        crashed recipient leaves the future pending forever — arming a
+        timeout is the caller's job (see :meth:`request`).
+        """
+        if recipient not in self._handlers:
+            future: SimFuture[Any] = SimFuture()
+            future.reject(UnknownPeerError(recipient))
+            return future
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            kind=kind,
+            payload=payload,
+            size_bytes=size_bytes,
+        )
+        future = SimFuture()
+        out_delay = self.latency.sample_ms(sender, recipient)
+        self.stats.record(message, out_delay)
+        dropped_out = self.faults.drops_delivery()
+
+        def deliver() -> None:
+            if dropped_out or self.faults.is_crashed(recipient):
+                self.stats.drops += 1
+                return
+            handler = self._handlers.get(recipient)
+            if handler is None:  # unregistered while in flight
+                self.stats.drops += 1
+                return
+            reply_payload = handler(message)
+            reply = Message(
+                sender=recipient,
+                recipient=sender,
+                kind=f"{kind}-reply",
+                payload=reply_payload,
+                size_bytes=reply_size_bytes,
+            )
+            back_delay = self.latency.sample_ms(recipient, sender)
+            self.stats.record(reply, back_delay)
+            dropped_back = self.faults.drops_delivery()
+
+            def deliver_reply() -> None:
+                if dropped_back:
+                    self.stats.drops += 1
+                    return
+                future.resolve(reply_payload)
+
+            self.sim.call_later(back_delay, deliver_reply)
+
+        self.sim.call_later(out_delay, deliver)
+        return future
+
+    def request(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        size_bytes: int = 64,
+        reply_size_bytes: int = 64,
+        policy: RetryPolicy | None = None,
+    ) -> SimFuture[Any]:
+        """A reliable-ish exchange: :meth:`send` under a retry schedule.
+
+        Resolves with the first reply to arrive (late replies from earlier
+        attempts count); rejects with
+        :class:`~repro.errors.RequestTimeoutError` when every attempt's
+        patience runs out.
+        """
+        policy = policy if policy is not None else RetryPolicy()
+        out: SimFuture[Any] = SimFuture()
+        started = self.sim.now
+        attempt_no = 0
+
+        def launch_attempt() -> None:
+            inner = self.send(
+                sender,
+                recipient,
+                kind,
+                payload=payload,
+                size_bytes=size_bytes,
+                reply_size_bytes=reply_size_bytes,
+            )
+            timer = self.sim.call_later(policy.timeout_for(attempt_no), on_timeout)
+
+            def on_reply(settled: SimFuture[Any]) -> None:
+                timer.cancel()
+                if out.done:
+                    return  # duplicate reply after a retry already won
+                if settled.failed:
+                    out.reject(settled.exception())  # type: ignore[arg-type]
+                else:
+                    out.resolve(settled.result())
+
+            inner.add_done_callback(on_reply)
+
+        def on_timeout() -> None:
+            nonlocal attempt_no
+            if out.done:
+                return
+            attempt_no += 1
+            if attempt_no >= policy.total_attempts:
+                self.stats.timeouts += 1
+                out.reject(
+                    RequestTimeoutError(
+                        recipient, attempt_no, self.sim.now - started
+                    )
+                )
+            else:
+                self.stats.retries += 1
+                launch_attempt()
+
+        launch_attempt()
+        return out
+
+    def charge_route(self, path: tuple[int, ...], size_bytes: int = 32) -> float:
+        """Account for a hop-by-hop route; returns its total latency in ms
+        (same contract as :meth:`SimulatedNetwork.charge_route`)."""
+        total = 0.0
+        for hop_from, hop_to in zip(path, path[1:]):
+            total += self.latency.sample_ms(hop_from, hop_to)
+        self.stats.record_routing_hops(
+            max(0, len(path) - 1), size_bytes=size_bytes, latency_ms=total
+        )
+        return total

@@ -1,0 +1,390 @@
+"""The event-driven query path.
+
+The synchronous :meth:`RangeSelectionSystem.query` resolves the ``l``
+identifier lookups one after another, which is right for hop *counts* but
+says nothing about wall-clock time.  Here the same query procedure runs on
+the simulation kernel: every lookup chain (route hop by hop to the owner,
+then a match request under a timeout/retry policy) progresses concurrently
+in virtual time, so a query completes when its *slowest* chain does — the
+paper's ``O(log N)`` wall-clock claim — and a crashed owner costs one
+timed-out chain, not a hung query.
+
+Phase accounting per query:
+
+- ``route_ms``  — the slowest chain's hop-by-hop routing time;
+- ``match_ms``  — the rest of the locate span (request round trips,
+  retries, timeout waits);
+- ``fetch_ms``  — retrieving the winning partition's rows (when enabled);
+- ``store_ms``  — the store-on-miss fan-out to the ``l`` owners;
+- ``total_ms``  — end-to-end virtual time, = locate + fetch + store spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import (
+    SIM_ATTRIBUTE,
+    SIM_RELATION,
+    MatchReply,
+    RangeSelectionSystem,
+)
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.net.latency import LatencyModel, SeededLatency
+from repro.ranges.interval import IntRange
+from repro.sim.futures import SimFuture, gather
+from repro.sim.kernel import Simulator
+from repro.sim.network import AsyncNetwork, RetryPolicy
+from repro.util.rng import derive_rng
+
+__all__ = ["AsyncQueryEngine", "ChainOutcome", "TimedQueryResult"]
+
+
+@dataclass(frozen=True)
+class ChainOutcome:
+    """One identifier lookup chain, timed."""
+
+    identifier: int
+    owner: int
+    hops: int
+    #: Hop-by-hop routing time of this chain.
+    route_ms: float
+    #: Reply from the owner; None when the chain timed out.
+    reply: MatchReply | None
+    #: Virtual time from query start until this chain settled.
+    completed_ms: float
+    timed_out: bool
+
+
+@dataclass(frozen=True)
+class TimedQueryResult:
+    """Outcome of one event-driven query, with phase timings."""
+
+    query: IntRange
+    hashed_query: IntRange
+    matched: PartitionDescriptor | None
+    similarity: float
+    recall: float
+    matcher_score: float
+    exact: bool
+    stored: bool
+    chains: tuple[ChainOutcome, ...]
+    #: Chains that exhausted their retry budget (<= l).
+    timeouts: int
+    #: Store-on-miss placements that themselves timed out.
+    store_failures: int
+    route_ms: float
+    match_ms: float
+    locate_ms: float
+    fetch_ms: float
+    store_ms: float
+    total_ms: float
+    fetched: Partition | None = None
+
+    @property
+    def found(self) -> bool:
+        """Whether any candidate partition was located."""
+        return self.matched is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the answer came from fewer than ``l`` replies."""
+        return self.timeouts > 0
+
+
+class AsyncQueryEngine:
+    """Runs a system's query procedure on the discrete-event kernel.
+
+    The engine shares the system's peers, stores, router and hash scheme —
+    only the transport differs.  Synchronous calls on the system (warmup,
+    churn helpers) remain valid between event-driven queries.
+    """
+
+    def __init__(
+        self,
+        system: RangeSelectionSystem,
+        sim: Simulator | None = None,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        policy: RetryPolicy | None = None,
+        seed: int | None = None,
+        fetch_rows: bool = False,
+    ) -> None:
+        self.system = system
+        self.sim = sim if sim is not None else Simulator()
+        if seed is None:
+            seed = system.config.seed
+        if latency is None:
+            latency = SeededLatency(seed=seed)
+        self.net = AsyncNetwork(
+            self.sim, latency=latency, drop_probability=drop_probability, seed=seed
+        )
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.fetch_rows = fetch_rows
+        for node_id in system.router.node_ids:
+            self.net.register(node_id, system.peer_handler(node_id))
+        self._rng = derive_rng(seed, "sim/origins")
+
+    # -- fault control -------------------------------------------------
+
+    def crash_peer(self, peer_id: int) -> None:
+        """Fail-stop one peer for subsequent (and in-flight) deliveries."""
+        self.net.crash(peer_id)
+
+    def recover_peer(self, peer_id: int) -> None:
+        """Bring a crashed peer back."""
+        self.net.recover(peer_id)
+
+    def pick_origin(self) -> int:
+        """A uniformly random *alive* querying peer."""
+        alive = [nid for nid in self.system.router.node_ids if self.net.is_alive(nid)]
+        if not alive:
+            raise RuntimeError("no alive peer can originate a query")
+        return alive[int(self._rng.integers(len(alive)))]
+
+    # -- the query procedure -------------------------------------------
+
+    def query(
+        self,
+        query: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        origin: int | None = None,
+        padding: float | None = None,
+    ) -> SimFuture[TimedQueryResult]:
+        """Schedule one full query; resolves when all phases finish.
+
+        Drive the simulator (``engine.sim.run()`` or :meth:`run`) to make
+        virtual time pass.
+        """
+        system = self.system
+        config = system.config
+        if origin is None:
+            origin = self.pick_origin()
+        effective_padding = config.padding if padding is None else padding
+        hashed_query = query
+        if effective_padding > 0:
+            hashed_query = query.pad(
+                effective_padding,
+                lower_bound=config.domain.low,
+                upper_bound=config.domain.high,
+            )
+        started = self.sim.now
+        identifiers = system.identifiers_for(hashed_query)
+        chain_futures = [
+            self._run_chain(origin, identifier, hashed_query, relation, attribute, started)
+            for identifier in identifiers
+        ]
+        out: SimFuture[TimedQueryResult] = SimFuture()
+        gather(chain_futures).add_done_callback(
+            lambda settled: self._after_locate(
+                settled.result(), query, hashed_query, relation, attribute,
+                origin, started, out,
+            )
+        )
+        return out
+
+    def run(
+        self,
+        query: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        origin: int | None = None,
+        padding: float | None = None,
+    ) -> TimedQueryResult:
+        """Convenience: schedule one query and drive the clock to its end."""
+        future = self.query(query, relation, attribute, origin=origin, padding=padding)
+        return self.sim.run_until_complete(future)
+
+    # -- internals -----------------------------------------------------
+
+    def _run_chain(
+        self,
+        origin: int,
+        identifier: int,
+        hashed_query: IntRange,
+        relation: str,
+        attribute: str,
+        started: float,
+    ) -> SimFuture[ChainOutcome]:
+        """One identifier: hop along the overlay path, then ask the owner.
+
+        Routing hops are charged per edge but modelled as reliable — the
+        iterative Chord lookup retries hops internally; the request/reply
+        leg to the owner is where loss and crashes bite.  The chain future
+        always *resolves* (a timeout yields ``timed_out=True``), so one
+        dead owner degrades the query instead of failing it.
+        """
+        sim = self.sim
+        net = self.net
+        path = self.system.router.route(
+            self.system.place_identifier(identifier), start_id=origin
+        )
+        owner = path[-1]
+        hops = len(path) - 1
+        edges = list(zip(path, path[1:]))
+        chain: SimFuture[ChainOutcome] = SimFuture()
+
+        def finish(reply: MatchReply | None, route_ms: float, timed_out: bool) -> None:
+            chain.resolve(
+                ChainOutcome(
+                    identifier=identifier,
+                    owner=owner,
+                    hops=hops,
+                    route_ms=route_ms,
+                    reply=reply,
+                    completed_ms=sim.now - started,
+                    timed_out=timed_out,
+                )
+            )
+
+        def ask_owner() -> None:
+            route_ms = sim.now - started
+            request = net.request(
+                origin,
+                owner,
+                "match-request",
+                payload=(identifier, hashed_query, relation, attribute),
+                policy=self.policy,
+            )
+
+            def on_done(settled: SimFuture) -> None:
+                if settled.failed:
+                    finish(None, route_ms, timed_out=True)
+                    return
+                answer = settled.result()
+                if answer is None:
+                    finish(
+                        MatchReply(owner, identifier, None, 0.0),
+                        route_ms,
+                        timed_out=False,
+                    )
+                else:
+                    descriptor, score = answer
+                    finish(
+                        MatchReply(owner, identifier, descriptor, score),
+                        route_ms,
+                        timed_out=False,
+                    )
+
+            request.add_done_callback(on_done)
+
+        def advance(edge_index: int) -> None:
+            if edge_index == len(edges):
+                ask_owner()
+                return
+            hop_from, hop_to = edges[edge_index]
+            delay = net.latency.sample_ms(hop_from, hop_to)
+            net.stats.record_routing_hops(1, latency_ms=delay)
+            sim.call_later(delay, lambda: advance(edge_index + 1))
+
+        advance(0)
+        return chain
+
+    def _after_locate(
+        self,
+        chains: list[ChainOutcome],
+        query: IntRange,
+        hashed_query: IntRange,
+        relation: str,
+        attribute: str,
+        origin: int,
+        started: float,
+        out: SimFuture[TimedQueryResult],
+    ) -> None:
+        sim = self.sim
+        config = self.system.config
+        locate_done = sim.now
+        locate_ms = locate_done - started
+        route_ms = max((c.route_ms for c in chains), default=0.0)
+        timeouts = sum(1 for c in chains if c.timed_out)
+        best = max(
+            (
+                c.reply
+                for c in chains
+                if c.reply is not None and c.reply.descriptor is not None
+            ),
+            key=lambda reply: reply.score,
+            default=None,
+        )
+        matched = best.descriptor if best is not None else None
+        matcher_score = best.score if best is not None else 0.0
+        exact = matched is not None and matched.range == hashed_query
+
+        def finish(
+            fetched: Partition | None,
+            fetch_ms: float,
+            stored: bool,
+            store_failures: int,
+            store_ms: float,
+        ) -> None:
+            out.resolve(
+                TimedQueryResult(
+                    query=query,
+                    hashed_query=hashed_query,
+                    matched=matched,
+                    similarity=matched.jaccard_to(query) if matched is not None else 0.0,
+                    recall=matched.containment_of(query) if matched is not None else 0.0,
+                    matcher_score=matcher_score,
+                    exact=exact,
+                    stored=stored,
+                    chains=tuple(chains),
+                    timeouts=timeouts,
+                    store_failures=store_failures,
+                    route_ms=route_ms,
+                    match_ms=locate_ms - route_ms,
+                    locate_ms=locate_ms,
+                    fetch_ms=fetch_ms,
+                    store_ms=store_ms,
+                    total_ms=sim.now - started,
+                    fetched=fetched,
+                )
+            )
+
+        def store_phase(fetched: Partition | None, fetch_ms: float) -> None:
+            if exact or not config.store_on_miss:
+                finish(fetched, fetch_ms, stored=False, store_failures=0, store_ms=0.0)
+                return
+            store_started = sim.now
+            descriptor = PartitionDescriptor(relation, attribute, hashed_query)
+            placements = [
+                self.net.request(
+                    origin,
+                    c.owner,
+                    "store-request",
+                    payload=(c.identifier, descriptor, None),
+                    policy=self.policy,
+                )
+                for c in chains
+            ]
+
+            def on_stored(settled: SimFuture) -> None:
+                outcomes = settled.result()
+                failures = sum(1 for o in outcomes if isinstance(o, Exception))
+                finish(
+                    fetched,
+                    fetch_ms,
+                    stored=True,
+                    store_failures=failures,
+                    store_ms=sim.now - store_started,
+                )
+
+            gather(placements).add_done_callback(on_stored)
+
+        if self.fetch_rows and best is not None:
+            fetch_started = sim.now
+            fetch = self.net.request(
+                origin,
+                best.peer_id,
+                "fetch-partition",
+                payload=(best.identifier, best.descriptor),
+                policy=self.policy,
+            )
+
+            def on_fetched(settled: SimFuture) -> None:
+                fetched = None if settled.failed else settled.result()
+                store_phase(fetched, sim.now - fetch_started)
+
+            fetch.add_done_callback(on_fetched)
+        else:
+            store_phase(None, 0.0)

@@ -76,6 +76,47 @@ class TestSql:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSimulate:
+    def test_simulate_reports_phase_latencies(self):
+        code, text = run_cli(
+            "simulate",
+            "--peers", "60",
+            "--queries", "10",
+            "--warm-queries", "20",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "p95 ms" in text
+        assert "route" in text and "store" in text
+        assert "mean recall" in text
+        assert "traffic:" in text
+
+    def test_simulate_with_faults_counts_them(self):
+        code, text = run_cli(
+            "simulate",
+            "--peers", "60",
+            "--queries", "10",
+            "--warm-queries", "20",
+            "--drop", "0.3",
+            "--fail", "0.2",
+            "--timeout-ms", "300",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "crashed 12/60 peers" in text
+        assert "dropped" in text
+
+    def test_simulate_rejects_bad_probability(self, capsys):
+        code, _ = run_cli("simulate", "--peers", "20", "--drop", "1.5")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_simulate_rejects_inverted_latency_bounds(self, capsys):
+        code, _ = run_cli("simulate", "--peers", "20", "--latency-ms", "100", "10")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_info_prints_defaults(self):
         code, text = run_cli("info")

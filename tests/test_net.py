@@ -9,6 +9,7 @@ from repro.errors import UnknownPeerError
 from repro.net import (
     ConstantLatency,
     Message,
+    SeededLatency,
     SimulatedNetwork,
     UniformLatency,
 )
@@ -39,6 +40,31 @@ class TestLatencyModels:
     def test_uniform_validates_bounds(self):
         with pytest.raises(ValueError):
             UniformLatency(20, 10, np.random.default_rng(0))
+
+    def test_seeded_is_pairwise_deterministic(self):
+        a = SeededLatency(10, 100, seed=4)
+        b = SeededLatency(10, 100, seed=4)
+        # Same pair, same delay — regardless of how many samples were
+        # drawn in between (no generator state).
+        first = a.sample_ms(1, 2)
+        for _ in range(5):
+            a.sample_ms(3, 4)
+        assert a.sample_ms(1, 2) == first
+        assert b.sample_ms(1, 2) == first
+
+    def test_seeded_stays_in_bounds_and_varies(self):
+        model = SeededLatency(10, 100, seed=0)
+        samples = {model.sample_ms(i, i + 1) for i in range(30)}
+        assert all(10 <= s <= 100 for s in samples)
+        assert len(samples) > 1
+
+    def test_seeded_links_are_asymmetric(self):
+        model = SeededLatency(10, 100, seed=0)
+        assert model.sample_ms(1, 2) != model.sample_ms(2, 1)
+
+    def test_seeded_validates_bounds(self):
+        with pytest.raises(ValueError):
+            SeededLatency(20, 10)
 
 
 class TestSimulatedNetwork:
@@ -88,3 +114,24 @@ class TestSimulatedNetwork:
         net.register(1, lambda m: None)
         net.register(2, lambda m: None)
         assert net.peer_count == 2
+
+    def test_routing_hops_accrue_latency(self):
+        stats = SimulatedNetwork().stats
+        stats.record_routing_hops(3, latency_ms=12.0)
+        assert stats.messages == 3
+        assert stats.latency_ms == pytest.approx(12.0)
+        with pytest.raises(ValueError):
+            stats.record_routing_hops(1, latency_ms=-1.0)
+
+    def test_charge_route_samples_every_edge(self):
+        net = SimulatedNetwork(latency=ConstantLatency(4.0))
+        total = net.charge_route((1, 5, 9, 2))
+        assert total == pytest.approx(12.0)  # three edges
+        assert net.stats.messages == 3
+        assert net.stats.latency_ms == pytest.approx(12.0)
+        assert net.stats.by_kind == {"route-hop": 3}
+
+    def test_charge_route_of_trivial_path(self):
+        net = SimulatedNetwork(latency=ConstantLatency(4.0))
+        assert net.charge_route((7,)) == 0.0
+        assert net.stats.messages == 0

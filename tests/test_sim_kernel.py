@@ -1,0 +1,164 @@
+"""Tests for the discrete-event kernel and its futures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimFuture, Simulator, gather
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.call_later(30, lambda: fired.append("c"))
+        sim.call_later(10, lambda: fired.append("a"))
+        sim.call_later(20, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+        assert sim.now == 30.0
+
+    def test_ties_break_by_scheduling_order(self):
+        sim = Simulator()
+        fired: list[int] = []
+        for tag in range(5):
+            sim.call_later(7.0, lambda tag=tag: fired.append(tag))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen: list[float] = []
+        sim.call_later(12.5, lambda: seen.append(sim.now))
+        sim.call_later(40.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [12.5, 40.0]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        fired: list[float] = []
+
+        def chain(depth: int) -> None:
+            fired.append(sim.now)
+            if depth > 0:
+                sim.call_later(5, lambda: chain(depth - 1))
+
+        sim.call_later(5, lambda: chain(3))
+        sim.run()
+        assert fired == [5.0, 10.0, 15.0, 20.0]
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired: list[str] = []
+        sim.call_later(10, lambda: fired.append("early"))
+        sim.call_later(100, lambda: fired.append("late"))
+        assert sim.run(until=50) == 50.0
+        assert fired == ["early"]
+        assert sim.pending == 1
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_later(-1, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.call_later(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5, lambda: None)
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired: list[str] = []
+        timer = sim.call_later(10, lambda: fired.append("no"))
+        sim.call_later(20, lambda: fired.append("yes"))
+        timer.cancel()
+        sim.run()
+        assert fired == ["yes"]
+        assert timer.cancelled
+
+    def test_run_until_complete_returns_result(self):
+        sim = Simulator()
+        future: SimFuture[str] = SimFuture()
+        sim.call_later(15, lambda: future.resolve("done"))
+        assert sim.run_until_complete(future) == "done"
+        assert sim.now == 15.0
+
+    def test_run_until_complete_raises_on_deadlock(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.run_until_complete(SimFuture())
+
+    def test_run_until_complete_reraises_rejection(self):
+        sim = Simulator()
+        future: SimFuture[None] = SimFuture()
+        sim.call_later(5, lambda: future.reject(ValueError("boom")))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run_until_complete(future)
+
+
+class TestSimFuture:
+    def test_resolve_and_result(self):
+        future: SimFuture[int] = SimFuture()
+        assert not future.done
+        future.resolve(42)
+        assert future.done and not future.failed
+        assert future.result() == 42
+
+    def test_result_before_settle_raises(self):
+        with pytest.raises(RuntimeError):
+            SimFuture().result()
+
+    def test_double_settle_rejected(self):
+        future: SimFuture[int] = SimFuture()
+        future.resolve(1)
+        with pytest.raises(RuntimeError):
+            future.resolve(2)
+
+    def test_callback_after_settle_runs_immediately(self):
+        future: SimFuture[int] = SimFuture()
+        future.resolve(9)
+        seen: list[int] = []
+        future.add_done_callback(lambda f: seen.append(f.result()))
+        assert seen == [9]
+
+    def test_then_maps_value(self):
+        future: SimFuture[int] = SimFuture()
+        doubled = future.then(lambda v: v * 2)
+        future.resolve(21)
+        assert doubled.result() == 42
+
+    def test_then_flattens_nested_future(self):
+        outer: SimFuture[int] = SimFuture()
+        inner: SimFuture[str] = SimFuture()
+        chained = outer.then(lambda _v: inner)
+        outer.resolve(1)
+        assert not chained.done
+        inner.resolve("deep")
+        assert chained.result() == "deep"
+
+    def test_then_propagates_errors(self):
+        future: SimFuture[int] = SimFuture()
+        chained = future.then(lambda v: v + 1)
+        future.reject(KeyError("nope"))
+        assert chained.failed
+        assert isinstance(chained.exception(), KeyError)
+
+    def test_gather_preserves_order_and_keeps_errors(self):
+        futures = [SimFuture() for _ in range(3)]
+        combined = gather(futures)
+        futures[2].resolve("c")
+        futures[0].resolve("a")
+        assert not combined.done
+        error = TimeoutError("slow")
+        futures[1].reject(error)
+        assert combined.result() == ["a", error, "c"]
+
+    def test_gather_of_nothing_resolves_empty(self):
+        assert gather([]).result() == []

@@ -52,9 +52,12 @@ class TestLatencyAccounting:
         system = RangeSelectionSystem(SystemConfig(n_peers=20, seed=106))
         system.network.latency = ConstantLatency(2.5)
         system.query(IntRange(10, 60))
-        # 5 match requests + 5 stores at 2.5 ms each (routing hops are
-        # accounted as messages but carry no modelled latency).
-        assert system.network.stats.latency_ms == pytest.approx(25.0)
+        # 5 match requests + 5 stores at 2.5 ms each, plus every routing
+        # hop at 2.5 ms (route edges carry real wire time too).
+        route_hops = system.network.stats.by_kind["route-hop"]
+        expected = 2.5 * (10 + route_hops)
+        assert system.network.stats.latency_ms == pytest.approx(expected)
+        assert route_hops > 0
 
 
 class TestHandlerErrors:
