@@ -1,0 +1,53 @@
+"""Extension — recall under churn: what replication and repair buy.
+
+Asserts the robustness shapes the successor-list replication layer exists
+to show: without replication, crashing peers visibly costs recall (the
+jittered-tile workload reaches each stored partition through only one or
+two of its ``l`` identifiers, so a dead owner loses answers); with
+``r = 3`` plus anti-entropy repair, recall stays within five points of the
+fault-free baseline and failover lookups do the serving.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_churn_recall import ChurnRecallExperiment
+
+
+def _make(scale: str) -> ChurnRecallExperiment:
+    return (
+        ChurnRecallExperiment.paper()
+        if scale == "paper"
+        else ChurnRecallExperiment.quick()
+    )
+
+
+def test_ext_churn_recall(benchmark, scale, emit):
+    experiment = _make(scale)
+    outcome = run_once(benchmark, lambda: experiment.run())
+    emit("ext_churn_recall", outcome.report())
+
+    worst = max(experiment.crash_fractions)
+    unreplicated_drop = outcome.recall_drop("r=1", worst)
+    replicated_drop = outcome.recall_drop("r=3+repair", worst)
+    benchmark.extra_info["unreplicated_drop"] = unreplicated_drop
+    benchmark.extra_info["replicated_drop"] = replicated_drop
+
+    # Fault-free, replication changes nothing about what is found.
+    assert (
+        outcome.cell("r=3+repair", 0.0).mean_recall
+        == outcome.cell("r=1", 0.0).mean_recall
+    )
+    # Unreplicated: crashes visibly cost recall, via timed-out chains.
+    assert unreplicated_drop > 0.015
+    assert outcome.cell("r=1", worst).chain_timeouts > 0
+    assert outcome.cell("r=1", worst).failovers == 0
+    # Replicated + repaired: within five points of fault-free (the
+    # acceptance bar), served by failover lookups and actual repairs.
+    assert replicated_drop < 0.05
+    assert replicated_drop < unreplicated_drop
+    crashed_cell = outcome.cell("r=3+repair", worst)
+    assert crashed_cell.failovers > 0
+    assert crashed_cell.repairs > 0
+    assert crashed_cell.chain_timeouts == 0

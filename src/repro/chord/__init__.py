@@ -15,12 +15,13 @@ from repro.chord.hashing import key_id, node_id_for_address
 from repro.chord.idspace import IdSpace
 from repro.chord.lookup import LookupResult
 from repro.chord.node import ChordNode
-from repro.chord.ring import ChordRing
+from repro.chord.ring import ChordRing, DepartureHandoff
 
 __all__ = [
     "IdSpace",
     "ChordNode",
     "ChordRing",
+    "DepartureHandoff",
     "LookupResult",
     "node_id_for_address",
     "key_id",

@@ -23,6 +23,10 @@ class ChordNode:
     successor_id: int | None = None
     predecessor_id: int | None = None
     fingers: list[int] = field(default_factory=list)
+    #: The next ``r`` distinct nodes clockwise (the Chord successor list).
+    #: This is what makes lookups and storage survive a crashed successor:
+    #: a peer that cannot reach its successor falls back down this list.
+    successor_list: list[int] = field(default_factory=list)
 
     def finger_or_successor(self, index: int) -> int | None:
         """Finger ``index`` if known, else the successor (bootstrap state)."""
@@ -31,10 +35,16 @@ class ChordNode:
         return self.successor_id
 
     def reset_routing(self) -> None:
-        """Forget all routing state (used when a node re-joins)."""
+        """Forget all routing state (used when a node re-joins).
+
+        Clears the successor list too — a re-joining node must not route
+        (or accept replicas) via successors remembered from a previous
+        incarnation of the ring.
+        """
         self.successor_id = None
         self.predecessor_id = None
         self.fingers = []
+        self.successor_list = []
 
     def __str__(self) -> str:
         return f"Node({self.node_id} @ {self.address})"

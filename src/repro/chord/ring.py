@@ -14,6 +14,8 @@ Two modes of operation:
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -23,14 +25,44 @@ from repro.chord.lookup import LookupResult
 from repro.chord.node import ChordNode
 from repro.errors import ChordError, DuplicateNodeError, EmptyRingError, NodeNotFoundError
 
-__all__ = ["ChordRing"]
+__all__ = ["ChordRing", "DepartureHandoff"]
+
+
+@dataclass(frozen=True)
+class DepartureHandoff:
+    """What a graceful :meth:`ChordRing.leave` hands to the rest of the ring.
+
+    ``interval`` is the departed node's owned identifier interval
+    ``(predecessor, node]`` — every identifier inside it is now owned by
+    ``new_owner_id``.  Callers holding data keyed by identifiers (the
+    replication layer, :class:`~repro.core.system.RangeSelectionSystem`)
+    use this to migrate entries instead of silently dropping them.
+    """
+
+    node: ChordNode
+    interval: tuple[int, int]
+    new_owner_id: int | None
+
+    def moved(self, identifier: int, space: IdSpace) -> bool:
+        """Whether ownership of ``identifier`` moved in this departure."""
+        low, high = self.interval
+        return space.in_half_open(identifier, low, high)
 
 
 class ChordRing:
-    """A simulated Chord overlay over an ``m``-bit identifier space."""
+    """A simulated Chord overlay over an ``m``-bit identifier space.
 
-    def __init__(self, m: int = 32) -> None:
+    ``successor_list_size`` is the Chord robustness parameter ``r``: every
+    node tracks its next ``r`` distinct successors, maintained by
+    :meth:`build`, :meth:`join`, :meth:`leave` and :meth:`stabilize_round`,
+    so routing and replica placement survive individual failures.
+    """
+
+    def __init__(self, m: int = 32, successor_list_size: int = 4) -> None:
+        if successor_list_size < 1:
+            raise ChordError("successor_list_size must be at least 1")
         self.space = IdSpace(m)
+        self.successor_list_size = successor_list_size
         self._nodes: dict[int, ChordNode] = {}
         self._sorted_ids: list[int] = []
 
@@ -129,6 +161,44 @@ class ChordRing:
         node = self.node(node_id)
         return (self.predecessor_of(node.node_id), node.node_id)
 
+    def successor_chain(
+        self,
+        key: int,
+        count: int,
+        predicate: Callable[[int], bool] | None = None,
+    ) -> list[int]:
+        """The first ``count`` distinct nodes clockwise from ``key``'s owner.
+
+        This is the ground truth a converged ring's successor lists agree
+        with, and the basis of replica placement: identifier ``key`` is
+        stored at ``successor_chain(key, r)``.  ``predicate`` filters
+        candidates (e.g. to the peers currently alive), scanning further
+        down the ring until ``count`` qualify or membership is exhausted.
+        """
+        if count < 1:
+            raise ChordError("successor chain length must be at least 1")
+        if not self._sorted_ids:
+            raise EmptyRingError("ring has no nodes")
+        ids = self._sorted_ids
+        n = len(ids)
+        index = bisect_left(ids, self.space.wrap(key)) % n
+        chain: list[int] = []
+        for offset in range(n):
+            candidate = ids[(index + offset) % n]
+            if predicate is not None and not predicate(candidate):
+                continue
+            chain.append(candidate)
+            if len(chain) == count:
+                break
+        return chain
+
+    def _static_successor_list(self, index: int) -> list[int]:
+        """Successor list for the node at sorted position ``index``."""
+        ids = self._sorted_ids
+        n = len(ids)
+        length = min(self.successor_list_size, n - 1)
+        return [ids[(index + 1 + i) % n] for i in range(length)]
+
     # ------------------------------------------------------------------
     # Static construction
     # ------------------------------------------------------------------
@@ -144,6 +214,7 @@ class ChordRing:
             node = self._nodes[node_id]
             node.successor_id = ids[(index + 1) % n]
             node.predecessor_id = ids[index - 1]
+            node.successor_list = self._static_successor_list(index)
             starts = [
                 self.space.finger_start(node_id, i) for i in range(self.space.m)
             ]
@@ -216,6 +287,7 @@ class ChordRing:
         node.successor_id = node.node_id
         node.predecessor_id = node.node_id
         node.fingers = [node.node_id] * self.space.m
+        node.successor_list = []
         return node
 
     def join(self, address: str, via: int) -> ChordNode:
@@ -230,7 +302,24 @@ class ChordRing:
         node.successor_id = successor
         node.predecessor_id = None
         node.fingers = [successor] * self.space.m
+        node.successor_list = self._adopt_successor_list(node, self.node(successor))
         return node
+
+    def _adopt_successor_list(
+        self, node: ChordNode, successor: ChordNode
+    ) -> list[int]:
+        """Successor list learned from one's successor: ``[succ] + succ's
+        list``, truncated, deduplicated, with self and departed ids dropped."""
+        adopted: list[int] = []
+        for candidate in [successor.node_id, *successor.successor_list]:
+            if candidate == node.node_id or candidate not in self._nodes:
+                continue
+            if candidate in adopted:
+                continue
+            adopted.append(candidate)
+            if len(adopted) == self.successor_list_size:
+                break
+        return adopted
 
     def _lookup_excluding(self, key: int, start_id: int, exclude: int) -> int:
         """Route ``key`` ignoring node ``exclude`` (it has no state yet)."""
@@ -262,12 +351,24 @@ class ChordRing:
         """One round of Chord stabilization over every node.
 
         Each node asks its successor for the successor's predecessor, adopts
-        it when closer, and notifies the successor of its own existence.
+        it when closer, notifies the successor of its own existence, and
+        refreshes its successor list from the successor's (so list repairs
+        propagate one position per round, as in the Chord protocol).
         """
         for node_id in list(self._sorted_ids):
             node = self._nodes.get(node_id)
             if node is None or node.successor_id is None:
                 continue
+            if node.successor_id not in self._nodes:
+                # Successor departed: fall back down the successor list.
+                node.successor_id = next(
+                    (sid for sid in node.successor_list if sid in self._nodes),
+                    node.node_id,
+                )
+                if node.successor_id == node.node_id and len(self._nodes) > 1:
+                    node.successor_id = self.successor_of(
+                        self.space.wrap(node.node_id + 1)
+                    )
             successor = self.node(node.successor_id)
             candidate = successor.predecessor_id
             if candidate is not None and candidate in self._nodes:
@@ -275,6 +376,7 @@ class ChordRing:
                     node.successor_id = candidate
                     successor = self.node(candidate)
             self._notify(successor, node.node_id)
+            node.successor_list = self._adopt_successor_list(node, successor)
 
     def _notify(self, node: ChordNode, candidate: int) -> None:
         if node.predecessor_id is None or self.space.in_open(
@@ -296,35 +398,52 @@ class ChordRing:
 
         Returns the number of rounds executed.
         """
-        limit = rounds if rounds is not None else 2 * len(self._nodes) + 4
+        limit = (
+            rounds
+            if rounds is not None
+            else 2 * len(self._nodes) + self.successor_list_size + 4
+        )
         executed = 0
         for _ in range(limit):
-            before = [
-                (nid, self._nodes[nid].successor_id) for nid in self._sorted_ids
-            ]
+            before = self._routing_snapshot()
             self.stabilize_round()
             executed += 1
-            after = [
-                (nid, self._nodes[nid].successor_id) for nid in self._sorted_ids
-            ]
-            if before == after and self._successors_correct():
+            if before == self._routing_snapshot() and self._successors_correct():
                 break
         self.fix_fingers()
         return executed
+
+    def _routing_snapshot(self) -> list[tuple[int, int | None, tuple[int, ...]]]:
+        return [
+            (nid, self._nodes[nid].successor_id, tuple(self._nodes[nid].successor_list))
+            for nid in self._sorted_ids
+        ]
 
     def _successors_correct(self) -> bool:
         ids = self._sorted_ids
         n = len(ids)
         for index, node_id in enumerate(ids):
-            if self._nodes[node_id].successor_id != ids[(index + 1) % n]:
+            node = self._nodes[node_id]
+            if node.successor_id != ids[(index + 1) % n]:
+                return False
+            if node.successor_list != self._static_successor_list(index):
                 return False
         return True
 
-    def leave(self, node_id: int) -> ChordNode:
-        """Graceful departure: splice the ring around the leaving node."""
+    def leave(self, node_id: int) -> DepartureHandoff:
+        """Graceful departure: splice the ring around the leaving node.
+
+        Returns a :class:`DepartureHandoff` naming the identifier interval
+        whose ownership moved and the node now owning it, so callers can
+        migrate the departed node's entries instead of losing them.  The
+        departing node is also dropped from every remaining successor list
+        (stabilization would flush it eventually; a graceful leave tells
+        its neighbours immediately).
+        """
         node = self.node(node_id)
         pred_id = self.predecessor_of(node_id)
         succ_id = self.successor_of(self.space.wrap(node_id + 1))
+        interval = (pred_id, node_id)
         removed = self.remove_node(node_id)
         if self._nodes:
             if pred_id != node_id and pred_id in self._nodes:
@@ -335,7 +454,13 @@ class ChordRing:
                 self._nodes[succ_id].predecessor_id = (
                     pred_id if pred_id != node_id else succ_id
                 )
-        return removed
+            for survivor in self._nodes.values():
+                if node_id in survivor.successor_list:
+                    survivor.successor_list = [
+                        sid for sid in survivor.successor_list if sid != node_id
+                    ]
+        new_owner = succ_id if succ_id != node_id and succ_id in self._nodes else None
+        return DepartureHandoff(node=removed, interval=interval, new_owner_id=new_owner)
 
     # ------------------------------------------------------------------
     # Diagnostics
@@ -356,6 +481,12 @@ class ChordRing:
             if node.predecessor_id != expected_pred:
                 raise ChordError(
                     f"node {node_id} predecessor {node.predecessor_id} != {expected_pred}"
+                )
+            expected_list = self._static_successor_list(index)
+            if node.successor_list != expected_list:
+                raise ChordError(
+                    f"node {node_id} successor list {node.successor_list} != "
+                    f"{expected_list}"
                 )
             for i, finger_id in enumerate(node.fingers):
                 start = self.space.finger_start(node_id, i)

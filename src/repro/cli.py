@@ -98,6 +98,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--retries", type=int, default=2, help="re-sends after the first attempt"
     )
+    simulate.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="successor-list replication factor r (1 = the paper's "
+        "unreplicated scheme; >1 enables failover lookups)",
+    )
+    simulate.add_argument(
+        "--repair-interval",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="virtual-time period of the anti-entropy repair task "
+        "(0 = repair off)",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's figures"
@@ -162,7 +177,7 @@ def _run_sql(args: argparse.Namespace, out) -> int:
 def _run_simulate(args: argparse.Namespace, out) -> int:
     from repro.metrics.latency import LatencyCollector
     from repro.net.latency import SeededLatency
-    from repro.sim import AsyncQueryEngine, RetryPolicy
+    from repro.sim import AsyncQueryEngine, ReplicaRepairer, RetryPolicy
     from repro.util.rng import derive_rng
     from repro.workloads.generators import UniformRangeWorkload
 
@@ -173,7 +188,11 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     low_ms, high_ms = args.latency_ms
     if not 0.0 <= low_ms <= high_ms:
         raise ReproError("--latency-ms needs 0 <= LOW <= HIGH")
-    config = SystemConfig(n_peers=args.peers, seed=args.seed)
+    if args.repair_interval < 0:
+        raise ReproError("--repair-interval cannot be negative")
+    config = SystemConfig(
+        n_peers=args.peers, seed=args.seed, replicas=args.replicas
+    )
     system = RangeSelectionSystem(config)
     print(f"system: {config.describe()}", file=out)
     for query in UniformRangeWorkload(
@@ -195,21 +214,34 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     print(
         f"faults: drop={args.drop:.0%}, crashed {n_crashed}/{len(node_ids)} peers; "
         f"link delay [{low_ms:g}, {high_ms:g}] ms, "
-        f"timeout {args.timeout_ms:g} ms x{args.retries + 1} attempts",
+        f"timeout {args.timeout_ms:g} ms x{args.retries + 1} attempts; "
+        f"replicas={args.replicas}",
         file=out,
     )
+    repairer = None
+    if args.repair_interval > 0:
+        repairer = ReplicaRepairer(engine, interval_ms=args.repair_interval)
+        # Heal the crash damage once up front, then keep healing on the
+        # virtual clock while the timed queries drive it.
+        engine.sim.run_until_complete(repairer.run_round())
+        repairer.start()
     collector = LatencyCollector()
     for query in UniformRangeWorkload(
         config.domain, args.queries, seed=args.seed + 2
     ).ranges():
         collector.add(engine.run(query))
+    if repairer is not None:
+        repairer.stop()
     print(collector.report(), file=out)
     stats = engine.net.stats
     print(
         f"traffic: {stats.messages} messages, {stats.drops} dropped, "
-        f"{stats.retries} retries, {stats.timeouts} request timeouts",
+        f"{stats.retries} retries, {stats.timeouts} request timeouts, "
+        f"{stats.failovers} failovers, {stats.replica_stores} replica stores",
         file=out,
     )
+    if repairer is not None:
+        print(f"repair: {repairer.stats.describe()}", file=out)
     return 0
 
 
@@ -224,7 +256,7 @@ def _run_info(out) -> int:
     config = SystemConfig()
     print(f"default config: {config.describe()}", file=out)
     print(
-        f"LSH theory: match probability at similarity 0.9 is "
+        "LSH theory: match probability at similarity 0.9 is "
         f"{1 - (1 - 0.9 ** config.k) ** config.l:.2f} "
         f"(k={config.k}, l={config.l})",
         file=out,

@@ -38,6 +38,11 @@ class SystemConfig:
     #: or "can" (its named alternative, Section 3.1).
     overlay: str = "chord"
     can_dimensions: int = 2
+    #: Replication factor ``r``: each bucket entry is stored at the
+    #: identifier's owner and its ``r - 1`` ring successors, and lookups
+    #: fail over down that chain when the owner is unreachable.  ``1``
+    #: reproduces the paper's unreplicated scheme.
+    replicas: int = 1
     seed: int = 2003
 
     def __post_init__(self) -> None:
@@ -64,6 +69,14 @@ class SystemConfig:
             )
         if self.can_dimensions < 1:
             raise ConfigError("can_dimensions must be at least 1")
+        if self.replicas < 1:
+            raise ConfigError("replicas must be at least 1")
+        if self.replicas > 1 and self.overlay != "chord":
+            raise ConfigError(
+                "successor-list replication requires the chord overlay"
+            )
+        if self.replicas > self.n_peers:
+            raise ConfigError("replicas cannot exceed n_peers")
 
     def describe(self) -> str:
         """One-line summary for reports."""

@@ -10,6 +10,7 @@ this small interface and selected by ``SystemConfig.overlay``.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Callable
 
 from repro.can.network import CanOverlay
 from repro.chord.ring import ChordRing
@@ -42,6 +43,20 @@ class OverlayRouter(ABC):
         path = self.route(key, start_id)
         return (path[-1], len(path) - 1)
 
+    def replica_set(
+        self,
+        key: int,
+        count: int,
+        predicate: "Callable[[int], bool] | None" = None,
+    ) -> list[int]:
+        """The peers a ``count``-way replicated ``key`` is placed on, the
+        owner first.  Overlays without a successor structure (CAN) know
+        only the owner, so the base implementation returns it alone."""
+        owner = self.owner_of(key)
+        if predicate is not None and not predicate(owner):
+            return []
+        return [owner]
+
 
 class ChordRouter(OverlayRouter):
     """Chord: successor ownership, finger-table routing, O(log N) hops."""
@@ -50,8 +65,10 @@ class ChordRouter(OverlayRouter):
         self.ring = ring
 
     @classmethod
-    def build(cls, n_peers: int, m: int = 32) -> "ChordRouter":
-        ring = ChordRing(m=m)
+    def build(
+        cls, n_peers: int, m: int = 32, successor_list_size: int = 4
+    ) -> "ChordRouter":
+        ring = ChordRing(m=m, successor_list_size=successor_list_size)
         ring.add_nodes(n_peers)
         ring.build()
         return cls(ring)
@@ -69,6 +86,14 @@ class ChordRouter(OverlayRouter):
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         result = self.ring.lookup(key, start_id=start_id)
         return (result.owner_id, result.hops)
+
+    def replica_set(
+        self,
+        key: int,
+        count: int,
+        predicate: "Callable[[int], bool] | None" = None,
+    ) -> list[int]:
+        return self.ring.successor_chain(key, count, predicate)
 
 
 class CanRouter(OverlayRouter):
@@ -98,11 +123,18 @@ class CanRouter(OverlayRouter):
 
 
 def build_overlay(
-    kind: str, n_peers: int, id_bits: int = 32, dimensions: int = 2, seed: int = 0
+    kind: str,
+    n_peers: int,
+    id_bits: int = 32,
+    dimensions: int = 2,
+    seed: int = 0,
+    successor_list_size: int = 4,
 ) -> OverlayRouter:
     """Construct the configured overlay."""
     if kind == "chord":
-        return ChordRouter.build(n_peers, m=id_bits)
+        return ChordRouter.build(
+            n_peers, m=id_bits, successor_list_size=successor_list_size
+        )
     if kind == "can":
         return CanRouter.build(n_peers, dimensions=dimensions, seed=seed)
     raise ConfigError(f"overlay must be 'chord' or 'can', got {kind!r}")

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from repro.chord.hashing import rehash_for_placement
 from repro.core.config import SystemConfig
 from repro.core.matcher import Matcher, matcher_by_name
 from repro.core.overlays import ChordRouter, build_overlay
 from repro.db.partition import Partition, PartitionDescriptor
-from repro.errors import ConfigError
+from repro.errors import ConfigError, PeerUnavailableError
 from repro.lsh import DomainMinHashIndex, LSHIdentifierScheme, family_for_domain
 from repro.net.message import Message
 from repro.net.transport import SimulatedNetwork
@@ -39,7 +41,11 @@ SIM_ATTRIBUTE = "value"
 
 @dataclass(frozen=True)
 class MatchReply:
-    """One owner peer's answer to a match request."""
+    """One owner peer's answer to a match request.
+
+    ``peer_id`` is the peer that actually answered — under failover this
+    can be a successor-list replica rather than the identifier's owner.
+    """
 
     peer_id: int
     identifier: int
@@ -49,7 +55,13 @@ class MatchReply:
 
 @dataclass(frozen=True)
 class LocateResult:
-    """Outcome of locating candidate partitions for one range."""
+    """Outcome of locating candidate partitions for one range.
+
+    ``owners`` records the peer that *answered* each identifier (the
+    nominal owner, or the replica that served after failover); identifiers
+    whose entire replica set was unreachable are absent from ``owners``
+    and counted in ``unreachable``.
+    """
 
     query: IntRange
     identifiers: tuple[int, ...]
@@ -58,6 +70,10 @@ class LocateResult:
     best: MatchReply | None
     overlay_hops: int
     peers_contacted: int
+    #: Identifiers answered by a non-primary replica.
+    failovers: int = 0
+    #: Identifiers for which no replica answered at all.
+    unreachable: int = 0
 
 
 @dataclass(frozen=True)
@@ -97,6 +113,16 @@ class SystemCounters:
     stores: int = 0
     placements: int = 0
     overlay_hops: int = 0
+    #: Lookups served by a successor replica after the owner was down.
+    failovers: int = 0
+    #: Lookups for which every replica was unreachable.
+    failed_lookups: int = 0
+    #: Redundant (non-primary) placements made by the replication layer.
+    replica_placements: int = 0
+    #: Store placements skipped because the target replica was unreachable.
+    store_failures: int = 0
+    #: Copies created by :meth:`RangeSelectionSystem.repair_replicas`.
+    repairs: int = 0
     by_origin: dict[str, int] = field(default_factory=dict)
 
 
@@ -119,6 +145,7 @@ class RangeSelectionSystem:
             id_bits=config.id_bits,
             dimensions=config.can_dimensions,
             seed=config.seed,
+            successor_list_size=max(4, config.replicas),
         )
         #: The underlying Chord ring when the overlay is Chord (used by the
         #: churn helpers and Chord-specific tests); None under CAN.
@@ -177,8 +204,10 @@ class RangeSelectionSystem:
                     node_id, identifier, query, relation, attribute
                 )
             if kind == "store-request":
-                identifier, descriptor, partition = message.payload
-                return self.stores[node_id].store(identifier, descriptor, partition)
+                identifier, descriptor, partition, primary = message.payload
+                return self.stores[node_id].store(
+                    identifier, descriptor, partition, primary=primary
+                )
             if kind == "fetch-partition":
                 identifier, descriptor = message.payload
                 bucket = self.stores[node_id].bucket(identifier)
@@ -228,6 +257,56 @@ class RangeSelectionSystem:
         return self.scheme.identifiers(r)
 
     # ------------------------------------------------------------------
+    # Replication
+    # ------------------------------------------------------------------
+
+    def replica_owners(self, identifier: int) -> list[int]:
+        """The nominal replica set of ``identifier``: its owner followed by
+        the next ``replicas - 1`` distinct ring successors."""
+        return self.router.replica_set(
+            self._place(identifier), self.config.replicas
+        )
+
+    def replica_targets(
+        self, identifier: int, is_alive: Callable[[int], bool]
+    ) -> list[int]:
+        """Where ``identifier`` should live *right now*: the first
+        ``replicas`` alive peers down the successor chain.  This is the
+        repair loop's goal state — it keeps data on peers a failover
+        lookup will actually reach."""
+        return self.router.replica_set(
+            self._place(identifier), self.config.replicas, predicate=is_alive
+        )
+
+    def failover_candidates(
+        self,
+        identifier: int,
+        is_alive: Callable[[int], bool] | None = None,
+    ) -> list[int]:
+        """Peers to ask for ``identifier``, in order: the nominal replica
+        set first (warm copies live there), then — when liveness is known —
+        the alive successors the repair loop re-replicates onto.
+
+        With ``replicas == 1`` there is nothing to fail over to: the list
+        is just the owner, reproducing the unreplicated behaviour (a
+        crashed owner means a lost lookup)."""
+        candidates = self.replica_owners(identifier)
+        if self.config.replicas > 1 and is_alive is not None:
+            for peer in self.replica_targets(identifier, is_alive):
+                if peer not in candidates:
+                    candidates.append(peer)
+        return candidates
+
+    def crash_peer(self, node_id: int) -> None:
+        """Fail-stop a peer on the synchronous transport (its data stays
+        in place but is unreachable until :meth:`recover_peer`)."""
+        self.network.crash(node_id)
+
+    def recover_peer(self, node_id: int) -> None:
+        """Bring a synchronously-crashed peer back."""
+        self.network.recover(node_id)
+
+    # ------------------------------------------------------------------
     # Query procedure
     # ------------------------------------------------------------------
 
@@ -243,31 +322,69 @@ class RangeSelectionSystem:
         attribute: str = SIM_ATTRIBUTE,
         origin: int | None = None,
     ) -> LocateResult:
-        """Steps 1-4 of the query procedure (no storing)."""
+        """Steps 1-4 of the query procedure (no storing).
+
+        When the identifier's owner is unreachable the lookup fails over
+        down the successor list and answers in degraded mode from whichever
+        replica responds; each failover hop is charged one overlay edge
+        (the successor pointer is already known, no re-routing needed).
+        """
         if origin is None:
             origin = self.pick_origin()
         identifiers = self.identifiers_for(query)
         owners: list[int] = []
         replies: list[MatchReply] = []
         hops = 0
+        failovers = 0
+        unreachable = 0
         for identifier in identifiers:
             route_path = self.router.route(self._place(identifier), start_id=origin)
             owner_id, lookup_hops = route_path[-1], len(route_path) - 1
             hops += lookup_hops
             self.network.charge_route(route_path)
-            owners.append(owner_id)
-            answer = self.network.send(
-                origin,
-                owner_id,
-                "match-request",
-                payload=(identifier, query, relation, attribute),
+            candidates = self.failover_candidates(
+                identifier, is_alive=self.network.is_alive
             )
-            if answer is None:
+            if owner_id not in candidates:
+                candidates.insert(0, owner_id)
+            answer = None
+            answered_by: int | None = None
+            previous = owner_id
+            for attempt, candidate in enumerate(candidates):
+                if attempt > 0:
+                    # One successor-pointer hop from the last peer tried.
+                    self.network.charge_route((previous, candidate))
+                    hops += 1
+                try:
+                    answer = self.network.send(
+                        origin,
+                        candidate,
+                        "match-request",
+                        payload=(identifier, query, relation, attribute),
+                    )
+                except PeerUnavailableError:
+                    previous = candidate
+                    continue
+                answered_by = candidate
+                if attempt > 0:
+                    failovers += 1
+                    self.network.stats.failovers += 1
+                    self.counters.failovers += 1
+                break
+            if answered_by is None:
+                unreachable += 1
+                self.network.stats.failover_exhausted += 1
+                self.counters.failed_lookups += 1
+                owners.append(owner_id)
                 replies.append(MatchReply(owner_id, identifier, None, 0.0))
+                continue
+            owners.append(answered_by)
+            if answer is None:
+                replies.append(MatchReply(answered_by, identifier, None, 0.0))
             else:
                 descriptor, score = answer
                 replies.append(
-                    MatchReply(owner_id, identifier, descriptor, score)
+                    MatchReply(answered_by, identifier, descriptor, score)
                 )
         best = max(
             (r for r in replies if r.descriptor is not None),
@@ -282,6 +399,8 @@ class RangeSelectionSystem:
             best=best,
             overlay_hops=hops,
             peers_contacted=len(set(owners)),
+            failovers=failovers,
+            unreachable=unreachable,
         )
 
     def store_partition(
@@ -296,29 +415,47 @@ class RangeSelectionSystem:
     ) -> int:
         """Step 5: store a partition at the ``l`` identifier owners.
 
-        Returns the number of *new* placements.  ``identifiers`` and
-        ``owners`` may be passed from a prior :meth:`locate` to avoid
+        With ``replicas = r > 1`` each identifier's entry is additionally
+        placed on the owner's ``r - 1`` ring successors, marked as
+        replicas.  Unreachable targets are skipped (and counted) — the
+        repair loop re-establishes the replication factor later.
+
+        Returns the number of *new* primary placements.  ``identifiers``
+        and ``owners`` may be passed from a prior :meth:`locate` to avoid
         re-routing.
         """
         if origin is None:
             origin = self.pick_origin()
         if identifiers is None:
             identifiers = self.identifiers_for(r)
-        if owners is None:
-            owners = [self.router.owner_of(self._place(i)) for i in identifiers]
+        if owners is None or self.config.replicas > 1:
+            targets = [self.replica_owners(i) for i in identifiers]
+        else:
+            targets = [[owner] for owner in owners]
         descriptor = PartitionDescriptor(relation, attribute, r)
         new_placements = 0
-        for identifier, owner in zip(identifiers, owners):
-            size = partition.size_bytes if partition is not None else 64
-            stored = self.network.send(
-                origin,
-                owner,
-                "store-request",
-                payload=(identifier, descriptor, partition),
-                size_bytes=size,
-            )
-            if stored:
-                new_placements += 1
+        size = partition.size_bytes if partition is not None else 64
+        for identifier, replica_set in zip(identifiers, targets):
+            for rank, target in enumerate(replica_set):
+                primary = rank == 0
+                try:
+                    stored = self.network.send(
+                        origin,
+                        target,
+                        "store-request",
+                        payload=(identifier, descriptor, partition, primary),
+                        size_bytes=size,
+                    )
+                except PeerUnavailableError:
+                    self.counters.store_failures += 1
+                    continue
+                if not primary:
+                    self.network.stats.replica_stores += 1
+                if stored:
+                    if primary:
+                        new_placements += 1
+                    else:
+                        self.counters.replica_placements += 1
         self.counters.stores += 1
         self.counters.placements += new_placements
         return new_placements
@@ -416,7 +553,7 @@ class RangeSelectionSystem:
                 origin,
                 owner,
                 "store-request",
-                payload=(key_identifier, descriptor, partition),
+                payload=(key_identifier, descriptor, partition, True),
                 size_bytes=partition.size_bytes if partition else 64,
             )
         )
@@ -469,51 +606,172 @@ class RangeSelectionSystem:
     def leave_peer(self, node_id: int) -> int:
         """Gracefully remove a peer, migrating its partitions first.
 
-        Returns the number of entries handed over to the peer's successor.
+        The ring's :meth:`~repro.chord.ring.ChordRing.leave` hands back the
+        identifier interval whose ownership moved; every entry the peer
+        held (primary or replica) is re-placed on the identifier's current
+        replica set, so no descriptor is lost and a replica that just
+        became the owner's copy is promoted to primary in place.
+
+        Returns the number of entries that created at least one new copy.
         """
         if self.ring is None:
             raise ConfigError("the churn helpers require the chord overlay")
+        if len(self.ring.node_ids) <= 1:
+            raise ConfigError("cannot remove the last peer of the system")
         departing = self.stores.pop(node_id)
         self.network.unregister(node_id)
-        self.ring.remove_node(node_id)
-        if not self.ring.node_ids:
-            raise ConfigError("cannot remove the last peer of the system")
+        self.ring.leave(node_id)
         self.ring.build()
         moved = 0
         for identifier, entry in departing.entries():
-            owner = self.router.owner_of(self._place(identifier))
-            if self.stores[owner].store(identifier, entry.descriptor, entry.partition):
+            placed = False
+            for rank, target in enumerate(self.replica_owners(identifier)):
+                if self.stores[target].store(
+                    identifier,
+                    entry.descriptor,
+                    entry.partition,
+                    primary=rank == 0,
+                ):
+                    placed = True
+            if placed:
                 moved += 1
         return moved
 
     def rebalance(self) -> int:
-        """Move every cached entry to its current owner; returns moves made.
+        """Converge every cached entry onto its current replica set.
 
-        Used after membership changes.  Idempotent: a second call moves
-        nothing.
+        For each stored (identifier, descriptor): ensure all ``replicas``
+        desired holders have a copy, correct primary/replica flags after
+        ownership moved, and drop copies from peers outside the set.  Used
+        after membership changes.  Idempotent: a second call fixes
+        nothing.  Returns the number of placements that needed fixing.
         """
-        relocations: list[tuple[int, int, object]] = []
+        placements: dict[
+            tuple[int, PartitionDescriptor], dict[int, "object"]
+        ] = {}
         for store in self.stores.values():
             for identifier, entry in store.entries():
-                owner = self.router.owner_of(self._place(identifier))
-                if owner != store.peer_id:
-                    relocations.append((store.peer_id, identifier, entry))
-        for holder_id, identifier, entry in relocations:
-            self.stores[holder_id].remove(identifier, entry.descriptor)
-            self.stores[
-                self.router.owner_of(self._place(identifier))
-            ].store(identifier, entry.descriptor, entry.partition)
-        return len(relocations)
+                placements.setdefault((identifier, entry.descriptor), {})[
+                    store.peer_id
+                ] = entry
+        fixed = 0
+        for (identifier, descriptor), holders in placements.items():
+            desired = self.replica_owners(identifier)
+            partition = next(
+                (e.partition for e in holders.values() if e.partition is not None),
+                None,
+            )
+            changed = False
+            for rank, target in enumerate(desired):
+                primary = rank == 0
+                held = holders.get(target)
+                if held is None:
+                    self.stores[target].store(
+                        identifier, descriptor, partition, primary=primary
+                    )
+                    changed = True
+                elif held.primary != primary:
+                    held.primary = primary
+                    changed = True
+            for holder_id in holders:
+                if holder_id not in desired:
+                    self.stores[holder_id].remove(identifier, descriptor)
+                    changed = True
+            if changed:
+                fixed += 1
+        return fixed
+
+    def replication_deficits(
+        self, is_alive: Callable[[int], bool]
+    ):
+        """The copy operations needed to restore the replication factor.
+
+        Yields ``(identifier, descriptor, source_id, partition, target_id,
+        primary)`` tuples: ``identifier`` should live on ``target_id`` (an
+        alive peer in its successor chain) but currently does not, and an
+        alive ``source_id`` still holds it.  Entries whose every copy sits
+        on crashed peers are unrepairable and are not yielded.  Both the
+        synchronous :meth:`repair_replicas` and the event-driven
+        :class:`~repro.sim.repair.ReplicaRepairer` execute this plan —
+        only the transport differs.
+        """
+        placements: dict[
+            tuple[int, PartitionDescriptor], dict[int, "object"]
+        ] = {}
+        for store in self.stores.values():
+            if not is_alive(store.peer_id):
+                continue
+            for identifier, entry in store.entries():
+                placements.setdefault((identifier, entry.descriptor), {})[
+                    store.peer_id
+                ] = entry
+        for (identifier, descriptor), holders in placements.items():
+            targets = self.replica_targets(identifier, is_alive)
+            missing = [t for t in targets if t not in holders]
+            if not missing:
+                continue
+            source_id, source_entry = next(iter(holders.items()))
+            partition = next(
+                (e.partition for e in holders.values() if e.partition is not None),
+                source_entry.partition,
+            )
+            for target in missing:
+                yield (
+                    identifier,
+                    descriptor,
+                    source_id,
+                    partition,
+                    target,
+                    target == targets[0],
+                )
+
+    def repair_replicas(
+        self, is_alive: Callable[[int], bool] | None = None
+    ) -> int:
+        """One synchronous anti-entropy pass: re-replicate every
+        under-replicated identifier onto alive successors.
+
+        Copies travel peer-to-peer over the transport (charged like any
+        store), so repair traffic shows up in :class:`TrafficStats`.
+        Returns the number of copies created.
+        """
+        alive = is_alive if is_alive is not None else self.network.is_alive
+        copies = 0
+        for identifier, descriptor, source, partition, target, primary in list(
+            self.replication_deficits(alive)
+        ):
+            try:
+                self.network.send(
+                    source,
+                    target,
+                    "store-request",
+                    payload=(identifier, descriptor, partition, primary),
+                    size_bytes=partition.size_bytes if partition else 64,
+                )
+            except PeerUnavailableError:
+                self.counters.store_failures += 1
+                continue
+            copies += 1
+        self.counters.repairs += copies
+        return copies
 
     def check_placement_invariant(self) -> None:
-        """Raise if any cached entry sits at a peer that does not own it."""
+        """Raise if any cached entry sits outside its replica set, or
+        carries the wrong primary/replica flag."""
         for store in self.stores.values():
-            for identifier, _entry in store.entries():
-                owner = self.router.owner_of(self._place(identifier))
-                if owner != store.peer_id:
+            for identifier, entry in store.entries():
+                desired = self.replica_owners(identifier)
+                if store.peer_id not in desired:
                     raise ConfigError(
                         f"entry for identifier {identifier} held by "
-                        f"{store.peer_id} but owned by {owner}"
+                        f"{store.peer_id} but owned by {desired}"
+                    )
+                expected_primary = store.peer_id == desired[0]
+                if entry.primary != expected_primary:
+                    raise ConfigError(
+                        f"entry for identifier {identifier} at {store.peer_id} "
+                        f"has primary={entry.primary}, expected "
+                        f"{expected_primary}"
                     )
 
     # ------------------------------------------------------------------

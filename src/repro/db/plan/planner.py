@@ -248,7 +248,7 @@ def _merge_string(
     for comparison in comparisons:
         if comparison.op != "=":
             raise UnsupportedQueryError(
-                f"only equality is supported on string attribute "
+                "only equality is supported on string attribute "
                 f"{relation}.{attribute}"
             )
         values.add(comparison.literal.value)

@@ -54,7 +54,7 @@ class RangePredicate(Predicate):
         attr = schema.attribute(self.attribute)
         if not attr.type.orderable:
             raise SchemaError(
-                f"range selection on non-orderable attribute "
+                "range selection on non-orderable attribute "
                 f"{self.relation}.{self.attribute}"
             )
         assert attr.domain is not None

@@ -48,6 +48,20 @@ class UnknownPeerError(NetworkError, KeyError):
     """A message was addressed to a peer the transport does not know."""
 
 
+class PeerUnavailableError(NetworkError):
+    """A synchronous send targeted a peer that is currently crashed.
+
+    The synchronous transport has no clock to express a timeout, so an
+    unreachable recipient surfaces immediately as this error; callers with
+    a failover path (the replicated lookup) catch it and try the next
+    replica down the successor list.
+    """
+
+    def __init__(self, peer_id: int) -> None:
+        super().__init__(f"peer {peer_id} is unreachable (crashed)")
+        self.peer_id = peer_id
+
+
 class RequestTimeoutError(NetworkError, TimeoutError):
     """A request exhausted its retry budget without receiving a reply.
 

@@ -20,9 +20,12 @@ Extensions (Sections 5.3 and 6 of the paper):
 - local peer index — :mod:`repro.experiments.ext_local_index`
 - adaptive padding — :mod:`repro.experiments.ext_adaptive_padding`
 - ideal permutations ablation — :mod:`repro.experiments.ext_ideal_family`
+- recall under churn (replication x crash rate) —
+  :mod:`repro.experiments.ext_churn_recall`
 """
 
 from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
+from repro.experiments.ext_churn_recall import ChurnRecallExperiment
 from repro.experiments.ext_composite import CompositeAnswerExperiment
 from repro.experiments.ext_ideal_family import IdealFamilyAblation
 from repro.experiments.ext_local_index import LocalIndexExperiment
@@ -51,4 +54,5 @@ __all__ = [
     "CompositeAnswerExperiment",
     "OverlayComparisonExperiment",
     "StatsPlanningExperiment",
+    "ChurnRecallExperiment",
 ]

@@ -1,0 +1,275 @@
+"""Extension — recall under churn: replication factor x crash rate.
+
+The paper's evaluation assumes every peer that stored a bucket entry is
+still there to answer (Section 6 lists "node joining and leaving the
+system" as future work).  This experiment measures what crashes actually
+cost, and what successor-list replication plus anti-entropy repair buys
+back.
+
+The workload is chosen so redundancy *within* the LSH scheme does not mask
+the loss.  Warm partitions are disjoint width-``tile_width`` tiles of the
+domain; timed queries are the same tiles jittered by one unit, giving a
+query/partition similarity of ``(w-1)/(w+1)`` (~0.94 for w=30).  At
+``k = 20`` a group matches with probability ``~0.94**20 ~ 0.26``, so a
+typical query reaches its stored tile through only one or two of its ``l``
+identifiers — losing that identifier's owner loses the answer, unlike a
+resubmit-the-same-range workload where all ``l`` groups match and recall
+barely moves (see ``ext_event_latency``, where 10% crashes cost under two
+recall points).
+
+Churn arrives in waves: each wave crashes a slice of the doomed peers and,
+in the repaired configuration, the anti-entropy task runs between waves —
+data survives as long as one of an identifier's ``r`` replicas lives past
+each repair round.  Expected shapes: ``r = 1`` loses recall roughly in
+proportion to the per-identifier owner-death rate; ``r = 3`` without
+repair recovers most of it (all three replicas must die); ``r = 3`` with
+repair stays within a few points of fault-free, with failover lookups
+doing the serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.metrics.latency import LatencyCollector
+from repro.metrics.report import format_table
+from repro.net.latency import SeededLatency
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.sim.network import RetryPolicy
+from repro.sim.query import AsyncQueryEngine
+from repro.sim.repair import ReplicaRepairer
+from repro.util.rng import derive_rng
+
+__all__ = ["ChurnRecallExperiment", "ChurnRecallOutcome", "ChurnCell", "ReplicationMode"]
+
+PAPER_DOMAIN = Domain("value", 0, 1000)
+
+
+@dataclass(frozen=True)
+class ReplicationMode:
+    """One replication configuration under test."""
+
+    replicas: int
+    repair: bool
+
+    @property
+    def label(self) -> str:
+        suffix = "+repair" if self.repair else ""
+        return f"r={self.replicas}{suffix}"
+
+
+@dataclass(frozen=True)
+class ChurnCell:
+    """Measured outcome of one (mode, crash fraction) setting."""
+
+    mode: ReplicationMode
+    crash_fraction: float
+    crashed_peers: int
+    mean_recall: float
+    matched_fraction: float
+    failovers: int
+    chain_timeouts: int
+    degraded_queries: int
+    misses: int
+    repairs: int
+    p95_ms: float
+    queries: int
+
+    def as_row(self) -> list[str]:
+        return [
+            self.mode.label,
+            f"{self.crash_fraction:.0%}",
+            f"{self.mean_recall:.3f}",
+            f"{self.matched_fraction:.3f}",
+            str(self.failovers),
+            str(self.chain_timeouts),
+            str(self.degraded_queries),
+            str(self.misses),
+            str(self.repairs),
+            f"{self.p95_ms:.0f}",
+        ]
+
+
+@dataclass
+class ChurnRecallOutcome:
+    """All cells of the replication x churn sweep."""
+
+    cells: list[ChurnCell]
+    n_peers: int
+    tile_width: int
+    policy: RetryPolicy
+
+    def cell(self, mode_label: str, crash_fraction: float) -> ChurnCell:
+        """The measured cell for one sweep setting."""
+        for cell in self.cells:
+            if (
+                cell.mode.label == mode_label
+                and cell.crash_fraction == crash_fraction
+            ):
+                return cell
+        raise KeyError((mode_label, crash_fraction))
+
+    def recall_drop(self, mode_label: str, crash_fraction: float) -> float:
+        """Recall lost versus the same mode's fault-free cell."""
+        baseline = self.cell(mode_label, 0.0).mean_recall
+        return baseline - self.cell(mode_label, crash_fraction).mean_recall
+
+    def report(self) -> str:
+        return format_table(
+            [
+                "mode",
+                "crashed",
+                "recall",
+                "matched",
+                "failovers",
+                "timeouts",
+                "degraded",
+                "misses",
+                "repairs",
+                "p95 ms",
+            ],
+            [cell.as_row() for cell in self.cells],
+            title=(
+                "Extension — recall under churn, replication x crash rate "
+                f"({self.n_peers} peers, width-{self.tile_width} tiles, "
+                "jitter-1 queries)"
+            ),
+        )
+
+
+@dataclass
+class ChurnRecallExperiment:
+    """Sweep replication mode x crashed-peer fraction against recall.
+
+    Each cell builds a fresh system, stores one partition per domain tile
+    (replicated per the mode), crashes peers in ``churn_waves`` waves —
+    running an anti-entropy round between waves when the mode repairs —
+    and then runs jittered tile queries on the event-driven engine with
+    failover.  Stores are disabled during the timed phase so recall
+    measures surviving data, not re-insertion.
+    """
+
+    n_peers: int = 400
+    tile_width: int = 30
+    timed_queries: int = 300
+    modes: tuple[ReplicationMode, ...] = (
+        ReplicationMode(1, False),
+        ReplicationMode(3, False),
+        ReplicationMode(3, True),
+    )
+    crash_fractions: tuple[float, ...] = (0.0, 0.10, 0.20)
+    churn_waves: int = 4
+    latency_low_ms: float = 10.0
+    latency_high_ms: float = 100.0
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(timeout_ms=400.0, max_retries=1)
+    )
+    repair_interval_ms: float = 5_000.0
+    domain: Domain = field(default_factory=lambda: PAPER_DOMAIN)
+    seed: int = 2003
+
+    @classmethod
+    def paper(cls) -> "ChurnRecallExperiment":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ChurnRecallExperiment":
+        return cls(
+            n_peers=100,
+            timed_queries=120,
+            crash_fractions=(0.0, 0.20),
+            churn_waves=2,
+        )
+
+    def _tiles(self) -> list[IntRange]:
+        width = self.tile_width
+        low, high = self.domain.low, self.domain.high
+        return [
+            IntRange(start, start + width - 1)
+            for start in range(low, high - width + 2, width)
+        ]
+
+    def _run_cell(
+        self, mode: ReplicationMode, crash_fraction: float
+    ) -> ChurnCell:
+        system = RangeSelectionSystem(
+            SystemConfig(
+                n_peers=self.n_peers,
+                domain=self.domain,
+                replicas=mode.replicas,
+                store_on_miss=False,
+                seed=self.seed,
+            )
+        )
+        tiles = self._tiles()
+        for tile in tiles:
+            system.store_partition(tile)
+        engine = AsyncQueryEngine(
+            system,
+            latency=SeededLatency(
+                self.latency_low_ms, self.latency_high_ms, seed=self.seed
+            ),
+            policy=self.policy,
+            seed=self.seed,
+        )
+        repairer = ReplicaRepairer(
+            engine, interval_ms=self.repair_interval_ms, policy=self.policy
+        )
+
+        crash_rng = derive_rng(self.seed, "churn-recall/crashes")
+        node_ids = system.router.node_ids
+        n_crashed = int(round(crash_fraction * len(node_ids)))
+        doomed = [
+            node_ids[int(index)]
+            for index in crash_rng.choice(
+                len(node_ids), size=n_crashed, replace=False
+            )
+        ]
+        waves = max(1, self.churn_waves)
+        for wave in range(waves):
+            for peer_id in doomed[wave::waves]:
+                engine.crash_peer(peer_id)
+            if mode.repair:
+                engine.sim.run_until_complete(repairer.run_round())
+
+        collector = LatencyCollector()
+        jitter_rng = derive_rng(self.seed, "churn-recall/jitter")
+        low, high = self.domain.low, self.domain.high
+        for _ in range(self.timed_queries):
+            tile = tiles[int(jitter_rng.integers(len(tiles)))]
+            shift = 1 if jitter_rng.integers(2) else -1
+            if tile.start + shift < low or tile.end + shift > high:
+                shift = -shift
+            query = IntRange(tile.start + shift, tile.end + shift)
+            collector.add(engine.run(query))
+        summary = collector.phase_summary()["total"]
+        return ChurnCell(
+            mode=mode,
+            crash_fraction=crash_fraction,
+            crashed_peers=n_crashed,
+            mean_recall=collector.mean_recall(),
+            matched_fraction=1.0 - collector.misses / max(1, collector.queries),
+            failovers=collector.failovers,
+            chain_timeouts=collector.chain_timeouts,
+            degraded_queries=collector.degraded_queries,
+            misses=collector.misses,
+            repairs=repairer.stats.copies_created,
+            p95_ms=summary.p95,
+            queries=collector.queries,
+        )
+
+    def run(self) -> ChurnRecallOutcome:
+        cells = [
+            self._run_cell(mode, fraction)
+            for mode in self.modes
+            for fraction in self.crash_fractions
+        ]
+        return ChurnRecallOutcome(
+            cells=cells,
+            n_peers=self.n_peers,
+            tile_width=self.tile_width,
+            policy=self.policy,
+        )

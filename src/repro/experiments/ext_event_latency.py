@@ -97,7 +97,7 @@ class EventLatencyOutcome:
             ],
             [cell.as_row() for cell in self.cells],
             title=(
-                f"Extension — event-driven query latency under faults "
+                "Extension — event-driven query latency under faults "
                 f"({self.n_peers} peers, timeout {self.policy.timeout_ms:.0f} ms "
                 f"x{self.policy.total_attempts} attempts)"
             ),

@@ -16,6 +16,7 @@ import time
 from pathlib import Path
 
 from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
+from repro.experiments.ext_churn_recall import ChurnRecallExperiment
 from repro.experiments.ext_composite import CompositeAnswerExperiment
 from repro.experiments.ext_event_latency import EventLatencyExperiment
 from repro.experiments.ext_ideal_family import IdealFamilyAblation
@@ -81,6 +82,7 @@ def run_all(scale: str = "paper", results_dir: "str | Path" = "results") -> None
         ("ext_overlay_compare", lambda: scaled(OverlayComparisonExperiment).run().report()),
         ("ext_stats_planning", lambda: scaled(StatsPlanningExperiment).run().report()),
         ("ext_event_latency", lambda: scaled(EventLatencyExperiment).run().report()),
+        ("ext_churn_recall", lambda: scaled(ChurnRecallExperiment).run().report()),
     ]
     for name, job in jobs:
         start = time.perf_counter()

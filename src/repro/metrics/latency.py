@@ -125,6 +125,9 @@ class LatencyCollector:
     queries: int = 0
     #: Individual lookup chains that timed out.
     chain_timeouts: int = 0
+    #: Individual lookup chains answered by a successor-list replica after
+    #: the identifier's owner was unreachable.
+    failovers: int = 0
     #: Queries answered from fewer than ``l`` replies.
     degraded_queries: int = 0
     #: Queries that located no partition at all.
@@ -141,6 +144,7 @@ class LatencyCollector:
         self.histogram.add(result.total_ms)
         self.queries += 1
         self.chain_timeouts += result.timeouts
+        self.failovers += result.failovers
         if result.degraded:
             self.degraded_queries += 1
         if not result.found:
@@ -172,7 +176,7 @@ class LatencyCollector:
         )
         tail = (
             f"queries={self.queries}  chain timeouts={self.chain_timeouts}  "
-            f"degraded={self.degraded_queries}  misses={self.misses}  "
-            f"mean recall={self.mean_recall():.3f}"
+            f"failovers={self.failovers}  degraded={self.degraded_queries}  "
+            f"misses={self.misses}  mean recall={self.mean_recall():.3f}"
         )
         return f"{table}\n{tail}"

@@ -6,7 +6,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.errors import UnknownPeerError
+from repro.errors import PeerUnavailableError, UnknownPeerError
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
 
@@ -28,6 +28,13 @@ class TrafficStats:
     timeouts: int = 0
     #: Re-sends after an unanswered attempt (event-driven transport only).
     retries: int = 0
+    #: Lookups answered by a successor-list replica after the identifier's
+    #: owner was unreachable.
+    failovers: int = 0
+    #: Lookups that exhausted every replica without an answer.
+    failover_exhausted: int = 0
+    #: Store placements addressed to non-primary replicas.
+    replica_stores: int = 0
     by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     sent_by_peer: dict[int, int] = field(default_factory=lambda: defaultdict(int))
     received_by_peer: dict[int, int] = field(default_factory=lambda: defaultdict(int))
@@ -70,6 +77,9 @@ class TrafficStats:
         self.drops = 0
         self.timeouts = 0
         self.retries = 0
+        self.failovers = 0
+        self.failover_exhausted = 0
+        self.replica_stores = 0
         self.by_kind.clear()
         self.sent_by_peer.clear()
         self.received_by_peer.clear()
@@ -86,6 +96,7 @@ class SimulatedNetwork:
 
     def __init__(self, latency: LatencyModel | None = None) -> None:
         self._handlers: dict[int, Handler] = {}
+        self._crashed: set[int] = set()
         self.latency = latency if latency is not None else ConstantLatency()
         self.stats = TrafficStats()
 
@@ -96,10 +107,32 @@ class SimulatedNetwork:
     def unregister(self, peer_id: int) -> None:
         """Detach a peer (it stops receiving messages)."""
         self._handlers.pop(peer_id, None)
+        self._crashed.discard(peer_id)
 
     def is_registered(self, peer_id: int) -> bool:
         """Whether a peer currently has a handler."""
         return peer_id in self._handlers
+
+    # -- faults (mirrors AsyncNetwork's crash surface) -----------------
+
+    def crash(self, peer_id: int) -> None:
+        """Fail-stop ``peer_id``: sends to it raise
+        :class:`~repro.errors.PeerUnavailableError` until it recovers.
+
+        The synchronous transport cannot model a silent timeout (there is
+        no clock to wait out), so unreachability is immediate and loud —
+        the degraded-mode *outcome* matches the event-driven transport,
+        only the waiting is elided.
+        """
+        self._crashed.add(peer_id)
+
+    def recover(self, peer_id: int) -> None:
+        """Un-crash ``peer_id`` (idempotent)."""
+        self._crashed.discard(peer_id)
+
+    def is_alive(self, peer_id: int) -> bool:
+        """Registered and not currently crashed."""
+        return peer_id in self._handlers and peer_id not in self._crashed
 
     def send(
         self,
@@ -113,6 +146,8 @@ class SimulatedNetwork:
         handler = self._handlers.get(recipient)
         if handler is None:
             raise UnknownPeerError(recipient)
+        if recipient in self._crashed:
+            raise PeerUnavailableError(recipient)
         message = Message(
             sender=sender,
             recipient=recipient,

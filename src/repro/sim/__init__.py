@@ -11,7 +11,10 @@ this subpackage answers "how long, and what breaks".  It provides:
   over any :class:`~repro.net.latency.LatencyModel`, with per-peer crash
   injection and :class:`~repro.sim.network.RetryPolicy` timeouts;
 - :class:`~repro.sim.query.AsyncQueryEngine` — the paper's query procedure
-  with the ``l`` lookups genuinely concurrent, timed per phase.
+  with the ``l`` lookups genuinely concurrent, timed per phase, failing
+  over down the successor list when replicas are configured;
+- :class:`~repro.sim.repair.ReplicaRepairer` — the periodic anti-entropy
+  task that restores the replication factor after crashes.
 """
 
 from repro.sim.faults import FaultInjector
@@ -19,6 +22,7 @@ from repro.sim.futures import SimFuture, gather
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.network import AsyncNetwork, RetryPolicy
 from repro.sim.query import AsyncQueryEngine, ChainOutcome, TimedQueryResult
+from repro.sim.repair import RepairStats, ReplicaRepairer
 
 __all__ = [
     "Simulator",
@@ -31,4 +35,6 @@ __all__ = [
     "AsyncQueryEngine",
     "ChainOutcome",
     "TimedQueryResult",
+    "ReplicaRepairer",
+    "RepairStats",
 ]

@@ -45,15 +45,20 @@ class ChainOutcome:
     """One identifier lookup chain, timed."""
 
     identifier: int
+    #: The identifier's nominal owner (the peer routing arrived at); under
+    #: failover the answering peer is ``reply.peer_id`` instead.
     owner: int
     hops: int
     #: Hop-by-hop routing time of this chain.
     route_ms: float
-    #: Reply from the owner; None when the chain timed out.
+    #: Reply from whichever replica answered; None when every candidate's
+    #: budget ran out.
     reply: MatchReply | None
     #: Virtual time from query start until this chain settled.
     completed_ms: float
     timed_out: bool
+    #: Failover steps taken down the successor list (0 = owner answered).
+    failovers: int = 0
 
 
 @dataclass(frozen=True)
@@ -69,8 +74,11 @@ class TimedQueryResult:
     exact: bool
     stored: bool
     chains: tuple[ChainOutcome, ...]
-    #: Chains that exhausted their retry budget (<= l).
+    #: Chains that exhausted every replica's retry budget (<= l).
     timeouts: int
+    #: Chains answered by a successor-list replica after the owner was
+    #: unreachable.
+    failovers: int
     #: Store-on-miss placements that themselves timed out.
     store_failures: int
     route_ms: float
@@ -107,6 +115,7 @@ class AsyncQueryEngine:
         latency: LatencyModel | None = None,
         drop_probability: float = 0.0,
         policy: RetryPolicy | None = None,
+        failover_policy: RetryPolicy | None = None,
         seed: int | None = None,
         fetch_rows: bool = False,
     ) -> None:
@@ -120,6 +129,17 @@ class AsyncQueryEngine:
             self.sim, latency=latency, drop_probability=drop_probability, seed=seed
         )
         self.policy = policy if policy is not None else RetryPolicy()
+        #: Budget for each *failover* attempt down the successor list.  The
+        #: default gives every replica one try under the base timeout (no
+        #: retries), so a chain's worst case grows linearly in replicas
+        #: tried, not multiplicatively.
+        self.failover_policy = (
+            failover_policy
+            if failover_policy is not None
+            else RetryPolicy(
+                timeout_ms=self.policy.timeout_ms, max_retries=0, backoff=1.0
+            )
+        )
         self.fetch_rows = fetch_rows
         for node_id in system.router.node_ids:
             self.net.register(node_id, system.peer_handler(node_id))
@@ -207,25 +227,35 @@ class AsyncQueryEngine:
         attribute: str,
         started: float,
     ) -> SimFuture[ChainOutcome]:
-        """One identifier: hop along the overlay path, then ask the owner.
+        """One identifier: hop along the overlay path, then ask the owner —
+        failing over down the successor list when the owner times out.
 
         Routing hops are charged per edge but modelled as reliable — the
         iterative Chord lookup retries hops internally; the request/reply
-        leg to the owner is where loss and crashes bite.  The chain future
-        always *resolves* (a timeout yields ``timed_out=True``), so one
-        dead owner degrades the query instead of failing it.
+        legs to the replicas are where loss and crashes bite.  The first
+        attempt (the owner) runs under the engine's base retry policy;
+        each failover attempt gets its own :attr:`failover_policy` budget
+        and is charged one successor-pointer hop.  The chain future always
+        *resolves* (exhausting every replica yields ``timed_out=True``),
+        so dead peers degrade the query instead of failing it.
         """
         sim = self.sim
         net = self.net
-        path = self.system.router.route(
-            self.system.place_identifier(identifier), start_id=origin
+        system = self.system
+        path = system.router.route(
+            system.place_identifier(identifier), start_id=origin
         )
         owner = path[-1]
         hops = len(path) - 1
         edges = list(zip(path, path[1:]))
         chain: SimFuture[ChainOutcome] = SimFuture()
 
-        def finish(reply: MatchReply | None, route_ms: float, timed_out: bool) -> None:
+        def finish(
+            reply: MatchReply | None,
+            route_ms: float,
+            timed_out: bool,
+            failovers: int,
+        ) -> None:
             chain.resolve(
                 ChainOutcome(
                     identifier=identifier,
@@ -235,43 +265,64 @@ class AsyncQueryEngine:
                     reply=reply,
                     completed_ms=sim.now - started,
                     timed_out=timed_out,
+                    failovers=failovers,
                 )
             )
 
-        def ask_owner() -> None:
+        def ask_replicas() -> None:
             route_ms = sim.now - started
-            request = net.request(
-                origin,
-                owner,
-                "match-request",
-                payload=(identifier, hashed_query, relation, attribute),
-                policy=self.policy,
+            candidates = system.failover_candidates(
+                identifier, is_alive=net.is_alive
             )
+            if owner not in candidates:
+                candidates.insert(0, owner)
 
-            def on_done(settled: SimFuture) -> None:
-                if settled.failed:
-                    finish(None, route_ms, timed_out=True)
+            def ask(index: int) -> None:
+                if index >= len(candidates):
+                    net.stats.failover_exhausted += 1
+                    system.counters.failed_lookups += 1
+                    finish(None, route_ms, timed_out=True, failovers=index - 1)
                     return
-                answer = settled.result()
-                if answer is None:
-                    finish(
-                        MatchReply(owner, identifier, None, 0.0),
-                        route_ms,
-                        timed_out=False,
-                    )
-                else:
-                    descriptor, score = answer
-                    finish(
-                        MatchReply(owner, identifier, descriptor, score),
-                        route_ms,
-                        timed_out=False,
-                    )
+                candidate = candidates[index]
+                request = net.request(
+                    origin,
+                    candidate,
+                    "match-request",
+                    payload=(identifier, hashed_query, relation, attribute),
+                    policy=self.policy if index == 0 else self.failover_policy,
+                )
 
-            request.add_done_callback(on_done)
+                def on_done(settled: SimFuture) -> None:
+                    if settled.failed:
+                        next_index = index + 1
+                        if next_index < len(candidates):
+                            # One successor-pointer hop to the next replica.
+                            delay = net.latency.sample_ms(
+                                candidate, candidates[next_index]
+                            )
+                            net.stats.record_routing_hops(1, latency_ms=delay)
+                            sim.call_later(delay, lambda: ask(next_index))
+                        else:
+                            ask(next_index)
+                        return
+                    if index > 0:
+                        net.stats.failovers += 1
+                        system.counters.failovers += 1
+                    answer = settled.result()
+                    if answer is None:
+                        reply = MatchReply(candidate, identifier, None, 0.0)
+                    else:
+                        descriptor, score = answer
+                        reply = MatchReply(candidate, identifier, descriptor, score)
+                    finish(reply, route_ms, timed_out=False, failovers=index)
+
+                request.add_done_callback(on_done)
+
+            ask(0)
 
         def advance(edge_index: int) -> None:
             if edge_index == len(edges):
-                ask_owner()
+                ask_replicas()
                 return
             hop_from, hop_to = edges[edge_index]
             delay = net.latency.sample_ms(hop_from, hop_to)
@@ -298,6 +349,9 @@ class AsyncQueryEngine:
         locate_ms = locate_done - started
         route_ms = max((c.route_ms for c in chains), default=0.0)
         timeouts = sum(1 for c in chains if c.timed_out)
+        failovers = sum(
+            1 for c in chains if not c.timed_out and c.failovers > 0
+        )
         best = max(
             (
                 c.reply
@@ -330,6 +384,7 @@ class AsyncQueryEngine:
                     stored=stored,
                     chains=tuple(chains),
                     timeouts=timeouts,
+                    failovers=failovers,
                     store_failures=store_failures,
                     route_ms=route_ms,
                     match_ms=locate_ms - route_ms,
@@ -347,16 +402,23 @@ class AsyncQueryEngine:
                 return
             store_started = sim.now
             descriptor = PartitionDescriptor(relation, attribute, hashed_query)
-            placements = [
-                self.net.request(
-                    origin,
-                    c.owner,
-                    "store-request",
-                    payload=(c.identifier, descriptor, None),
-                    policy=self.policy,
-                )
-                for c in chains
-            ]
+            placements = []
+            for c in chains:
+                for rank, target in enumerate(
+                    self.system.replica_owners(c.identifier)
+                ):
+                    primary = rank == 0
+                    if not primary:
+                        self.net.stats.replica_stores += 1
+                    placements.append(
+                        self.net.request(
+                            origin,
+                            target,
+                            "store-request",
+                            payload=(c.identifier, descriptor, None, primary),
+                            policy=self.policy,
+                        )
+                    )
 
             def on_stored(settled: SimFuture) -> None:
                 outcomes = settled.result()

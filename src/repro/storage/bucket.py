@@ -18,11 +18,17 @@ class StoredEntry:
     The scalability simulations store descriptors only (the paper's
     simulator does the same — it tracks placements, not tuples); the full
     database front end stores rows too.
+
+    ``primary`` distinguishes the copy at the identifier's owner from the
+    redundant copies the replication layer places at the owner's
+    successors; eviction prefers shedding replicas, and repair promotes a
+    replica to primary when ownership moves onto its holder.
     """
 
     descriptor: PartitionDescriptor
     partition: Partition | None = None
     access_clock: int = 0
+    primary: bool = True
 
 
 class Bucket:
@@ -51,6 +57,8 @@ class Bucket:
         if existing is not None:
             if existing.partition is None and entry.partition is not None:
                 existing.partition = entry.partition
+            if entry.primary:
+                existing.primary = True
             return False
         self._entries[entry.descriptor] = entry
         return True

@@ -38,7 +38,13 @@ class NoEviction(EvictionPolicy):
 
 
 class LRUEviction(EvictionPolicy):
-    """Capacity-bounded store, evicting the least recently used entry."""
+    """Capacity-bounded store, evicting the least recently used entry.
+
+    Replica copies are shed before primaries: evicting a replica only
+    costs redundancy (the identifier's owner still holds the entry), while
+    evicting a primary can lose the last authoritative copy.  Among
+    entries of the same role, least recently used goes first.
+    """
 
     def __init__(self, max_partitions: int) -> None:
         if max_partitions <= 0:
@@ -48,7 +54,8 @@ class LRUEviction(EvictionPolicy):
     def on_insert(self, store: "PeerStore") -> None:
         while store.partition_count > self.max_partitions:
             victim = min(
-                store.entries(), key=lambda pair: pair[1].access_clock
+                store.entries(),
+                key=lambda pair: (pair[1].primary, pair[1].access_clock),
             )
             identifier, entry = victim
             store.remove(identifier, entry.descriptor)
@@ -75,8 +82,13 @@ class PeerStore:
         identifier: int,
         descriptor: PartitionDescriptor,
         partition: Partition | None = None,
+        primary: bool = True,
     ) -> bool:
-        """Store a partition under ``identifier``; returns True when new."""
+        """Store a partition under ``identifier``; returns True when new.
+
+        ``primary=False`` marks the copy as a replica placed for fault
+        tolerance; re-storing an existing entry as primary promotes it.
+        """
         bucket = self._buckets.get(identifier)
         if bucket is None:
             bucket = Bucket(identifier)
@@ -87,6 +99,7 @@ class PeerStore:
                 descriptor=descriptor,
                 partition=partition,
                 access_clock=self._clock,
+                primary=primary,
             )
         )
         if added:
@@ -168,6 +181,16 @@ class PeerStore:
     def bucket_count(self) -> int:
         """Number of non-empty buckets."""
         return len(self._buckets)
+
+    @property
+    def primary_count(self) -> int:
+        """Entries this peer holds as the identifier's owner."""
+        return sum(1 for _, entry in self.entries() if entry.primary)
+
+    @property
+    def replica_count(self) -> int:
+        """Entries this peer holds as redundant replicas."""
+        return sum(1 for _, entry in self.entries() if not entry.primary)
 
     def entries(self) -> Iterator[tuple[int, StoredEntry]]:
         """Every (identifier, entry) pair in the store."""

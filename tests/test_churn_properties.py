@@ -45,6 +45,42 @@ def test_chord_ring_consistent_under_any_membership_history(script):
 
 
 @given(membership_scripts)
+@settings(max_examples=25, deadline=None)
+def test_chord_routing_state_matches_fresh_static_build(script):
+    """After any join/leave history plus stabilization, every node's
+    successor list and finger table equal those of a ring built statically
+    from the same membership — the convergence claim of Chord's
+    stabilization protocol, extended to the successor lists."""
+    ring = ChordRing(m=16, successor_list_size=3)
+    boot = ring.bootstrap("boot")
+    counter = 0
+    for do_join in script:
+        if do_join or len(ring) <= 2:
+            counter += 1
+            try:
+                ring.join(f"node-{counter}", via=boot.node_id)
+            except Exception:
+                continue
+            ring.stabilize()
+        else:
+            victim = next(
+                nid for nid in ring.node_ids if nid != boot.node_id
+            )
+            ring.leave(victim)
+            ring.stabilize()
+    reference = ChordRing(m=16, successor_list_size=3)
+    for node_id in ring.node_ids:
+        reference.add_node(node_id=node_id)
+    reference.build()
+    for node_id in ring.node_ids:
+        churned = ring.node(node_id)
+        rebuilt = reference.node(node_id)
+        assert churned.successor_list == rebuilt.successor_list
+        assert churned.fingers == rebuilt.fingers
+        assert churned.successor_id == rebuilt.successor_id
+
+
+@given(membership_scripts)
 @settings(max_examples=20, deadline=None)
 def test_can_overlay_tiles_under_any_membership_history(script):
     overlay = CanOverlay(dimensions=2)

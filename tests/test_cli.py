@@ -106,6 +106,35 @@ class TestSimulate:
         assert "crashed 12/60 peers" in text
         assert "dropped" in text
 
+    def test_simulate_with_replication_and_repair(self):
+        code, text = run_cli(
+            "simulate",
+            "--peers", "60",
+            "--queries", "10",
+            "--warm-queries", "20",
+            "--fail", "0.2",
+            "--replicas", "3",
+            "--repair-interval", "2000",
+            "--timeout-ms", "300",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "replicas=3" in text
+        assert "failovers" in text
+        assert "repair:" in text and "rounds" in text
+
+    def test_simulate_rejects_bad_replicas(self, capsys):
+        code, _ = run_cli("simulate", "--peers", "20", "--replicas", "0")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_simulate_rejects_negative_repair_interval(self, capsys):
+        code, _ = run_cli(
+            "simulate", "--peers", "20", "--repair-interval", "-5"
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
     def test_simulate_rejects_bad_probability(self, capsys):
         code, _ = run_cli("simulate", "--peers", "20", "--drop", "1.5")
         assert code == 1

@@ -12,7 +12,7 @@ from repro.db.plan.nodes import JoinNode, LeafSelection
 from repro.db.plan.planner import plan_select
 from repro.db.predicates import EqualityPredicate, RangePredicate, TruePredicate
 from repro.db.sql.parser import parse_select
-from repro.db.stats import EquiWidthHistogram, TableStatistics, analyze
+from repro.db.stats import EquiWidthHistogram, TableStatistics
 from repro.errors import SchemaError
 from repro.ranges.interval import IntRange
 

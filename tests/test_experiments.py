@@ -240,6 +240,17 @@ class TestMoreExtensions:
         )
         assert "Chord vs CAN" in outcome.report()
 
+    def test_churn_recall_replication_beats_unreplicated(self):
+        from repro.experiments.ext_churn_recall import ChurnRecallExperiment
+
+        experiment = ChurnRecallExperiment.quick()
+        outcome = experiment.run()
+        worst = max(experiment.crash_fractions)
+        assert outcome.recall_drop("r=1", worst) > 0.0
+        assert outcome.recall_drop("r=3+repair", worst) < 0.05
+        assert outcome.cell("r=3+repair", worst).failovers > 0
+        assert "recall under churn" in outcome.report()
+
     def test_linear_catches_up_under_repetition(self):
         """Section 5.1: "As the system evolves, the probability that
         identical queries had been asked earlier goes higher and linear

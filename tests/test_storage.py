@@ -137,3 +137,52 @@ class TestLRUEviction:
     def test_invalid_capacity(self):
         with pytest.raises(StorageError):
             LRUEviction(max_partitions=0)
+
+    def test_replica_evicted_before_primary(self):
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        store.store(1, desc(0, 10), primary=True)
+        store.store(2, desc(100, 110), primary=False)
+        # Make the primary the LRU entry; the replica must still go first.
+        store.best_match_in_bucket(2, IntRange(100, 110), "R", "value", score)
+        store.store(3, desc(200, 210), primary=True)
+        remaining = {entry.descriptor for _, entry in store.entries()}
+        assert desc(0, 10) in remaining
+        assert desc(100, 110) not in remaining
+
+    def test_replica_inserts_respect_capacity(self):
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        for i in range(5):
+            store.store(i, desc(i * 20, i * 20 + 10), primary=False)
+        assert store.partition_count == 2
+        assert store.replica_count == 2
+
+    def test_oldest_replica_evicted_among_replicas(self):
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        store.store(1, desc(0, 10), primary=False)
+        store.store(2, desc(100, 110), primary=False)
+        store.store(3, desc(200, 210), primary=False)
+        remaining = {entry.descriptor for _, entry in store.entries()}
+        assert desc(0, 10) not in remaining
+
+
+class TestPrimaryReplicaRoles:
+    def test_store_marks_roles(self):
+        store = PeerStore(1)
+        store.store(1, desc(0, 10), primary=True)
+        store.store(2, desc(100, 110), primary=False)
+        assert store.primary_count == 1
+        assert store.replica_count == 1
+
+    def test_readd_as_primary_promotes(self):
+        store = PeerStore(1)
+        store.store(1, desc(0, 10), primary=False)
+        assert not store.store(1, desc(0, 10), primary=True)  # not new
+        (_, entry), = store.entries()
+        assert entry.primary
+
+    def test_readd_as_replica_does_not_demote(self):
+        store = PeerStore(1)
+        store.store(1, desc(0, 10), primary=True)
+        store.store(1, desc(0, 10), primary=False)
+        (_, entry), = store.entries()
+        assert entry.primary
