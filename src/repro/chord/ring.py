@@ -228,24 +228,41 @@ class ChordRing:
     # Routing
     # ------------------------------------------------------------------
 
-    def _closest_preceding_finger(self, node: ChordNode, key: int) -> int:
-        """Highest finger strictly inside ``(node, key)``, per the protocol."""
+    def _closest_preceding_edge(self, node: ChordNode, key: int) -> tuple[int, str]:
+        """Highest finger strictly inside ``(node, key)``, per the protocol.
+
+        Returns ``(next_id, via)`` where ``via`` names the routing-table
+        edge used — ``finger[i]`` or ``successor`` — so traced lookups can
+        show *why* each hop happened, not just where it went.
+        """
         for index in range(len(node.fingers) - 1, -1, -1):
             finger_id = node.fingers[index]
             if finger_id is not None and self.space.in_open(
                 finger_id, node.node_id, key
             ):
-                return finger_id
+                return (finger_id, f"finger[{index}]")
         if node.successor_id is None:
             raise ChordError(f"node {node.node_id} has no routing state")
-        return node.successor_id
+        return (node.successor_id, "successor")
 
-    def lookup(self, key: int, start_id: int | None = None) -> LookupResult:
+    def _closest_preceding_finger(self, node: ChordNode, key: int) -> int:
+        """Highest finger strictly inside ``(node, key)``, per the protocol."""
+        return self._closest_preceding_edge(node, key)[0]
+
+    def lookup(
+        self,
+        key: int,
+        start_id: int | None = None,
+        recorder: Callable[[int, int, str], None] | None = None,
+    ) -> LookupResult:
         """Route ``key`` from ``start_id`` (default: lowest node) to its owner.
 
         Implements iterative ``find_predecessor`` + final successor hop and
         counts every overlay edge traversed, matching the paper's path-length
-        metric.
+        metric.  ``recorder`` (when given) is called once per traversed edge
+        as ``recorder(from_id, to_id, via)``, where ``via`` is the routing
+        edge used (``finger[i]`` or ``successor``) — the hook the tracing
+        layer uses to show a lookup hop by hop.
         """
         if not self._sorted_ids:
             raise EmptyRingError("cannot look up in an empty ring")
@@ -260,9 +277,11 @@ class ChordRing:
         while not self.space.in_half_open(
             key, current.node_id, current.successor_id
         ):
-            next_id = self._closest_preceding_finger(current, key)
+            next_id, via = self._closest_preceding_edge(current, key)
             if next_id == current.node_id:
                 break
+            if recorder is not None:
+                recorder(current.node_id, next_id, via)
             current = self.node(next_id)
             path.append(current.node_id)
             if len(path) > max_hops:
@@ -270,6 +289,8 @@ class ChordRing:
         owner_id = current.successor_id
         assert owner_id is not None
         if owner_id != current.node_id:
+            if recorder is not None:
+                recorder(current.node_id, owner_id, "successor")
             path.append(owner_id)
         return LookupResult(
             key=key, owner_id=owner_id, hops=len(path) - 1, path=tuple(path)

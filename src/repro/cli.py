@@ -113,6 +113,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual-time period of the anti-entropy repair task "
         "(0 = repair off)",
     )
+    simulate.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record the first timed query's full lifecycle (spans, "
+        "route hops, retries, store fan-out) as JSON to FILE",
+    )
+    simulate.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the unified metrics-registry report after the run",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a small workload and dump the unified metrics registry",
+    )
+    metrics.add_argument("--peers", type=int, default=200)
+    metrics.add_argument("--queries", type=int, default=50)
+    metrics.add_argument("--seed", type=int, default=7)
+    metrics.add_argument(
+        "--replicas", type=int, default=1, help="replication factor r"
+    )
+    metrics.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the full registry snapshot as JSON to FILE",
+    )
+    metrics.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        default=None,
+        help="also write one JSON document per metric to FILE",
+    )
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's figures"
@@ -225,11 +260,18 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         # virtual clock while the timed queries drive it.
         engine.sim.run_until_complete(repairer.run_round())
         repairer.start()
-    collector = LatencyCollector()
-    for query in UniformRangeWorkload(
-        config.domain, args.queries, seed=args.seed + 2
-    ).ranges():
-        collector.add(engine.run(query))
+    collector = LatencyCollector(registry=system.metrics)
+    for index, query in enumerate(
+        UniformRangeWorkload(config.domain, args.queries, seed=args.seed + 2).ranges()
+    ):
+        trace = None
+        if args.trace is not None and index == 0:
+            trace = engine.start_trace(query)
+        collector.add(engine.run(query, trace=trace))
+        if trace is not None:
+            with open(args.trace, "w", encoding="utf-8") as handle:
+                handle.write(trace.to_json(indent=2))
+            print(f"trace: wrote query lifecycle to {args.trace}", file=out)
     if repairer is not None:
         repairer.stop()
     print(collector.report(), file=out)
@@ -242,6 +284,32 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     )
     if repairer is not None:
         print(f"repair: {repairer.stats.describe()}", file=out)
+    if args.metrics:
+        print(system.metrics.report("Simulation metrics"), file=out)
+    return 0
+
+
+def _run_metrics(args: argparse.Namespace, out) -> int:
+    from repro.workloads.generators import UniformRangeWorkload
+
+    config = SystemConfig(
+        n_peers=args.peers, seed=args.seed, replicas=args.replicas
+    )
+    system = RangeSelectionSystem(config)
+    print(f"system: {config.describe()}", file=out)
+    for query in UniformRangeWorkload(
+        config.domain, args.queries, seed=args.seed + 1
+    ).ranges():
+        system.query(query)
+    print(system.metrics.report("Metrics after workload"), file=out)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(system.metrics.to_json(indent=2))
+        print(f"wrote JSON snapshot to {args.json}", file=out)
+    if args.jsonl is not None:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(system.metrics.to_jsonl())
+        print(f"wrote JSONL dump to {args.jsonl}", file=out)
     return 0
 
 
@@ -276,6 +344,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_sql(args, out)
         if args.command == "simulate":
             return _run_simulate(args, out)
+        if args.command == "metrics":
+            return _run_metrics(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "info":

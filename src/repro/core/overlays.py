@@ -31,12 +31,23 @@ class OverlayRouter(ABC):
     def owner_of(self, key: int) -> int:
         """Peer id responsible for a bucket identifier."""
 
+    #: Per-hop routing callback: ``(from_id, to_id, via)`` where ``via``
+    #: names the routing edge (Chord: ``finger[i]``/``successor``; CAN:
+    #: ``greedy``).  The tracing layer passes one to see lookups hop by hop.
+    HopRecorder = Callable[[int, int, str], None]
+
     @abstractmethod
-    def route(self, key: int, start_id: int) -> tuple[int, ...]:
+    def route(
+        self,
+        key: int,
+        start_id: int,
+        recorder: "OverlayRouter.HopRecorder | None" = None,
+    ) -> tuple[int, ...]:
         """Route ``key`` from ``start_id``; return the node-id path
         traversed.  The first element is ``start_id`` itself and the last
         is the owner, so the path has ``hops + 1`` entries (a start node
-        that already owns the key yields a one-element path)."""
+        that already owns the key yields a one-element path).  When given,
+        ``recorder`` is invoked once per traversed edge."""
 
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         """Route ``key`` from ``start_id``; return (owner id, hops)."""
@@ -80,8 +91,13 @@ class ChordRouter(OverlayRouter):
     def owner_of(self, key: int) -> int:
         return self.ring.successor_of(key)
 
-    def route(self, key: int, start_id: int) -> tuple[int, ...]:
-        return self.ring.lookup(key, start_id=start_id).path
+    def route(
+        self,
+        key: int,
+        start_id: int,
+        recorder: "OverlayRouter.HopRecorder | None" = None,
+    ) -> tuple[int, ...]:
+        return self.ring.lookup(key, start_id=start_id, recorder=recorder).path
 
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         result = self.ring.lookup(key, start_id=start_id)
@@ -115,8 +131,17 @@ class CanRouter(OverlayRouter):
     def owner_of(self, key: int) -> int:
         return self.overlay.owner_of(key)
 
-    def route(self, key: int, start_id: int) -> tuple[int, ...]:
-        return self.overlay.lookup_path(key, start_id=start_id)
+    def route(
+        self,
+        key: int,
+        start_id: int,
+        recorder: "OverlayRouter.HopRecorder | None" = None,
+    ) -> tuple[int, ...]:
+        path = self.overlay.lookup_path(key, start_id=start_id)
+        if recorder is not None:
+            for hop_from, hop_to in zip(path, path[1:]):
+                recorder(hop_from, hop_to, "greedy")
+        return path
 
     def lookup(self, key: int, start_id: int) -> tuple[int, int]:
         return self.overlay.lookup(key, start_id=start_id)

@@ -14,7 +14,7 @@ Query procedure, exactly as the paper's pseudocode sketches it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from typing import Callable
 
@@ -27,6 +27,12 @@ from repro.errors import ConfigError, PeerUnavailableError
 from repro.lsh import DomainMinHashIndex, LSHIdentifierScheme, family_for_domain
 from repro.net.message import Message
 from repro.net.transport import SimulatedNetwork
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistryBackedCounters,
+    registry_field,
+)
+from repro.obs.trace import NULL_TRACE, QueryTrace
 from repro.ranges.interval import IntRange
 from repro.storage.store import LRUEviction, NoEviction, PeerStore
 from repro.util.rng import derive_rng
@@ -103,27 +109,49 @@ class RangeQueryResult:
         return self.matched is not None
 
 
-@dataclass
-class SystemCounters:
-    """Running totals the system maintains across queries."""
+class SystemCounters(RegistryBackedCounters):
+    """Running totals the system maintains across queries.
 
-    queries: int = 0
-    exact_hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    placements: int = 0
-    overlay_hops: int = 0
+    Served from a :class:`~repro.obs.MetricsRegistry` (counters named
+    ``system.<field>``); the attribute API is unchanged from the old
+    dataclass.  A standalone ``SystemCounters()`` binds a private
+    registry; the system binds its unified one.
+    """
+
+    SCALAR_FIELDS = (
+        "queries",
+        "exact_hits",
+        "misses",
+        "stores",
+        "placements",
+        "overlay_hops",
+        "failovers",
+        "failed_lookups",
+        "replica_placements",
+        "store_failures",
+        "repairs",
+    )
+
+    queries = registry_field("queries")
+    exact_hits = registry_field("exact_hits")
+    misses = registry_field("misses")
+    stores = registry_field("stores")
+    placements = registry_field("placements")
+    overlay_hops = registry_field("overlay_hops")
     #: Lookups served by a successor replica after the owner was down.
-    failovers: int = 0
+    failovers = registry_field("failovers")
     #: Lookups for which every replica was unreachable.
-    failed_lookups: int = 0
+    failed_lookups = registry_field("failed_lookups")
     #: Redundant (non-primary) placements made by the replication layer.
-    replica_placements: int = 0
+    replica_placements = registry_field("replica_placements")
     #: Store placements skipped because the target replica was unreachable.
-    store_failures: int = 0
+    store_failures = registry_field("store_failures")
     #: Copies created by :meth:`RangeSelectionSystem.repair_replicas`.
-    repairs: int = 0
-    by_origin: dict[str, int] = field(default_factory=dict)
+    repairs = registry_field("repairs")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._bind(registry, "system")
+        self.by_origin = self._labeled("queries_by_origin", "origin")
 
 
 class RangeSelectionSystem:
@@ -152,12 +180,16 @@ class RangeSelectionSystem:
         self.ring = (
             self.router.ring if isinstance(self.router, ChordRouter) else None
         )
-        self.network = SimulatedNetwork()
+        #: The unified metrics registry: the transport's TrafficStats, the
+        #: SystemCounters, and any engine/collector bound to this system
+        #: all publish here (one export surface; see :mod:`repro.obs`).
+        self.metrics = MetricsRegistry()
+        self.network = SimulatedNetwork(registry=self.metrics)
         self.stores: dict[int, PeerStore] = {}
         for node_id in self.router.node_ids:
             self._register_peer(node_id)
         self._rng = derive_rng(config.seed, "system/origins")
-        self.counters = SystemCounters()
+        self.counters = SystemCounters(registry=self.metrics)
 
     def _place(self, identifier: int) -> int:
         """Ring position for a bucket identifier.
@@ -315,12 +347,27 @@ class RangeSelectionSystem:
         ids = self.router.node_ids
         return ids[int(self._rng.integers(len(ids)))]
 
+    def start_trace(self, query: IntRange | None = None, **attrs) -> QueryTrace:
+        """A :class:`~repro.obs.QueryTrace` for the synchronous path.
+
+        The trace clock is the transport's cumulative simulated wire time
+        (``network.stats.latency_ms``), so span durations measure the
+        milliseconds of network traffic each step cost — the synchronous
+        transport has no other notion of time.  Pass the trace to
+        :meth:`query` / :meth:`locate` / :meth:`store_partition`.
+        """
+        if query is not None:
+            attrs.setdefault("query", str(query))
+        attrs.setdefault("path", "sync")
+        return QueryTrace(clock=lambda: self.network.stats.latency_ms, **attrs)
+
     def locate(
         self,
         query: IntRange,
         relation: str = SIM_RELATION,
         attribute: str = SIM_ATTRIBUTE,
         origin: int | None = None,
+        trace: QueryTrace | None = None,
     ) -> LocateResult:
         """Steps 1-4 of the query procedure (no storing).
 
@@ -328,20 +375,54 @@ class RangeSelectionSystem:
         down the successor list and answers in degraded mode from whichever
         replica responds; each failover hop is charged one overlay edge
         (the successor pointer is already known, no re-routing needed).
+
+        With a ``trace``, the lifecycle is recorded span by span: a
+        ``hash`` span with one ``group`` event per identifier, then one
+        ``chain`` span per identifier carrying its ``route-hop`` events
+        (with the finger-table edge each hop followed), per-replica
+        ``attempt`` events, ``failover`` steps and the ``match-reply``.
         """
+        trace = trace if trace is not None else NULL_TRACE
+        tracing = trace is not NULL_TRACE
         if origin is None:
             origin = self.pick_origin()
-        identifiers = self.identifiers_for(query)
+        with trace.span("hash") as hash_span:
+            identifiers = self.identifiers_for(query)
+            for group, identifier in enumerate(identifiers):
+                hash_span.event(
+                    "group",
+                    group=group,
+                    identifier=identifier,
+                    placed=self._place(identifier),
+                )
+        locate_span = trace.span("locate", origin=origin)
         owners: list[int] = []
         replies: list[MatchReply] = []
         hops = 0
         failovers = 0
         unreachable = 0
         for identifier in identifiers:
-            route_path = self.router.route(self._place(identifier), start_id=origin)
+            placed = self._place(identifier)
+            chain = locate_span.span("chain", identifier=identifier, placed=placed)
+            if tracing:
+                hop_edges: list[tuple[int, int, str]] = []
+                route_path = self.router.route(
+                    placed,
+                    start_id=origin,
+                    recorder=lambda f, t, via: hop_edges.append((f, t, via)),
+                )
+                # Charge edge by edge so each route-hop event lands at
+                # the wire-time the hop actually finished.
+                for hop_from, hop_to, via in hop_edges:
+                    self.network.charge_route((hop_from, hop_to))
+                    chain.event(
+                        "route-hop", source=hop_from, target=hop_to, via=via
+                    )
+            else:
+                route_path = self.router.route(placed, start_id=origin)
+                self.network.charge_route(route_path)
             owner_id, lookup_hops = route_path[-1], len(route_path) - 1
             hops += lookup_hops
-            self.network.charge_route(route_path)
             candidates = self.failover_candidates(
                 identifier, is_alive=self.network.is_alive
             )
@@ -355,6 +436,7 @@ class RangeSelectionSystem:
                     # One successor-pointer hop from the last peer tried.
                     self.network.charge_route((previous, candidate))
                     hops += 1
+                    chain.event("failover", source=previous, target=candidate)
                 try:
                     answer = self.network.send(
                         origin,
@@ -363,8 +445,15 @@ class RangeSelectionSystem:
                         payload=(identifier, query, relation, attribute),
                     )
                 except PeerUnavailableError:
+                    chain.event(
+                        "attempt", peer=candidate, rank=attempt,
+                        outcome="unreachable",
+                    )
                     previous = candidate
                     continue
+                chain.event(
+                    "attempt", peer=candidate, rank=attempt, outcome="answered"
+                )
                 answered_by = candidate
                 if attempt > 0:
                     failovers += 1
@@ -377,19 +466,35 @@ class RangeSelectionSystem:
                 self.counters.failed_lookups += 1
                 owners.append(owner_id)
                 replies.append(MatchReply(owner_id, identifier, None, 0.0))
+                chain.event("unreachable", identifier=identifier)
+                chain.end(owner=owner_id, hops=lookup_hops, answered_by=None)
                 continue
             owners.append(answered_by)
             if answer is None:
                 replies.append(MatchReply(answered_by, identifier, None, 0.0))
+                chain.event("match-reply", peer=answered_by, score=0.0,
+                            descriptor=None)
             else:
                 descriptor, score = answer
                 replies.append(
                     MatchReply(answered_by, identifier, descriptor, score)
                 )
+                chain.event("match-reply", peer=answered_by, score=score,
+                            descriptor=str(descriptor))
+            chain.end(
+                owner=owner_id, hops=lookup_hops, answered_by=answered_by
+            )
         best = max(
             (r for r in replies if r.descriptor is not None),
             key=lambda r: r.score,
             default=None,
+        )
+        locate_span.end(
+            hops=hops,
+            failovers=failovers,
+            unreachable=unreachable,
+            best_score=best.score if best is not None else None,
+            best_peer=best.peer_id if best is not None else None,
         )
         return LocateResult(
             query=query,
@@ -412,6 +517,7 @@ class RangeSelectionSystem:
         origin: int | None = None,
         identifiers: list[int] | None = None,
         owners: list[int] | None = None,
+        trace: QueryTrace | None = None,
     ) -> int:
         """Step 5: store a partition at the ``l`` identifier owners.
 
@@ -422,8 +528,10 @@ class RangeSelectionSystem:
 
         Returns the number of *new* primary placements.  ``identifiers``
         and ``owners`` may be passed from a prior :meth:`locate` to avoid
-        re-routing.
+        re-routing.  A ``trace`` records the store fan-out as one
+        ``placement`` event per (identifier, target) pair.
         """
+        trace = trace if trace is not None else NULL_TRACE
         if origin is None:
             origin = self.pick_origin()
         if identifiers is None:
@@ -435,6 +543,7 @@ class RangeSelectionSystem:
         descriptor = PartitionDescriptor(relation, attribute, r)
         new_placements = 0
         size = partition.size_bytes if partition is not None else 64
+        store_span = trace.span("store", descriptor=str(descriptor))
         for identifier, replica_set in zip(identifiers, targets):
             for rank, target in enumerate(replica_set):
                 primary = rank == 0
@@ -448,14 +557,24 @@ class RangeSelectionSystem:
                     )
                 except PeerUnavailableError:
                     self.counters.store_failures += 1
+                    store_span.event(
+                        "placement", identifier=identifier, target=target,
+                        primary=primary, outcome="unreachable",
+                    )
                     continue
                 if not primary:
                     self.network.stats.replica_stores += 1
+                store_span.event(
+                    "placement", identifier=identifier, target=target,
+                    primary=primary,
+                    outcome="stored" if stored else "duplicate",
+                )
                 if stored:
                     if primary:
                         new_placements += 1
                     else:
                         self.counters.replica_placements += 1
+        store_span.end(new_placements=new_placements)
         self.counters.stores += 1
         self.counters.placements += new_placements
         return new_placements
@@ -478,6 +597,7 @@ class RangeSelectionSystem:
         attribute: str = SIM_ATTRIBUTE,
         origin: int | None = None,
         padding: float | None = None,
+        trace: QueryTrace | None = None,
     ) -> RangeQueryResult:
         """The full query procedure over a bare range (simulation mode).
 
@@ -486,7 +606,11 @@ class RangeSelectionSystem:
         and storing, exactly as Section 5.2's padded-query experiment does;
         similarity and recall are always reported against the original
         query.
+
+        Pass a trace from :meth:`start_trace` to capture the whole
+        lifecycle; it is ended here with the outcome attributes.
         """
+        trace = trace if trace is not None else NULL_TRACE
         if origin is None:
             origin = self.pick_origin()
         effective_padding = self.config.padding if padding is None else padding
@@ -497,7 +621,12 @@ class RangeSelectionSystem:
                 lower_bound=self.config.domain.low,
                 upper_bound=self.config.domain.high,
             )
-        located = self.locate(hashed_query, relation, attribute, origin=origin)
+            trace.event(
+                "padded", padding=effective_padding, hashed=str(hashed_query)
+            )
+        located = self.locate(
+            hashed_query, relation, attribute, origin=origin, trace=trace
+        )
 
         matched: PartitionDescriptor | None = None
         score = 0.0
@@ -514,6 +643,7 @@ class RangeSelectionSystem:
                 origin=origin,
                 identifiers=list(located.identifiers),
                 owners=list(located.owners),
+                trace=trace,
             )
             stored = True
 
@@ -525,6 +655,16 @@ class RangeSelectionSystem:
             self.counters.exact_hits += 1
         if matched is None:
             self.counters.misses += 1
+        trace.end(
+            matched=str(matched) if matched is not None else None,
+            similarity=similarity,
+            recall=recall,
+            exact=exact,
+            stored=stored,
+            hops=located.overlay_hops,
+            failovers=located.failovers,
+            unreachable=located.unreachable,
+        )
         return RangeQueryResult(
             query=query,
             hashed_query=hashed_query,

@@ -235,7 +235,7 @@ class ChurnRecallExperiment:
             if mode.repair:
                 engine.sim.run_until_complete(repairer.run_round())
 
-        collector = LatencyCollector()
+        collector = LatencyCollector(registry=system.metrics)
         jitter_rng = derive_rng(self.seed, "churn-recall/jitter")
         low, high = self.domain.low, self.domain.high
         for _ in range(self.timed_queries):

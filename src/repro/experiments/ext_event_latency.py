@@ -165,7 +165,7 @@ class EventLatencyExperiment:
         crashed = crash_rng.choice(len(node_ids), size=n_crashed, replace=False)
         for index in crashed:
             engine.crash_peer(node_ids[int(index)])
-        collector = LatencyCollector()
+        collector = LatencyCollector(registry=system.metrics)
         timed = UniformRangeWorkload(self.domain, self.timed_queries, seed=self.seed + 2)
         for query in timed.ranges():
             collector.add(engine.run(query))

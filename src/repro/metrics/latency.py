@@ -16,6 +16,11 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.metrics.report import format_table
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistryBackedCounters,
+    registry_field,
+)
 from repro.sim.query import TimedQueryResult
 
 __all__ = [
@@ -53,10 +58,18 @@ class PhasePercentiles:
 
 
 def phase_percentiles(values: Iterable[float]) -> PhasePercentiles:
-    """Compute :class:`PhasePercentiles` over ``values`` (must be nonempty)."""
+    """Compute :class:`PhasePercentiles` over ``values``.
+
+    An empty sample yields the all-zero ``count=0`` summary rather than
+    raising: a run where every query times out (high crash rates in the
+    churn experiments) must still render its report, with empty phases
+    shown as zero-count rows.
+    """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
-        raise ValueError("cannot summarize an empty sequence")
+        return PhasePercentiles(
+            count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, maximum=0.0
+        )
     return PhasePercentiles(
         count=int(arr.size),
         mean=float(arr.mean()),
@@ -114,33 +127,58 @@ class LatencyHistogram:
         return out
 
 
-@dataclass
-class LatencyCollector:
-    """Accumulates :class:`TimedQueryResult`\\ s into per-phase summaries."""
+class LatencyCollector(RegistryBackedCounters):
+    """Accumulates :class:`TimedQueryResult`\\ s into per-phase summaries.
 
-    phases: dict[str, list[float]] = field(
-        default_factory=lambda: {phase: [] for phase in QUERY_PHASES}
+    Per-phase samples are retained for exact percentile computation, and
+    everything is simultaneously published to a
+    :class:`~repro.obs.MetricsRegistry` — the scalar tallies as
+    ``latency.<field>`` counters (served from the registry, same facade
+    as ``TrafficStats``) and the phase samples as the labeled
+    ``latency.phase_ms`` histogram.  Pass ``registry=system.metrics`` to
+    unify with the system's counters; a standalone collector binds a
+    private registry.
+    """
+
+    SCALAR_FIELDS = (
+        "queries",
+        "chain_timeouts",
+        "failovers",
+        "degraded_queries",
+        "misses",
     )
-    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
-    queries: int = 0
+
+    queries = registry_field("queries")
     #: Individual lookup chains that timed out.
-    chain_timeouts: int = 0
+    chain_timeouts = registry_field("chain_timeouts")
     #: Individual lookup chains answered by a successor-list replica after
     #: the identifier's owner was unreachable.
-    failovers: int = 0
+    failovers = registry_field("failovers")
     #: Queries answered from fewer than ``l`` replies.
-    degraded_queries: int = 0
+    degraded_queries = registry_field("degraded_queries")
     #: Queries that located no partition at all.
-    misses: int = 0
-    recalls: list[float] = field(default_factory=list)
+    misses = registry_field("misses")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._bind(registry, "latency")
+        self.phases: dict[str, list[float]] = {phase: [] for phase in QUERY_PHASES}
+        self.histogram = LatencyHistogram()
+        self.recalls: list[float] = []
+        self._phase_hist = self.registry.histogram(
+            "latency.phase_ms", help="per-phase query latency samples"
+        )
 
     def add(self, result: TimedQueryResult) -> None:
         """Record one event-driven query result."""
-        self.phases["route"].append(result.route_ms)
-        self.phases["match"].append(result.match_ms)
-        self.phases["fetch"].append(result.fetch_ms)
-        self.phases["store"].append(result.store_ms)
-        self.phases["total"].append(result.total_ms)
+        for phase, value in (
+            ("route", result.route_ms),
+            ("match", result.match_ms),
+            ("fetch", result.fetch_ms),
+            ("store", result.store_ms),
+            ("total", result.total_ms),
+        ):
+            self.phases[phase].append(value)
+            self._phase_hist.observe(value, phase=phase)
         self.histogram.add(result.total_ms)
         self.queries += 1
         self.chain_timeouts += result.timeouts
@@ -152,11 +190,14 @@ class LatencyCollector:
         self.recalls.append(result.recall)
 
     def phase_summary(self) -> dict[str, PhasePercentiles]:
-        """Per-phase percentiles over all recorded queries."""
+        """Per-phase percentiles over all recorded queries.
+
+        Every phase is present; one with no samples yet summarizes as a
+        ``count=0`` row (see :func:`phase_percentiles`).
+        """
         return {
             phase: phase_percentiles(values)
             for phase, values in self.phases.items()
-            if values
         }
 
     def mean_recall(self) -> float:

@@ -2,42 +2,68 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.errors import PeerUnavailableError, UnknownPeerError
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistryBackedCounters,
+    registry_field,
+)
 
 __all__ = ["SimulatedNetwork", "TrafficStats"]
 
 Handler = Callable[[Message], Any]
 
 
-@dataclass
-class TrafficStats:
-    """Counters the transport maintains as messages flow."""
+class TrafficStats(RegistryBackedCounters):
+    """Counters the transport maintains as messages flow.
 
-    messages: int = 0
-    bytes: int = 0
-    latency_ms: float = 0.0
+    The attribute API is unchanged from the old dataclass, but every
+    field is now served from a :class:`~repro.obs.MetricsRegistry`
+    counter (``<namespace>.<field>``), so the transport's accounting
+    shows up in the system's unified metric exports.  A standalone
+    ``TrafficStats()`` binds a private registry.
+    """
+
+    SCALAR_FIELDS = (
+        "messages",
+        "bytes",
+        "latency_ms",
+        "drops",
+        "timeouts",
+        "retries",
+        "failovers",
+        "failover_exhausted",
+        "replica_stores",
+    )
+
+    messages = registry_field("messages")
+    bytes = registry_field("bytes")
+    latency_ms = registry_field("latency_ms")
     #: Messages lost in flight (event-driven transport only).
-    drops: int = 0
+    drops = registry_field("drops")
     #: Requests whose retry budget was exhausted (event-driven transport only).
-    timeouts: int = 0
+    timeouts = registry_field("timeouts")
     #: Re-sends after an unanswered attempt (event-driven transport only).
-    retries: int = 0
+    retries = registry_field("retries")
     #: Lookups answered by a successor-list replica after the identifier's
     #: owner was unreachable.
-    failovers: int = 0
+    failovers = registry_field("failovers")
     #: Lookups that exhausted every replica without an answer.
-    failover_exhausted: int = 0
+    failover_exhausted = registry_field("failover_exhausted")
     #: Store placements addressed to non-primary replicas.
-    replica_stores: int = 0
-    by_kind: dict[str, int] = field(default_factory=lambda: defaultdict(int))
-    sent_by_peer: dict[int, int] = field(default_factory=lambda: defaultdict(int))
-    received_by_peer: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    replica_stores = registry_field("replica_stores")
+
+    def __init__(
+        self, registry: MetricsRegistry | None = None, namespace: str = "net"
+    ) -> None:
+        self._bind(registry, namespace)
+        self.by_kind = self._labeled("messages_by_kind", "kind")
+        self.sent_by_peer = self._labeled("sent_by_peer", "peer")
+        self.received_by_peer = self._labeled("received_by_peer", "peer")
 
     def record(self, message: Message, latency_ms: float) -> None:
         """Account for one delivered message."""
@@ -94,11 +120,15 @@ class SimulatedNetwork:
     sites while every message is still counted.
     """
 
-    def __init__(self, latency: LatencyModel | None = None) -> None:
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._handlers: dict[int, Handler] = {}
         self._crashed: set[int] = set()
         self.latency = latency if latency is not None else ConstantLatency()
-        self.stats = TrafficStats()
+        self.stats = TrafficStats(registry=registry)
 
     def register(self, peer_id: int, handler: Handler) -> None:
         """Attach ``handler`` for messages addressed to ``peer_id``."""

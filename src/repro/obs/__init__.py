@@ -1,0 +1,39 @@
+"""Observability: query-lifecycle tracing and the unified metrics registry.
+
+``repro.obs`` is the one place per-query cost becomes visible.  The
+:class:`QueryTrace` records a single query end to end — group hashing,
+each of the ``l`` lookup chains hop by hop, match scores, failovers,
+retries and the store-on-miss fan-out — on both the synchronous
+(:mod:`repro.core.system`) and event-driven (:mod:`repro.sim.query`)
+paths.  The :class:`MetricsRegistry` unifies the formerly disjoint
+counter objects (``TrafficStats``, ``SystemCounters``,
+``LatencyCollector``) behind one export surface: JSON/JSONL dumps and
+the ``repro metrics`` CLI report.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    HistogramMetric,
+    LabeledCounterDict,
+    MetricsRegistry,
+    RegistryBackedCounters,
+    registry_field,
+    write_jsonl,
+)
+from repro.obs.trace import NULL_TRACE, QueryTrace, Span, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "LabeledCounterDict",
+    "MetricsRegistry",
+    "RegistryBackedCounters",
+    "registry_field",
+    "write_jsonl",
+    "NULL_TRACE",
+    "QueryTrace",
+    "Span",
+    "TraceEvent",
+]

@@ -23,6 +23,7 @@ from repro.errors import RequestTimeoutError, UnknownPeerError
 from repro.net.latency import LatencyModel, SeededLatency
 from repro.net.message import Message
 from repro.net.transport import TrafficStats
+from repro.obs.registry import MetricsRegistry
 from repro.sim.faults import FaultInjector
 from repro.sim.futures import SimFuture
 from repro.sim.kernel import Simulator
@@ -76,11 +77,15 @@ class AsyncNetwork:
         latency: LatencyModel | None = None,
         drop_probability: float = 0.0,
         seed: int = 0,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         self.sim = sim
         self.latency = latency if latency is not None else SeededLatency(seed=seed)
         self.faults = FaultInjector(drop_probability, seed=seed)
-        self.stats = TrafficStats()
+        # Namespaced apart from the synchronous transport's "net.*" so a
+        # system running both keeps the two accountings distinct in one
+        # shared registry.
+        self.stats = TrafficStats(registry=registry, namespace="sim.net")
         self._handlers: dict[int, Handler] = {}
 
     # -- membership (mirrors SimulatedNetwork) -------------------------
@@ -188,6 +193,7 @@ class AsyncNetwork:
         size_bytes: int = 64,
         reply_size_bytes: int = 64,
         policy: RetryPolicy | None = None,
+        observer: Callable[[str, dict], None] | None = None,
     ) -> SimFuture[Any]:
         """A reliable-ish exchange: :meth:`send` under a retry schedule.
 
@@ -195,13 +201,25 @@ class AsyncNetwork:
         attempts count); rejects with
         :class:`~repro.errors.RequestTimeoutError` when every attempt's
         patience runs out.
+
+        ``observer(name, attrs)`` — when given — is called at each
+        lifecycle step, at the virtual time it happens: ``send`` per
+        attempt launched, ``retry`` when a timed-out attempt re-sends,
+        ``reply`` when the winning reply lands, ``timeout`` when the
+        request as a whole gives up.  The tracing layer maps these onto
+        span events.
         """
         policy = policy if policy is not None else RetryPolicy()
         out: SimFuture[Any] = SimFuture()
         started = self.sim.now
         attempt_no = 0
 
+        def notify(name: str, **attrs) -> None:
+            if observer is not None:
+                observer(name, attrs)
+
         def launch_attempt() -> None:
+            notify("send", attempt=attempt_no, to=recipient, kind=kind)
             inner = self.send(
                 sender,
                 recipient,
@@ -219,6 +237,7 @@ class AsyncNetwork:
                 if settled.failed:
                     out.reject(settled.exception())  # type: ignore[arg-type]
                 else:
+                    notify("reply", ms=self.sim.now - started)
                     out.resolve(settled.result())
 
             inner.add_done_callback(on_reply)
@@ -230,6 +249,11 @@ class AsyncNetwork:
             attempt_no += 1
             if attempt_no >= policy.total_attempts:
                 self.stats.timeouts += 1
+                notify(
+                    "timeout",
+                    attempts=attempt_no,
+                    waited_ms=self.sim.now - started,
+                )
                 out.reject(
                     RequestTimeoutError(
                         recipient, attempt_no, self.sim.now - started
@@ -237,6 +261,7 @@ class AsyncNetwork:
                 )
             else:
                 self.stats.retries += 1
+                notify("retry", attempt=attempt_no)
                 launch_attempt()
 
         launch_attempt()

@@ -31,6 +31,8 @@ from repro.core.system import (
 )
 from repro.db.partition import Partition, PartitionDescriptor
 from repro.net.latency import LatencyModel, SeededLatency
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACE, QueryTrace, Span
 from repro.ranges.interval import IntRange
 from repro.sim.futures import SimFuture, gather
 from repro.sim.kernel import Simulator
@@ -118,6 +120,7 @@ class AsyncQueryEngine:
         failover_policy: RetryPolicy | None = None,
         seed: int | None = None,
         fetch_rows: bool = False,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.system = system
         self.sim = sim if sim is not None else Simulator()
@@ -125,8 +128,14 @@ class AsyncQueryEngine:
             seed = system.config.seed
         if latency is None:
             latency = SeededLatency(seed=seed)
+        # The engine's transport publishes into the system's unified
+        # registry (as "sim.net.*") unless told otherwise.
         self.net = AsyncNetwork(
-            self.sim, latency=latency, drop_probability=drop_probability, seed=seed
+            self.sim,
+            latency=latency,
+            drop_probability=drop_probability,
+            seed=seed,
+            registry=registry if registry is not None else system.metrics,
         )
         self.policy = policy if policy is not None else RetryPolicy()
         #: Budget for each *failover* attempt down the successor list.  The
@@ -164,6 +173,19 @@ class AsyncQueryEngine:
 
     # -- the query procedure -------------------------------------------
 
+    def start_trace(self, query: IntRange | None = None, **attrs) -> QueryTrace:
+        """A :class:`~repro.obs.QueryTrace` on the simulator's clock.
+
+        Timestamps are virtual milliseconds (``sim.now``), so span
+        durations line up with the phase timings of
+        :class:`TimedQueryResult`.  Pass the trace to :meth:`query` /
+        :meth:`run`.
+        """
+        if query is not None:
+            attrs.setdefault("query", str(query))
+        attrs.setdefault("path", "sim")
+        return QueryTrace(clock=lambda: self.sim.now, **attrs)
+
     def query(
         self,
         query: IntRange,
@@ -171,12 +193,17 @@ class AsyncQueryEngine:
         attribute: str = SIM_ATTRIBUTE,
         origin: int | None = None,
         padding: float | None = None,
+        trace: QueryTrace | None = None,
     ) -> SimFuture[TimedQueryResult]:
         """Schedule one full query; resolves when all phases finish.
 
         Drive the simulator (``engine.sim.run()`` or :meth:`run`) to make
-        virtual time pass.
+        virtual time pass.  A ``trace`` (from :meth:`start_trace`) records
+        the whole lifecycle — every chain's route hops, each replica
+        attempt with its retries/timeouts, the store fan-out — with events
+        timestamped at the virtual instant they happen.
         """
+        trace = trace if trace is not None else NULL_TRACE
         system = self.system
         config = system.config
         if origin is None:
@@ -189,17 +216,32 @@ class AsyncQueryEngine:
                 lower_bound=config.domain.low,
                 upper_bound=config.domain.high,
             )
+            trace.event(
+                "padded", padding=effective_padding, hashed=str(hashed_query)
+            )
         started = self.sim.now
-        identifiers = system.identifiers_for(hashed_query)
+        with trace.span("hash") as hash_span:
+            identifiers = system.identifiers_for(hashed_query)
+            for group, identifier in enumerate(identifiers):
+                hash_span.event(
+                    "group",
+                    group=group,
+                    identifier=identifier,
+                    placed=system.place_identifier(identifier),
+                )
+        locate_span = trace.span("locate", origin=origin)
         chain_futures = [
-            self._run_chain(origin, identifier, hashed_query, relation, attribute, started)
+            self._run_chain(
+                origin, identifier, hashed_query, relation, attribute,
+                started, parent=locate_span,
+            )
             for identifier in identifiers
         ]
         out: SimFuture[TimedQueryResult] = SimFuture()
         gather(chain_futures).add_done_callback(
             lambda settled: self._after_locate(
                 settled.result(), query, hashed_query, relation, attribute,
-                origin, started, out,
+                origin, started, out, trace, locate_span,
             )
         )
         return out
@@ -211,9 +253,13 @@ class AsyncQueryEngine:
         attribute: str = SIM_ATTRIBUTE,
         origin: int | None = None,
         padding: float | None = None,
+        trace: QueryTrace | None = None,
     ) -> TimedQueryResult:
         """Convenience: schedule one query and drive the clock to its end."""
-        future = self.query(query, relation, attribute, origin=origin, padding=padding)
+        future = self.query(
+            query, relation, attribute, origin=origin, padding=padding,
+            trace=trace,
+        )
         return self.sim.run_until_complete(future)
 
     # -- internals -----------------------------------------------------
@@ -226,6 +272,7 @@ class AsyncQueryEngine:
         relation: str,
         attribute: str,
         started: float,
+        parent: "Span | None" = None,
     ) -> SimFuture[ChainOutcome]:
         """One identifier: hop along the overlay path, then ask the owner —
         failing over down the successor list when the owner times out.
@@ -242,12 +289,18 @@ class AsyncQueryEngine:
         sim = self.sim
         net = self.net
         system = self.system
+        parent = parent if parent is not None else NULL_TRACE
+        placed = system.place_identifier(identifier)
+        via_edges: list[tuple[int, int, str]] = []
         path = system.router.route(
-            system.place_identifier(identifier), start_id=origin
+            placed,
+            start_id=origin,
+            recorder=lambda f, t, via: via_edges.append((f, t, via)),
         )
         owner = path[-1]
         hops = len(path) - 1
         edges = list(zip(path, path[1:]))
+        span = parent.span("chain", identifier=identifier, placed=placed)
         chain: SimFuture[ChainOutcome] = SimFuture()
 
         def finish(
@@ -256,6 +309,13 @@ class AsyncQueryEngine:
             timed_out: bool,
             failovers: int,
         ) -> None:
+            span.end(
+                owner=owner,
+                hops=hops,
+                timed_out=timed_out,
+                failovers=failovers,
+                answered_by=reply.peer_id if reply is not None else None,
+            )
             chain.resolve(
                 ChainOutcome(
                     identifier=identifier,
@@ -281,21 +341,31 @@ class AsyncQueryEngine:
                 if index >= len(candidates):
                     net.stats.failover_exhausted += 1
                     system.counters.failed_lookups += 1
+                    span.event("unreachable", candidates=len(candidates))
                     finish(None, route_ms, timed_out=True, failovers=index - 1)
                     return
                 candidate = candidates[index]
+                span.event("attempt", peer=candidate, rank=index)
                 request = net.request(
                     origin,
                     candidate,
                     "match-request",
                     payload=(identifier, hashed_query, relation, attribute),
                     policy=self.policy if index == 0 else self.failover_policy,
+                    observer=lambda name, attrs: span.event(
+                        f"net-{name}", peer=candidate, **attrs
+                    ),
                 )
 
                 def on_done(settled: SimFuture) -> None:
                     if settled.failed:
                         next_index = index + 1
                         if next_index < len(candidates):
+                            span.event(
+                                "failover",
+                                source=candidate,
+                                target=candidates[next_index],
+                            )
                             # One successor-pointer hop to the next replica.
                             delay = net.latency.sample_ms(
                                 candidate, candidates[next_index]
@@ -314,6 +384,16 @@ class AsyncQueryEngine:
                     else:
                         descriptor, score = answer
                         reply = MatchReply(candidate, identifier, descriptor, score)
+                    span.event(
+                        "match-reply",
+                        peer=candidate,
+                        score=reply.score,
+                        descriptor=(
+                            str(reply.descriptor)
+                            if reply.descriptor is not None
+                            else None
+                        ),
+                    )
                     finish(reply, route_ms, timed_out=False, failovers=index)
 
                 request.add_done_callback(on_done)
@@ -325,9 +405,20 @@ class AsyncQueryEngine:
                 ask_replicas()
                 return
             hop_from, hop_to = edges[edge_index]
+            via = via_edges[edge_index][2] if edge_index < len(via_edges) else "?"
             delay = net.latency.sample_ms(hop_from, hop_to)
             net.stats.record_routing_hops(1, latency_ms=delay)
-            sim.call_later(delay, lambda: advance(edge_index + 1))
+
+            def arrive() -> None:
+                # Emitted on arrival, so the event's timestamp is the
+                # virtual instant the hop completed.
+                span.event(
+                    "route-hop", source=hop_from, target=hop_to, via=via,
+                    delay_ms=delay,
+                )
+                advance(edge_index + 1)
+
+            sim.call_later(delay, arrive)
 
         advance(0)
         return chain
@@ -342,9 +433,13 @@ class AsyncQueryEngine:
         origin: int,
         started: float,
         out: SimFuture[TimedQueryResult],
+        trace: "QueryTrace | None" = None,
+        locate_span: "Span | None" = None,
     ) -> None:
         sim = self.sim
         config = self.system.config
+        trace = trace if trace is not None else NULL_TRACE
+        locate_span = locate_span if locate_span is not None else NULL_TRACE
         locate_done = sim.now
         locate_ms = locate_done - started
         route_ms = max((c.route_ms for c in chains), default=0.0)
@@ -364,6 +459,13 @@ class AsyncQueryEngine:
         matched = best.descriptor if best is not None else None
         matcher_score = best.score if best is not None else 0.0
         exact = matched is not None and matched.range == hashed_query
+        locate_span.end(
+            hops=sum(c.hops for c in chains),
+            timeouts=timeouts,
+            failovers=failovers,
+            best_score=matcher_score if best is not None else None,
+            best_peer=best.peer_id if best is not None else None,
+        )
 
         def finish(
             fetched: Partition | None,
@@ -372,13 +474,26 @@ class AsyncQueryEngine:
             store_failures: int,
             store_ms: float,
         ) -> None:
+            similarity = matched.jaccard_to(query) if matched is not None else 0.0
+            recall = matched.containment_of(query) if matched is not None else 0.0
+            trace.end(
+                matched=str(matched) if matched is not None else None,
+                similarity=similarity,
+                recall=recall,
+                exact=exact,
+                stored=stored,
+                hops=sum(c.hops for c in chains),
+                timeouts=timeouts,
+                failovers=failovers,
+                total_ms=sim.now - started,
+            )
             out.resolve(
                 TimedQueryResult(
                     query=query,
                     hashed_query=hashed_query,
                     matched=matched,
-                    similarity=matched.jaccard_to(query) if matched is not None else 0.0,
-                    recall=matched.containment_of(query) if matched is not None else 0.0,
+                    similarity=similarity,
+                    recall=recall,
                     matcher_score=matcher_score,
                     exact=exact,
                     stored=stored,
@@ -402,6 +517,7 @@ class AsyncQueryEngine:
                 return
             store_started = sim.now
             descriptor = PartitionDescriptor(relation, attribute, hashed_query)
+            store_span = trace.span("store", descriptor=str(descriptor))
             placements = []
             for c in chains:
                 for rank, target in enumerate(
@@ -410,6 +526,12 @@ class AsyncQueryEngine:
                     primary = rank == 0
                     if not primary:
                         self.net.stats.replica_stores += 1
+                    store_span.event(
+                        "placement",
+                        identifier=c.identifier,
+                        target=target,
+                        primary=primary,
+                    )
                     placements.append(
                         self.net.request(
                             origin,
@@ -423,6 +545,9 @@ class AsyncQueryEngine:
             def on_stored(settled: SimFuture) -> None:
                 outcomes = settled.result()
                 failures = sum(1 for o in outcomes if isinstance(o, Exception))
+                store_span.end(
+                    placements=len(outcomes) - failures, failures=failures
+                )
                 finish(
                     fetched,
                     fetch_ms,
@@ -435,6 +560,9 @@ class AsyncQueryEngine:
 
         if self.fetch_rows and best is not None:
             fetch_started = sim.now
+            fetch_span = trace.span(
+                "fetch", peer=best.peer_id, descriptor=str(best.descriptor)
+            )
             fetch = self.net.request(
                 origin,
                 best.peer_id,
@@ -445,6 +573,7 @@ class AsyncQueryEngine:
 
             def on_fetched(settled: SimFuture) -> None:
                 fetched = None if settled.failed else settled.result()
+                fetch_span.end(ok=not settled.failed)
                 store_phase(fetched, sim.now - fetch_started)
 
             fetch.add_done_callback(on_fetched)

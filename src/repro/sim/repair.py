@@ -18,8 +18,11 @@ degradation the replicated configurations are measured against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
+from repro.obs.registry import (
+    MetricsRegistry,
+    RegistryBackedCounters,
+    registry_field,
+)
 from repro.sim.futures import SimFuture, gather
 from repro.sim.network import RetryPolicy
 from repro.sim.query import AsyncQueryEngine
@@ -27,19 +30,39 @@ from repro.sim.query import AsyncQueryEngine
 __all__ = ["ReplicaRepairer", "RepairStats"]
 
 
-@dataclass
-class RepairStats:
-    """Running totals across repair rounds."""
+class RepairStats(RegistryBackedCounters):
+    """Running totals across repair rounds.
 
-    rounds: int = 0
+    Served from a :class:`~repro.obs.MetricsRegistry` as ``repair.*``
+    counters; the repairer binds its engine's system registry so repair
+    activity appears in the unified metric exports.
+    """
+
+    SCALAR_FIELDS = ("rounds", "copies_created", "copy_failures", "unrepairable")
+
+    rounds = registry_field("rounds")
     #: Copies successfully re-replicated onto alive successors.
-    copies_created: int = 0
+    copies_created = registry_field("copies_created")
     #: Copy attempts whose target never answered (crashed mid-round).
-    copy_failures: int = 0
+    copy_failures = registry_field("copy_failures")
     #: Deficits seen whose identifier had no alive holder left, summed
     #: over rounds (the same lost identifier counts every round it is
     #: observed — this measures exposure, not unique losses).
-    unrepairable: int = 0
+    unrepairable = registry_field("unrepairable")
+
+    def __init__(
+        self,
+        rounds: int = 0,
+        copies_created: int = 0,
+        copy_failures: int = 0,
+        unrepairable: int = 0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self._bind(registry, "repair")
+        self.rounds = rounds
+        self.copies_created = copies_created
+        self.copy_failures = copy_failures
+        self.unrepairable = unrepairable
 
     def describe(self) -> str:
         """One-line summary for reports."""
@@ -73,7 +96,7 @@ class ReplicaRepairer:
         self.engine = engine
         self.interval_ms = interval_ms
         self.policy = policy if policy is not None else engine.policy
-        self.stats = RepairStats()
+        self.stats = RepairStats(registry=engine.system.metrics)
         self._timer = None
         self._running = False
 

@@ -52,6 +52,10 @@ class Bucket:
 
         Returns True when the entry was newly stored.  Re-adding an existing
         descriptor *with* rows upgrades a descriptor-only entry in place.
+        A re-add also refreshes the entry's ``access_clock`` — a
+        re-stored partition is recent activity, and keeping the stale
+        timestamp would leave the upgraded entry first in line for LRU
+        eviction.
         """
         existing = self._entries.get(entry.descriptor)
         if existing is not None:
@@ -59,6 +63,7 @@ class Bucket:
                 existing.partition = entry.partition
             if entry.primary:
                 existing.primary = True
+            existing.access_clock = max(existing.access_clock, entry.access_clock)
             return False
         self._entries[entry.descriptor] = entry
         return True

@@ -186,3 +186,73 @@ class TestPrimaryReplicaRoles:
         store.store(1, desc(0, 10), primary=False)
         (_, entry), = store.entries()
         assert entry.primary
+
+
+class TestUpgradeRefreshesRecency:
+    def test_readd_refreshes_access_clock(self):
+        # Regression: re-adding an existing descriptor upgraded the entry
+        # in place but kept the stale access_clock, leaving the re-stored
+        # entry first in line for LRU eviction.
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        store.store(1, desc(0, 10))          # clock 1
+        store.store(2, desc(100, 110))       # clock 2
+        store.store(1, desc(0, 10))          # re-add: refresh to clock 3
+        store.store(3, desc(200, 210))       # forces one eviction
+        remaining = {entry.descriptor for _, entry in store.entries()}
+        assert desc(0, 10) in remaining
+        assert desc(100, 110) not in remaining
+
+    def test_readd_with_rows_keeps_upgraded_entry_warm(self):
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        store.store(1, desc(0, 10))
+        store.store(2, desc(100, 110))
+        partition = Partition(descriptor=desc(0, 10), rows=((1,),))
+        store.store(1, desc(0, 10), partition=partition)
+        store.store(3, desc(200, 210))
+        survivors = {e.descriptor: e for _, e in store.entries()}
+        assert desc(0, 10) in survivors
+        assert survivors[desc(0, 10)].partition is partition
+
+    def test_readd_never_rewinds_clock(self):
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 10), access_clock=9))
+        bucket.add(StoredEntry(desc(0, 10), access_clock=4))
+        assert bucket.get(desc(0, 10)).access_clock == 9
+
+
+class TestBestMatchTieBreak:
+    def test_exact_beats_equal_scoring_rival_regardless_of_order(self):
+        # A constant scorer forces a genuine tie; the exact descriptor
+        # must win whether it was inserted before or after its rival.
+        constant = lambda q, d: 0.5  # noqa: E731
+        query = IntRange(10, 20)
+        first = Bucket(7)
+        first.add(StoredEntry(desc(10, 20)))
+        first.add(StoredEntry(desc(0, 100)))
+        assert first.best_match(query, "R", "value", constant)[0].descriptor.range == query
+        second = Bucket(7)
+        second.add(StoredEntry(desc(0, 100)))
+        second.add(StoredEntry(desc(10, 20)))
+        assert second.best_match(query, "R", "value", constant)[0].descriptor.range == query
+
+    def test_tie_between_inexact_entries_keeps_first_seen(self):
+        constant = lambda q, d: 0.5  # noqa: E731
+        bucket = Bucket(7)
+        bucket.add(StoredEntry(desc(0, 50)))
+        bucket.add(StoredEntry(desc(50, 100)))
+        best = bucket.best_match(IntRange(20, 30), "R", "value", constant)
+        assert best[0].descriptor == desc(0, 50)
+
+
+class TestEvictionAfterPromotion:
+    def test_promoted_replica_outranks_newer_replica(self):
+        # A replica promoted to primary must gain the primary's eviction
+        # protection even though its access_clock is the oldest.
+        store = PeerStore(1, eviction=LRUEviction(max_partitions=2))
+        store.store(1, desc(0, 10), primary=False)
+        store.store(1, desc(0, 10), primary=True)   # promotion in place
+        store.store(2, desc(100, 110), primary=False)
+        store.store(3, desc(200, 210), primary=False)
+        survivors = {e.descriptor: e for _, e in store.entries()}
+        assert desc(0, 10) in survivors
+        assert survivors[desc(0, 10)].primary
