@@ -1,0 +1,50 @@
+"""Extension — ring health under churn: sampler, auditor and skew cost.
+
+Asserts the health-telemetry shapes: the unreplicated system ends churn
+with critical audit findings (lost identifiers), ``r = 3`` without repair
+carries a persistent replica deficit visible in the sampled time series,
+and ``r = 3`` with anti-entropy repair converges back to a deficit-free,
+violation-free state.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_health_churn import HealthChurnExperiment
+
+
+def _make(scale: str) -> HealthChurnExperiment:
+    return (
+        HealthChurnExperiment.paper()
+        if scale == "paper"
+        else HealthChurnExperiment.quick()
+    )
+
+
+def test_ext_health_churn(benchmark, scale, emit):
+    experiment = _make(scale)
+    outcome = run_once(benchmark, lambda: experiment.run())
+    emit("ext_health_churn", outcome.report())
+
+    unreplicated = outcome.cell("r=1")
+    replicated = outcome.cell("r=3")
+    repaired = outcome.cell("r=3+repair")
+    benchmark.extra_info["unreplicated_critical"] = unreplicated.critical_findings
+    benchmark.extra_info["replicated_final_deficit"] = replicated.final_deficit
+    benchmark.extra_info["repaired_final_deficit"] = repaired.final_deficit
+
+    # Every mode's sampler saw the whole run.
+    for cell in outcome.cells:
+        assert cell.samples > 2
+        assert cell.queries > 0
+    # Unreplicated: crashed owners take the only copy with them.
+    assert unreplicated.critical_findings > 0
+    # Replicated, no repair: the deficit persists to the end of the run.
+    assert replicated.final_deficit > 0
+    assert replicated.peak_deficit >= replicated.final_deficit
+    # Replicated + repaired: the deficit spiked during churn and healed.
+    assert repaired.peak_deficit > 0
+    assert repaired.final_deficit == 0
+    assert repaired.critical_findings == 0
+    assert repaired.warning_findings == 0

@@ -265,13 +265,20 @@ class CanOverlay:
     # Diagnostics
     # ------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        """Raise when zones fail to tile the space or neighbours are wrong."""
+    def audit(self) -> list[tuple[str, int, str]]:
+        """Walk the zone tiling and neighbour sets, collecting violations.
+
+        Returns ``(check, node_id, message)`` tuples — empty when zones
+        tile the space exactly and neighbour sets are symmetric and
+        current.  This is the walk the health auditor runs;
+        :meth:`check_invariants` raises on the first finding instead.
+        """
+        findings: list[tuple[str, int, str]] = []
         total = sum(node.total_volume() for node in self._nodes.values())
         space = RESOLUTION**self.dimensions
         if total != space:
-            raise ChordError(
-                f"zones cover volume {total}, space has {space}"
+            findings.append(
+                ("zone-coverage", -1, f"zones cover volume {total}, space has {space}")
             )
         zones = [
             (nid, zone)
@@ -285,12 +292,32 @@ class CanOverlay:
                     for ax in range(self.dimensions)
                 )
                 if overlap:
-                    raise ChordError(
-                        f"zones of {nid_a} and {nid_b} overlap: {a} vs {b}"
+                    findings.append(
+                        (
+                            "zone-overlap",
+                            nid_a,
+                            f"zones of {nid_a} and {nid_b} overlap: {a} vs {b}",
+                        )
                     )
         for nid, node in self._nodes.items():
             for other in node.neighbor_ids:
                 if other not in self._nodes:
-                    raise ChordError(f"{nid} lists departed neighbour {other}")
-                if nid not in self._nodes[other].neighbor_ids:
-                    raise ChordError(f"neighbour sets asymmetric: {nid}/{other}")
+                    findings.append(
+                        ("neighbor-liveness", nid, f"lists departed neighbour {other}")
+                    )
+                elif nid not in self._nodes[other].neighbor_ids:
+                    findings.append(
+                        (
+                            "neighbor-symmetry",
+                            nid,
+                            f"neighbour sets asymmetric: {nid}/{other}",
+                        )
+                    )
+        return findings
+
+    def check_invariants(self) -> None:
+        """Raise when zones fail to tile the space or neighbours are wrong."""
+        findings = self.audit()
+        if findings:
+            _check, _node_id, message = findings[0]
+            raise ChordError(message)

@@ -487,32 +487,89 @@ class ChordRing:
     # Diagnostics
     # ------------------------------------------------------------------
 
-    def check_invariants(self) -> None:
-        """Raise :class:`ChordError` if routing state is globally inconsistent."""
+    def audit(self) -> list[tuple[str, int, str]]:
+        """Walk every node's routing state and collect invariant violations.
+
+        Returns ``(check, node_id, message)`` tuples — empty when the ring
+        is globally consistent.  Checks, per node: the successor pointer
+        matches ring order, the successor's predecessor agrees (mutual
+        agreement), the successor list equals the converged ground truth,
+        and every finger entry both targets a live member and is the true
+        successor of its finger start (reachability + correctness).  This
+        is the walk the health auditor runs; :meth:`check_invariants`
+        raises on the first finding instead.
+        """
+        findings: list[tuple[str, int, str]] = []
         ids = self._sorted_ids
         n = len(ids)
         for index, node_id in enumerate(ids):
             node = self._nodes[node_id]
             expected_succ = ids[(index + 1) % n]
             if node.successor_id != expected_succ:
-                raise ChordError(
-                    f"node {node_id} successor {node.successor_id} != {expected_succ}"
+                findings.append(
+                    (
+                        "successor",
+                        node_id,
+                        f"successor {node.successor_id} != {expected_succ}",
+                    )
                 )
             expected_pred = ids[index - 1]
             if node.predecessor_id != expected_pred:
-                raise ChordError(
-                    f"node {node_id} predecessor {node.predecessor_id} != {expected_pred}"
+                findings.append(
+                    (
+                        "predecessor",
+                        node_id,
+                        f"predecessor {node.predecessor_id} != {expected_pred}",
+                    )
+                )
+            if (
+                node.successor_id is not None
+                and node.successor_id in self._nodes
+                and self._nodes[node.successor_id].predecessor_id != node_id
+            ):
+                findings.append(
+                    (
+                        "successor-agreement",
+                        node_id,
+                        f"successor {node.successor_id} names "
+                        f"{self._nodes[node.successor_id].predecessor_id} as "
+                        "predecessor",
+                    )
                 )
             expected_list = self._static_successor_list(index)
             if node.successor_list != expected_list:
-                raise ChordError(
-                    f"node {node_id} successor list {node.successor_list} != "
-                    f"{expected_list}"
+                findings.append(
+                    (
+                        "successor-list",
+                        node_id,
+                        f"successor list {node.successor_list} != {expected_list}",
+                    )
                 )
             for i, finger_id in enumerate(node.fingers):
+                if finger_id is not None and finger_id not in self._nodes:
+                    findings.append(
+                        (
+                            "finger-reachability",
+                            node_id,
+                            f"finger {i} targets departed node {finger_id}",
+                        )
+                    )
+                    continue
                 start = self.space.finger_start(node_id, i)
                 if finger_id != self.successor_of(start):
-                    raise ChordError(
-                        f"node {node_id} finger {i} is {finger_id}, "
-                        f"expected {self.successor_of(start)}"
+                    findings.append(
+                        (
+                            "finger",
+                            node_id,
+                            f"finger {i} is {finger_id}, expected "
+                            f"{self.successor_of(start)}",
+                        )
                     )
+        return findings
+
+    def check_invariants(self) -> None:
+        """Raise :class:`ChordError` if routing state is globally inconsistent."""
+        findings = self.audit()
+        if findings:
+            _check, node_id, message = findings[0]
+            raise ChordError(f"node {node_id} {message}")

@@ -36,6 +36,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Approximate range selection queries in P2P systems "
         "(CIDR 2003 reproduction)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log subsystem activity to stderr (-v info, -vv debug)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="run the quickstart scenario")
@@ -114,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = repair off)",
     )
     simulate.add_argument(
+        "--overlay",
+        choices=("chord", "can"),
+        default="chord",
+        help="DHT overlay (replication and repair require chord)",
+    )
+    simulate.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
@@ -124,6 +137,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the unified metrics-registry report after the run",
+    )
+    simulate.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="sample per-node health gauges every MS of virtual time "
+        "(0 = sampling off)",
+    )
+    simulate.add_argument(
+        "--health",
+        action="store_true",
+        help="print the health report (audit + load skew) after the run",
     )
 
     metrics = sub.add_parser(
@@ -137,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas", type=int, default=1, help="replication factor r"
     )
     metrics.add_argument(
+        "--overlay",
+        choices=("chord", "can"),
+        default="chord",
+        help="DHT overlay (replication requires chord)",
+    )
+    metrics.add_argument(
         "--json",
         metavar="FILE",
         default=None,
@@ -147,6 +179,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="also write one JSON document per metric to FILE",
+    )
+
+    health = sub.add_parser(
+        "health",
+        help="audit overlay invariants and report per-node load skew",
+    )
+    health.add_argument("--peers", type=int, default=200)
+    health.add_argument(
+        "--queries",
+        type=int,
+        default=100,
+        help="warmup queries that populate the buckets before the audit",
+    )
+    health.add_argument("--seed", type=int, default=7)
+    health.add_argument(
+        "--replicas", type=int, default=1, help="replication factor r"
+    )
+    health.add_argument(
+        "--overlay",
+        choices=("chord", "can"),
+        default="chord",
+        help="DHT overlay (replication requires chord)",
+    )
+    health.add_argument(
+        "--crash",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="crash this fraction of peers before the final audit [0, 1)",
+    )
+    health.add_argument(
+        "--repair",
+        action="store_true",
+        help="run a synchronous repair pass after crashing and re-audit",
+    )
+    health.add_argument(
+        "--top", type=int, default=5, help="hot identifiers to rank"
+    )
+    health.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the health report and metrics snapshot as JSON to FILE",
+    )
+    health.add_argument(
+        "--jsonl",
+        metavar="FILE",
+        default=None,
+        help="write one JSON document per metric plus the health report "
+        "to FILE",
     )
 
     experiments = sub.add_parser(
@@ -225,8 +307,15 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         raise ReproError("--latency-ms needs 0 <= LOW <= HIGH")
     if args.repair_interval < 0:
         raise ReproError("--repair-interval cannot be negative")
+    if args.sample_interval < 0:
+        raise ReproError("--sample-interval cannot be negative")
+    if args.overlay == "can" and args.repair_interval > 0:
+        raise ReproError("--repair-interval requires the chord overlay")
     config = SystemConfig(
-        n_peers=args.peers, seed=args.seed, replicas=args.replicas
+        n_peers=args.peers,
+        seed=args.seed,
+        replicas=args.replicas,
+        overlay=args.overlay,
     )
     system = RangeSelectionSystem(config)
     print(f"system: {config.describe()}", file=out)
@@ -260,6 +349,18 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         # virtual clock while the timed queries drive it.
         engine.sim.run_until_complete(repairer.run_round())
         repairer.start()
+    sampler = None
+    if args.sample_interval > 0:
+        from repro.obs.health import TelemetrySampler
+
+        sampler = TelemetrySampler(
+            system,
+            sim=engine.sim,
+            is_alive=engine.net.is_alive,
+            interval_ms=args.sample_interval,
+        )
+        sampler.sample_once()
+        sampler.start()
     collector = LatencyCollector(registry=system.metrics)
     for index, query in enumerate(
         UniformRangeWorkload(config.domain, args.queries, seed=args.seed + 2).ranges()
@@ -274,6 +375,14 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
             print(f"trace: wrote query lifecycle to {args.trace}", file=out)
     if repairer is not None:
         repairer.stop()
+    if sampler is not None:
+        sampler.stop()
+        sampler.sample_once()
+        print(
+            f"sampler: {sampler.samples_taken} samples at "
+            f"{args.sample_interval:g} ms intervals",
+            file=out,
+        )
     print(collector.report(), file=out)
     stats = engine.net.stats
     print(
@@ -284,6 +393,13 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     )
     if repairer is not None:
         print(f"repair: {repairer.stats.describe()}", file=out)
+    if args.health:
+        from repro.obs.health import health_check
+
+        print(
+            health_check(system, is_alive=engine.net.is_alive).report(),
+            file=out,
+        )
     if args.metrics:
         print(system.metrics.report("Simulation metrics"), file=out)
     return 0
@@ -293,7 +409,10 @@ def _run_metrics(args: argparse.Namespace, out) -> int:
     from repro.workloads.generators import UniformRangeWorkload
 
     config = SystemConfig(
-        n_peers=args.peers, seed=args.seed, replicas=args.replicas
+        n_peers=args.peers,
+        seed=args.seed,
+        replicas=args.replicas,
+        overlay=args.overlay,
     )
     system = RangeSelectionSystem(config)
     print(f"system: {config.describe()}", file=out)
@@ -309,6 +428,67 @@ def _run_metrics(args: argparse.Namespace, out) -> int:
     if args.jsonl is not None:
         with open(args.jsonl, "w", encoding="utf-8") as handle:
             handle.write(system.metrics.to_jsonl())
+        print(f"wrote JSONL dump to {args.jsonl}", file=out)
+    return 0
+
+
+def _run_health(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.obs.health import TelemetrySampler, health_check
+    from repro.util.rng import derive_rng
+    from repro.workloads.generators import UniformRangeWorkload
+
+    if not 0.0 <= args.crash < 1.0:
+        raise ReproError("--crash must be within [0, 1)")
+    if args.repair and args.overlay != "chord":
+        raise ReproError("--repair requires the chord overlay")
+    config = SystemConfig(
+        n_peers=args.peers,
+        seed=args.seed,
+        replicas=args.replicas,
+        overlay=args.overlay,
+    )
+    system = RangeSelectionSystem(config)
+    print(f"system: {config.describe()}", file=out)
+    for query in UniformRangeWorkload(
+        config.domain, args.queries, seed=args.seed + 1
+    ).ranges():
+        system.query(query)
+    sampler = TelemetrySampler(system)
+    sampler.sample_once()
+    node_ids = system.router.node_ids
+    n_crashed = int(round(args.crash * len(node_ids)))
+    if n_crashed:
+        crash_rng = derive_rng(args.seed, "cli/health-crashes")
+        for index in crash_rng.choice(
+            len(node_ids), size=n_crashed, replace=False
+        ):
+            system.crash_peer(node_ids[int(index)])
+        print(f"crashed {n_crashed}/{len(node_ids)} peers", file=out)
+        sampler.sample_once()
+    report = health_check(system, top_n=args.top)
+    print(report.report(), file=out)
+    if args.repair and n_crashed:
+        copies = system.repair_replicas()
+        sampler.sample_once()
+        report = health_check(system, top_n=args.top)
+        print(f"\nrepair created {copies} copies; re-audit:", file=out)
+        print(report.report(), file=out)
+    if args.json is not None:
+        document = {
+            "health": report.to_dict(),
+            "metrics": system.metrics.snapshot(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, default=str)
+        print(f"wrote JSON snapshot to {args.json}", file=out)
+    if args.jsonl is not None:
+        with open(args.jsonl, "w", encoding="utf-8") as handle:
+            handle.write(system.metrics.to_jsonl())
+            handle.write("\n")
+            handle.write(json.dumps({"health": report.to_dict()}, default=str))
+            handle.write("\n")
         print(f"wrote JSONL dump to {args.jsonl}", file=out)
     return 0
 
@@ -337,6 +517,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     if out is None:
         out = sys.stdout
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.obs.log import configure_logging
+
+        configure_logging(args.verbose)
     try:
         if args.command == "demo":
             return _run_demo(args, out)
@@ -346,6 +530,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_simulate(args, out)
         if args.command == "metrics":
             return _run_metrics(args, out)
+        if args.command == "health":
+            return _run_health(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "info":

@@ -27,6 +27,7 @@ from repro.errors import ConfigError, PeerUnavailableError
 from repro.lsh import DomainMinHashIndex, LSHIdentifierScheme, family_for_domain
 from repro.net.message import Message
 from repro.net.transport import SimulatedNetwork
+from repro.obs.log import get_logger
 from repro.obs.registry import (
     MetricsRegistry,
     RegistryBackedCounters,
@@ -38,6 +39,8 @@ from repro.storage.store import LRUEviction, NoEviction, PeerStore
 from repro.util.rng import derive_rng
 
 __all__ = ["RangeSelectionSystem", "RangeQueryResult", "LocateResult", "MatchReply"]
+
+logger = get_logger("core.system")
 
 #: Default relation/attribute used by the pure-simulation experiments, which
 #: hash bare integer ranges without a real schema behind them.
@@ -459,11 +462,20 @@ class RangeSelectionSystem:
                     failovers += 1
                     self.network.stats.failovers += 1
                     self.counters.failovers += 1
+                    logger.info(
+                        "degraded answer for identifier %d: replica %d "
+                        "answered after %d failover step(s)",
+                        identifier, candidate, attempt,
+                    )
                 break
             if answered_by is None:
                 unreachable += 1
                 self.network.stats.failover_exhausted += 1
                 self.counters.failed_lookups += 1
+                logger.warning(
+                    "identifier %d unreachable: all %d candidates down",
+                    identifier, len(candidates),
+                )
                 owners.append(owner_id)
                 replies.append(MatchReply(owner_id, identifier, None, 0.0))
                 chain.event("unreachable", identifier=identifier)
@@ -893,6 +905,8 @@ class RangeSelectionSystem:
                 continue
             copies += 1
         self.counters.repairs += copies
+        if copies:
+            logger.info("synchronous repair pass created %d copies", copies)
         return copies
 
     def check_placement_invariant(self) -> None:

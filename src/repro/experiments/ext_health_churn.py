@@ -1,0 +1,270 @@
+"""Extension — health telemetry under churn: deficits, audits, skew.
+
+Figure 11 takes one static look at load balance.  This experiment runs
+the health subsystem while the system is actually being damaged: peers
+crash in waves under an event-driven workload, the
+:class:`~repro.obs.TelemetrySampler` records the replica-deficit and
+load time series on the virtual clock, and the
+:class:`~repro.obs.RingAuditor` grades the final state.
+
+Expected shapes: ``r = 1`` accumulates unrepairable losses (critical
+findings) because a crashed owner takes the only copy with it; ``r = 3``
+without repair reports a persistent deficit (warnings) that grows with
+each wave; ``r = 3`` with repair shows the deficit spike at each wave and
+decay back toward zero after the next anti-entropy round — the
+self-healing signature, now visible as a time series rather than
+inferred from recall.  Load skew (Gini, max/mean) stays in the Fig 11
+band throughout, since crashes remove servers, not placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemConfig
+from repro.core.system import RangeSelectionSystem
+from repro.metrics.report import format_table, sparkline
+from repro.net.latency import SeededLatency
+from repro.obs.health import RingAuditor, TelemetrySampler, skew_stats
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.sim.network import RetryPolicy
+from repro.sim.query import AsyncQueryEngine
+from repro.sim.repair import ReplicaRepairer
+from repro.util.rng import derive_rng
+
+from repro.experiments.ext_churn_recall import ReplicationMode
+
+__all__ = ["HealthChurnExperiment", "HealthChurnOutcome", "HealthCell"]
+
+PAPER_DOMAIN = Domain("value", 0, 1000)
+
+
+@dataclass(frozen=True)
+class HealthCell:
+    """Measured health trajectory of one replication mode."""
+
+    mode: ReplicationMode
+    crashed_peers: int
+    samples: int
+    #: The sampled ``health.replica_deficit`` series, oldest first.
+    deficit_series: tuple[float, ...]
+    peak_deficit: float
+    final_deficit: float
+    critical_findings: int
+    warning_findings: int
+    gini: float
+    max_mean: float
+    failovers: int
+    queries: int
+
+    def as_row(self) -> list[str]:
+        return [
+            self.mode.label,
+            str(self.crashed_peers),
+            str(self.samples),
+            f"{self.peak_deficit:.0f}",
+            f"{self.final_deficit:.0f}",
+            str(self.critical_findings),
+            str(self.warning_findings),
+            f"{self.gini:.3f}",
+            f"{self.max_mean:.2f}",
+            str(self.failovers),
+            sparkline(list(self.deficit_series), width=24),
+        ]
+
+
+@dataclass
+class HealthChurnOutcome:
+    """All modes of the health-under-churn sweep."""
+
+    cells: list[HealthCell]
+    n_peers: int
+    crash_fraction: float
+    sample_interval_ms: float
+
+    def cell(self, mode_label: str) -> HealthCell:
+        """The measured cell for one replication mode."""
+        for cell in self.cells:
+            if cell.mode.label == mode_label:
+                return cell
+        raise KeyError(mode_label)
+
+    def report(self) -> str:
+        return format_table(
+            [
+                "mode",
+                "crashed",
+                "samples",
+                "peak def",
+                "final def",
+                "critical",
+                "warning",
+                "gini",
+                "max/mean",
+                "failovers",
+                "deficit trend",
+            ],
+            [cell.as_row() for cell in self.cells],
+            title=(
+                "Extension — ring health under churn "
+                f"({self.n_peers} peers, {self.crash_fraction:.0%} crashed "
+                f"in waves, sampled every {self.sample_interval_ms:g} ms)"
+            ),
+        )
+
+
+@dataclass
+class HealthChurnExperiment:
+    """Track replica deficits, audit findings and load skew under churn.
+
+    Each mode builds a fresh replicated system, stores one partition per
+    domain tile, starts a periodic :class:`TelemetrySampler` on the
+    event-driven clock, then alternates crash waves with timed jittered
+    queries (which drive the virtual clock, firing sampler and repair
+    ticks).  The final audit and skew statistics summarize where each
+    configuration ends up.
+    """
+
+    n_peers: int = 300
+    tile_width: int = 30
+    queries_per_phase: int = 40
+    modes: tuple[ReplicationMode, ...] = (
+        ReplicationMode(1, False),
+        ReplicationMode(3, False),
+        ReplicationMode(3, True),
+    )
+    crash_fraction: float = 0.20
+    churn_waves: int = 4
+    sample_interval_ms: float = 500.0
+    latency_low_ms: float = 10.0
+    latency_high_ms: float = 100.0
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(timeout_ms=400.0, max_retries=1)
+    )
+    repair_interval_ms: float = 5_000.0
+    domain: Domain = field(default_factory=lambda: PAPER_DOMAIN)
+    seed: int = 2003
+
+    @classmethod
+    def paper(cls) -> "HealthChurnExperiment":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "HealthChurnExperiment":
+        return cls(n_peers=80, queries_per_phase=15, churn_waves=2)
+
+    def _tiles(self) -> list[IntRange]:
+        width = self.tile_width
+        low, high = self.domain.low, self.domain.high
+        return [
+            IntRange(start, start + width - 1)
+            for start in range(low, high - width + 2, width)
+        ]
+
+    def _run_cell(self, mode: ReplicationMode) -> HealthCell:
+        system = RangeSelectionSystem(
+            SystemConfig(
+                n_peers=self.n_peers,
+                domain=self.domain,
+                replicas=mode.replicas,
+                store_on_miss=False,
+                seed=self.seed,
+            )
+        )
+        tiles = self._tiles()
+        for tile in tiles:
+            system.store_partition(tile)
+        engine = AsyncQueryEngine(
+            system,
+            latency=SeededLatency(
+                self.latency_low_ms, self.latency_high_ms, seed=self.seed
+            ),
+            policy=self.policy,
+            seed=self.seed,
+        )
+        repairer = ReplicaRepairer(
+            engine, interval_ms=self.repair_interval_ms, policy=self.policy
+        )
+        sampler = TelemetrySampler(
+            system,
+            sim=engine.sim,
+            is_alive=engine.net.is_alive,
+            interval_ms=self.sample_interval_ms,
+        )
+        sampler.sample_once()
+        sampler.start()
+        if mode.repair:
+            repairer.start()
+
+        crash_rng = derive_rng(self.seed, "health-churn/crashes")
+        node_ids = system.router.node_ids
+        n_crashed = int(round(self.crash_fraction * len(node_ids)))
+        doomed = [
+            node_ids[int(index)]
+            for index in crash_rng.choice(
+                len(node_ids), size=n_crashed, replace=False
+            )
+        ]
+        jitter_rng = derive_rng(self.seed, "health-churn/jitter")
+        low, high = self.domain.low, self.domain.high
+        queries = 0
+
+        def run_phase() -> None:
+            nonlocal queries
+            for _ in range(self.queries_per_phase):
+                tile = tiles[int(jitter_rng.integers(len(tiles)))]
+                shift = 1 if jitter_rng.integers(2) else -1
+                if tile.start + shift < low or tile.end + shift > high:
+                    shift = -shift
+                engine.run(IntRange(tile.start + shift, tile.end + shift))
+                queries += 1
+
+        waves = max(1, self.churn_waves)
+        run_phase()
+        for wave in range(waves):
+            for peer_id in doomed[wave::waves]:
+                engine.crash_peer(peer_id)
+            run_phase()
+        if mode.repair:
+            # One final deterministic round so the end state reflects a
+            # completed repair, not wherever the periodic tick happened
+            # to be.
+            engine.sim.run_until_complete(repairer.run_round())
+            repairer.stop()
+        sampler.stop()
+        sampler.sample_once()
+
+        audit = RingAuditor(system, is_alive=engine.net.is_alive).audit()
+        deficit_metric = system.metrics.timeseries("health.replica_deficit")
+        deficit_series = tuple(deficit_metric.values())
+        alive_loads = [
+            system.stores[nid].partition_count
+            for nid in node_ids
+            if engine.net.is_alive(nid)
+        ]
+        skew = skew_stats(alive_loads)
+        counts = audit.counts
+        return HealthCell(
+            mode=mode,
+            crashed_peers=n_crashed,
+            samples=sampler.samples_taken,
+            deficit_series=deficit_series,
+            peak_deficit=max(deficit_series, default=0.0),
+            final_deficit=deficit_series[-1] if deficit_series else 0.0,
+            critical_findings=counts["critical"],
+            warning_findings=counts["warning"],
+            gini=skew.gini,
+            max_mean=skew.max_mean,
+            failovers=int(system.counters.failovers),
+            queries=queries,
+        )
+
+    def run(self) -> HealthChurnOutcome:
+        cells = [self._run_cell(mode) for mode in self.modes]
+        return HealthChurnOutcome(
+            cells=cells,
+            n_peers=self.n_peers,
+            crash_fraction=self.crash_fraction,
+            sample_interval_ms=self.sample_interval_ms,
+        )

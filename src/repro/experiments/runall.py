@@ -19,6 +19,7 @@ from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
 from repro.experiments.ext_churn_recall import ChurnRecallExperiment
 from repro.experiments.ext_composite import CompositeAnswerExperiment
 from repro.experiments.ext_event_latency import EventLatencyExperiment
+from repro.experiments.ext_health_churn import HealthChurnExperiment
 from repro.experiments.ext_ideal_family import IdealFamilyAblation
 from repro.experiments.ext_local_index import LocalIndexExperiment
 from repro.experiments.ext_overlay_compare import OverlayComparisonExperiment
@@ -83,6 +84,7 @@ def run_all(scale: str = "paper", results_dir: "str | Path" = "results") -> None
         ("ext_stats_planning", lambda: scaled(StatsPlanningExperiment).run().report()),
         ("ext_event_latency", lambda: scaled(EventLatencyExperiment).run().report()),
         ("ext_churn_recall", lambda: scaled(ChurnRecallExperiment).run().report()),
+        ("ext_health_churn", lambda: scaled(HealthChurnExperiment).run().report()),
     ]
     for name, job in jobs:
         start = time.perf_counter()

@@ -11,7 +11,16 @@ from typing import Sequence
 
 from repro.util.stats import Histogram
 
-__all__ = ["format_table", "format_series", "format_histogram", "format_recall_cdf"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_histogram",
+    "format_recall_cdf",
+    "sparkline",
+]
+
+#: Eight block heights; a sparkline maps each value onto one of them.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
 
 def format_table(
@@ -79,6 +88,30 @@ def format_recall_cdf(
     for i, x in enumerate(grid):
         rows.append([f"{x:.2f}"] + [f"{series[name][i][1]:.1f}%" for name in names])
     return format_table(headers, rows, title=title)
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A one-line block-character rendering of a numeric series.
+
+    Values are min-max scaled onto eight block heights; series longer than
+    ``width`` are downsampled by taking the last value of each stride (the
+    sampler's series are level-like, so the latest reading represents the
+    stride best).  An empty series renders as an empty string.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        stride = len(vals) / width
+        vals = [vals[min(len(vals) - 1, int((i + 1) * stride) - 1)] for i in range(width)]
+    low, high = min(vals), max(vals)
+    span = high - low
+    if span == 0:
+        return SPARK_CHARS[0] * len(vals)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - low) / span * len(SPARK_CHARS)))] for v in vals
+    )
 
 
 def _fmt(cell: object) -> str:

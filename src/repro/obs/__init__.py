@@ -1,16 +1,34 @@
-"""Observability: query-lifecycle tracing and the unified metrics registry.
+"""Observability: tracing, the unified metrics registry, and ring health.
 
-``repro.obs`` is the one place per-query cost becomes visible.  The
-:class:`QueryTrace` records a single query end to end — group hashing,
-each of the ``l`` lookup chains hop by hop, match scores, failovers,
-retries and the store-on-miss fan-out — on both the synchronous
-(:mod:`repro.core.system`) and event-driven (:mod:`repro.sim.query`)
-paths.  The :class:`MetricsRegistry` unifies the formerly disjoint
-counter objects (``TrafficStats``, ``SystemCounters``,
+``repro.obs`` is the one place per-query cost and system health become
+visible.  The :class:`QueryTrace` records a single query end to end —
+group hashing, each of the ``l`` lookup chains hop by hop, match scores,
+failovers, retries and the store-on-miss fan-out — on both the
+synchronous (:mod:`repro.core.system`) and event-driven
+(:mod:`repro.sim.query`) paths.  The :class:`MetricsRegistry` unifies the
+formerly disjoint counter objects (``TrafficStats``, ``SystemCounters``,
 ``LatencyCollector``) behind one export surface: JSON/JSONL dumps and
-the ``repro metrics`` CLI report.
+the ``repro metrics`` CLI report.  The :mod:`repro.obs.health` module
+adds continuous visibility: a :class:`TelemetrySampler` writing ring
+time series, a :class:`RingAuditor` checking overlay invariants, and
+load-skew analytics over per-node load.
 """
 
+from repro.obs.health import (
+    AuditFinding,
+    AuditReport,
+    HealthReport,
+    RingAuditor,
+    SkewStats,
+    TelemetrySampler,
+    gini,
+    health_check,
+    hot_identifiers,
+    load_histogram,
+    max_mean_ratio,
+    skew_stats,
+)
+from repro.obs.log import configure_logging, get_logger
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -18,6 +36,7 @@ from repro.obs.registry import (
     LabeledCounterDict,
     MetricsRegistry,
     RegistryBackedCounters,
+    TimeSeriesMetric,
     registry_field,
     write_jsonl,
 )
@@ -27,6 +46,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "HistogramMetric",
+    "TimeSeriesMetric",
     "LabeledCounterDict",
     "MetricsRegistry",
     "RegistryBackedCounters",
@@ -36,4 +56,18 @@ __all__ = [
     "QueryTrace",
     "Span",
     "TraceEvent",
+    "AuditFinding",
+    "AuditReport",
+    "HealthReport",
+    "RingAuditor",
+    "SkewStats",
+    "TelemetrySampler",
+    "configure_logging",
+    "get_logger",
+    "gini",
+    "health_check",
+    "hot_identifiers",
+    "load_histogram",
+    "max_mean_ratio",
+    "skew_stats",
 ]

@@ -1,0 +1,66 @@
+"""Stdlib logging, wired per subsystem.
+
+The library logs under the ``repro`` namespace — one child logger per
+subsystem (``repro.core``, ``repro.sim``, ``repro.obs.health`` …) so a
+host application can dial subsystems up or down independently.  The
+library itself only attaches a :class:`logging.NullHandler` (the
+standard library-package idiom), so nothing reaches stderr until a host
+configures handlers; the CLI does that via :func:`configure_logging`
+(driven by ``-v``/``-vv``).
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+#: Root of the library's logger namespace.
+ROOT_NAME = "repro"
+
+#: Marker attribute set on handlers we attach, so repeated CLI
+#: invocations in one process (tests drive ``main()`` directly) don't
+#: stack duplicate handlers.
+_HANDLER_MARK = "_repro_cli_handler"
+
+LOG_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+# Keep the library silent (no logging.lastResort stderr spill) until a
+# host explicitly configures handlers.
+logging.getLogger(ROOT_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(subsystem: str = "") -> logging.Logger:
+    """The logger for one subsystem (``repro.<subsystem>``).
+
+    An empty name returns the library root logger.
+    """
+    if not subsystem:
+        return logging.getLogger(ROOT_NAME)
+    return logging.getLogger(f"{ROOT_NAME}.{subsystem}")
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger at a level chosen
+    by ``verbosity`` (0 → WARNING, 1 → INFO, 2+ → DEBUG).
+
+    Idempotent: calling again only adjusts the level.  Returns the
+    configured root library logger.
+    """
+    if verbosity <= 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    logger = logging.getLogger(ROOT_NAME)
+    logger.setLevel(level)
+    if not any(getattr(h, _HANDLER_MARK, False) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        setattr(handler, _HANDLER_MARK, True)
+        logger.addHandler(handler)
+    for handler in logger.handlers:
+        if getattr(handler, _HANDLER_MARK, False):
+            handler.setLevel(level)
+    return logger

@@ -19,12 +19,14 @@ are the same number by construction.
 from __future__ import annotations
 
 import json
+from collections import deque
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 __all__ = [
     "Counter",
     "Gauge",
     "HistogramMetric",
+    "TimeSeriesMetric",
     "MetricsRegistry",
     "RegistryBackedCounters",
     "LabeledCounterDict",
@@ -224,6 +226,83 @@ class HistogramMetric(_Metric):
         }
 
 
+class TimeSeriesMetric(_Metric):
+    """Fixed-capacity ring buffer of ``(t, value)`` samples per label set.
+
+    This is what the health sampler writes: one series per node per gauge,
+    appended at every sampling tick.  Capacity bounds memory no matter how
+    long a simulation runs — once full, the oldest sample falls off the
+    front.  Timestamps are whatever clock the writer uses (virtual ms for
+    the event-driven path, cumulative wire ms for the synchronous one);
+    appends are expected in non-decreasing time order but not enforced, so
+    a misbehaving sampler shows up in the data instead of crashing the run.
+    """
+
+    kind = "timeseries"
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(
+        self, name: str, help: str = "", capacity: int | None = None
+    ) -> None:
+        super().__init__(name, help)
+        self.capacity = capacity if capacity is not None else self.DEFAULT_CAPACITY
+        if self.capacity < 1:
+            raise ValueError("time series capacity must be positive")
+        self._series: dict[LabelKey, deque[tuple[float, float]]] = {}
+
+    def append(self, t: float, value: float, **labels: Any) -> None:
+        """Record one ``(t, value)`` sample into the selected series."""
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = deque(maxlen=self.capacity)
+            self._series[key] = series
+        series.append((float(t), float(value)))
+
+    def points(self, **labels: Any) -> list[tuple[float, float]]:
+        """All retained samples of one series, oldest first."""
+        series = self._series.get(_label_key(labels))
+        return list(series) if series is not None else []
+
+    def last(self, **labels: Any) -> tuple[float, float] | None:
+        """The most recent sample of one series, or None when empty."""
+        series = self._series.get(_label_key(labels))
+        return series[-1] if series else None
+
+    def values(self, **labels: Any) -> list[float]:
+        """Just the sample values of one series, oldest first."""
+        return [v for _, v in self.points(**labels)]
+
+    def items(self) -> Iterator[tuple[dict[str, Any], list[tuple[float, float]]]]:
+        """(labels, points) pairs for every series."""
+        for key, series in self._series.items():
+            yield ({k: v for k, v in key}, list(series))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "capacity": self.capacity,
+            "series": [
+                {
+                    "labels": {k: v for k, v in key},
+                    "points": [[t, v] for t, v in series],
+                }
+                for key, series in sorted(
+                    self._series.items(), key=lambda kv: repr(kv[0])
+                )
+            ],
+        }
+
+
 class MetricsRegistry:
     """All metric families of one system, addressable by name.
 
@@ -274,6 +353,16 @@ class MetricsRegistry:
         assert isinstance(metric, HistogramMetric)
         return metric
 
+    def timeseries(
+        self, name: str, help: str = "", capacity: int | None = None
+    ) -> TimeSeriesMetric:
+        """Get or create the ring-buffer time series named ``name``."""
+        metric = self._get_or_create(
+            name, lambda: TimeSeriesMetric(name, help, capacity=capacity)
+        )
+        assert isinstance(metric, TimeSeriesMetric)
+        return metric
+
     # -- access --------------------------------------------------------
 
     def get(self, name: str) -> _Metric | None:
@@ -318,14 +407,28 @@ class MetricsRegistry:
 
     def report(self, title: str = "Metrics") -> str:
         """Fixed-width text rendering of every non-empty metric."""
-        from repro.metrics.report import format_table
+        from repro.metrics.report import format_table, sparkline
 
         scalar_rows: list[list[object]] = []
         labeled_rows: list[list[object]] = []
         histogram_rows: list[list[object]] = []
+        series_rows: list[list[object]] = []
         for name in sorted(self._metrics):
             metric = self._metrics[name]
-            if isinstance(metric, HistogramMetric):
+            if isinstance(metric, TimeSeriesMetric):
+                for labels, points in sorted(
+                    metric.items(), key=lambda kv: repr(kv[0])
+                ):
+                    values = [v for _, v in points]
+                    series_rows.append(
+                        [
+                            _series_name(name, labels),
+                            len(points),
+                            _format_value(values[-1]) if values else "-",
+                            sparkline(values),
+                        ]
+                    )
+            elif isinstance(metric, HistogramMetric):
                 for labels, series in sorted(
                     metric.items(), key=lambda kv: repr(kv[0])
                 ):
@@ -359,6 +462,14 @@ class MetricsRegistry:
                     ["histogram", "n", "mean", "max"],
                     histogram_rows,
                     title="Histograms",
+                )
+            )
+        if series_rows:
+            sections.append(
+                format_table(
+                    ["series", "n", "last", "trend"],
+                    series_rows,
+                    title="Time series",
                 )
             )
         if not sections:

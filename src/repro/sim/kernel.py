@@ -27,25 +27,46 @@ __all__ = ["Simulator", "Timer"]
 
 class Timer:
     """Handle to one scheduled callback; cancellation is O(1) (the event
-    stays queued but is skipped when popped)."""
+    stays queued but is skipped when popped).
 
-    __slots__ = ("time", "_fn", "_cancelled")
+    ``on_cancel`` lets the owning :class:`Simulator` keep an exact count of
+    live (not-fired, not-cancelled) events without scanning the heap: it
+    runs once, on the first effective cancel of a timer that has not fired.
+    """
 
-    def __init__(self, time: float, fn: Callable[[], None]) -> None:
+    __slots__ = ("time", "_fn", "_cancelled", "_fired", "_on_cancel")
+
+    def __init__(
+        self,
+        time: float,
+        fn: Callable[[], None],
+        on_cancel: Callable[[], None] | None = None,
+    ) -> None:
         self.time = time
         self._fn = fn
         self._cancelled = False
+        self._fired = False
+        self._on_cancel = on_cancel
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (idempotent)."""
+        """Prevent the callback from firing (idempotent).
+
+        Cancelling after the timer already fired is a no-op — common when a
+        reply callback races its own timeout timer.
+        """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
         self._fn = _noop
+        if self._on_cancel is not None:
+            self._on_cancel()
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
 
     def _fire(self) -> None:
+        self._fired = True
         self._fn()
 
 
@@ -60,6 +81,7 @@ class Simulator:
         self._now = 0.0
         self._heap: list[tuple[float, int, Timer]] = []
         self._seq = count()
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -68,10 +90,24 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Scheduled events not yet fired (cancelled ones included)."""
+        """Live scheduled events: not yet fired and not cancelled.
+
+        Cancelled timers stay in the heap until popped (cancellation is
+        O(1)), so ``len(self._heap)`` over-reports pending work — this
+        count is maintained exactly instead, and is what the health
+        sampler exports as the ``sim.pending_events`` gauge.
+        """
+        return self._live
+
+    @property
+    def queued(self) -> int:
+        """Raw heap occupancy, cancelled-but-unpopped entries included."""
         return len(self._heap)
 
     # -- scheduling ----------------------------------------------------
+
+    def _on_timer_cancel(self) -> None:
+        self._live -= 1
 
     def call_at(self, time: float, fn: Callable[[], None]) -> Timer:
         """Schedule ``fn`` to run at absolute virtual time ``time``."""
@@ -79,8 +115,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} ms; clock is already at {self._now} ms"
             )
-        timer = Timer(time, fn)
+        timer = Timer(time, fn, on_cancel=self._on_timer_cancel)
         heapq.heappush(self._heap, (time, next(self._seq), timer))
+        self._live += 1
         return timer
 
     def call_later(self, delay: float, fn: Callable[[], None]) -> Timer:
@@ -98,6 +135,7 @@ class Simulator:
             if timer.cancelled:
                 continue
             self._now = time
+            self._live -= 1
             timer._fire()
             return True
         return False
@@ -120,6 +158,7 @@ class Simulator:
                 break
             heapq.heappop(self._heap)
             self._now = time
+            self._live -= 1
             timer._fire()
         if until is not None:
             self._now = max(self._now, until)

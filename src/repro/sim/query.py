@@ -31,6 +31,7 @@ from repro.core.system import (
 )
 from repro.db.partition import Partition, PartitionDescriptor
 from repro.net.latency import LatencyModel, SeededLatency
+from repro.obs.log import get_logger
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACE, QueryTrace, Span
 from repro.ranges.interval import IntRange
@@ -40,6 +41,8 @@ from repro.sim.network import AsyncNetwork, RetryPolicy
 from repro.util.rng import derive_rng
 
 __all__ = ["AsyncQueryEngine", "ChainOutcome", "TimedQueryResult"]
+
+logger = get_logger("sim.query")
 
 
 @dataclass(frozen=True)
@@ -341,6 +344,11 @@ class AsyncQueryEngine:
                 if index >= len(candidates):
                     net.stats.failover_exhausted += 1
                     system.counters.failed_lookups += 1
+                    logger.warning(
+                        "identifier %d unreachable at t=%.1f: all %d "
+                        "candidates exhausted their budget",
+                        identifier, sim.now, len(candidates),
+                    )
                     span.event("unreachable", candidates=len(candidates))
                     finish(None, route_ms, timed_out=True, failovers=index - 1)
                     return
@@ -378,6 +386,11 @@ class AsyncQueryEngine:
                     if index > 0:
                         net.stats.failovers += 1
                         system.counters.failovers += 1
+                        logger.info(
+                            "degraded answer for identifier %d at t=%.1f: "
+                            "replica %d answered after %d failover step(s)",
+                            identifier, sim.now, candidate, index,
+                        )
                     answer = settled.result()
                     if answer is None:
                         reply = MatchReply(candidate, identifier, None, 0.0)

@@ -18,6 +18,7 @@ degradation the replicated configurations are measured against.
 
 from __future__ import annotations
 
+from repro.obs.log import get_logger
 from repro.obs.registry import (
     MetricsRegistry,
     RegistryBackedCounters,
@@ -28,6 +29,8 @@ from repro.sim.network import RetryPolicy
 from repro.sim.query import AsyncQueryEngine
 
 __all__ = ["ReplicaRepairer", "RepairStats"]
+
+logger = get_logger("sim.repair")
 
 
 class RepairStats(RegistryBackedCounters):
@@ -173,6 +176,10 @@ class ReplicaRepairer:
             self.stats.copies_created += created
             self.stats.copy_failures += failed
             system.counters.repairs += created
+            logger.info(
+                "repair round %d: %d copies created, %d failed",
+                int(self.stats.rounds), created, failed,
+            )
             out.resolve(created)
 
         gather(copies).add_done_callback(on_done)

@@ -64,6 +64,11 @@ class LRUEviction(EvictionPolicy):
         entry.access_clock = clock
 
 
+#: Modelled wire/storage size of a descriptor-only entry (no rows kept);
+#: matches the default ``size_bytes`` the system charges for store traffic.
+DESCRIPTOR_ONLY_BYTES = 64
+
+
 class PeerStore:
     """All hash buckets one peer is responsible for."""
 
@@ -72,6 +77,11 @@ class PeerStore:
         self.eviction = eviction if eviction is not None else NoEviction()
         self._buckets: dict[int, Bucket] = {}
         self._clock = 0
+        #: Match requests this peer has answered (hit or miss) — the
+        #: per-node "queries served" gauge the health sampler reads.
+        self.queries_served = 0
+        #: Store requests this peer has handled (new or duplicate).
+        self.stores_served = 0
 
     # ------------------------------------------------------------------
     # Mutation
@@ -94,6 +104,7 @@ class PeerStore:
             bucket = Bucket(identifier)
             self._buckets[identifier] = bucket
         self._clock += 1
+        self.stores_served += 1
         added = bucket.add(
             StoredEntry(
                 descriptor=descriptor,
@@ -134,6 +145,7 @@ class PeerStore:
     ) -> tuple[StoredEntry, float] | None:
         """Best match searching *only* the requested identifier's bucket
         (the paper's base scheme)."""
+        self.queries_served += 1
         bucket = self._buckets.get(identifier)
         if bucket is None:
             return None
@@ -156,6 +168,7 @@ class PeerStore:
         index over all the partitions that get stored in various buckets at
         a peer" and search it instead of one bucket.
         """
+        self.queries_served += 1
         best: tuple[StoredEntry, float] | None = None
         for bucket in self._buckets.values():
             candidate = bucket.best_match(query, relation, attribute, score)
@@ -173,9 +186,25 @@ class PeerStore:
     # ------------------------------------------------------------------
 
     @property
+    def clock(self) -> int:
+        """Current value of the store's logical access clock."""
+        return self._clock
+
+    @property
     def partition_count(self) -> int:
         """Total entries across all buckets (the paper's load metric)."""
         return sum(len(b) for b in self._buckets.values())
+
+    @property
+    def stored_bytes(self) -> int:
+        """Modelled bytes held: partition sizes, or the descriptor-only
+        charge for entries stored without rows."""
+        return sum(
+            entry.partition.size_bytes
+            if entry.partition is not None
+            else DESCRIPTOR_ONLY_BYTES
+            for _, entry in self.entries()
+        )
 
     @property
     def bucket_count(self) -> int:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
@@ -171,3 +172,129 @@ class TestExperiments:
         code, _ = run_cli("experiments", "--scale", "quick", "--out", str(tmp_path))
         assert code == 0
         assert called == {"scale": "quick", "dir": str(tmp_path)}
+
+
+class TestHealth:
+    def test_health_clean_system(self):
+        code, text = run_cli(
+            "health", "--peers", "60", "--queries", "30", "--replicas", "3"
+        )
+        assert code == 0
+        assert "Health: OK" in text
+        assert "Load skew" in text
+
+    def test_health_crash_and_repair_round_trip(self):
+        code, text = run_cli(
+            "health",
+            "--peers", "60",
+            "--queries", "30",
+            "--replicas", "3",
+            "--crash", "0.2",
+            "--repair",
+        )
+        assert code == 0
+        assert "crashed 12/60 peers" in text
+        assert "Health: VIOLATIONS" in text
+        assert "replica-deficit" in text
+        assert "re-audit:" in text
+        # The final report (post-repair) is clean again.
+        assert text.rstrip().count("Health:") == 2
+        assert "Health: OK" in text.split("re-audit:")[1]
+
+    def test_health_json_and_jsonl_outputs(self, tmp_path):
+        json_path = tmp_path / "health.json"
+        jsonl_path = tmp_path / "health.jsonl"
+        code, text = run_cli(
+            "health",
+            "--peers", "40",
+            "--queries", "20",
+            "--json", str(json_path),
+            "--jsonl", str(jsonl_path),
+        )
+        assert code == 0
+        document = json.loads(json_path.read_text())
+        assert document["health"]["ok"] is True
+        assert document["health"]["n_peers"] == 40
+        assert {m["name"] for m in document["metrics"]["metrics"]} >= {
+            "health.node.partitions",
+            "health.replica_deficit",
+        }
+        lines = jsonl_path.read_text().strip().splitlines()
+        assert json.loads(lines[-1])["health"]["ok"] is True
+
+    def test_health_on_can_overlay(self):
+        code, text = run_cli(
+            "health", "--peers", "40", "--queries", "20", "--overlay", "can"
+        )
+        assert code == 0
+        assert "Health: OK" in text
+
+    def test_health_rejects_bad_crash_fraction(self, capsys):
+        code, _ = run_cli("health", "--peers", "20", "--crash", "1.0")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_health_repair_requires_chord(self, capsys):
+        code, _ = run_cli(
+            "health", "--peers", "20", "--overlay", "can", "--repair"
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOverlaySelection:
+    def test_simulate_on_can(self):
+        code, text = run_cli(
+            "simulate", "--peers", "30", "--queries", "5", "--overlay", "can"
+        )
+        assert code == 0
+        assert "traffic:" in text
+
+    def test_simulate_can_rejects_replication(self, capsys):
+        code, _ = run_cli(
+            "simulate", "--peers", "30", "--overlay", "can", "--replicas", "3"
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_simulate_can_rejects_repair(self, capsys):
+        code, _ = run_cli(
+            "simulate", "--peers", "30", "--overlay", "can",
+            "--repair-interval", "1000",
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_metrics_on_can(self):
+        code, text = run_cli(
+            "metrics", "--peers", "30", "--queries", "5", "--overlay", "can"
+        )
+        assert code == 0
+        assert "Metrics after workload" in text
+
+
+class TestSimulateSampling:
+    def test_sample_interval_with_health_report(self):
+        code, text = run_cli(
+            "simulate",
+            "--peers", "40",
+            "--queries", "10",
+            "--replicas", "3",
+            "--sample-interval", "500",
+            "--health",
+        )
+        assert code == 0
+        assert "sampler:" in text
+        assert "samples at 500 ms intervals" in text
+        assert "Health: OK" in text
+
+    def test_negative_sample_interval_rejected(self, capsys):
+        code, _ = run_cli(
+            "simulate", "--peers", "20", "--sample-interval", "-1"
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_verbose_flag_accepted(self):
+        code, _ = run_cli("-v", "demo", "--peers", "30")
+        assert code == 0

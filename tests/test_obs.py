@@ -317,3 +317,88 @@ class TestLatencyCollectorRegistry:
         collector.add(engine.run(IntRange(5, 25)))
         hist = system.metrics.get("latency.phase_ms")
         assert hist.count(phase="total") == 1
+
+
+class TestTimeSeriesMetric:
+    def test_append_points_last_values(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("ts")
+        series.append(0.0, 1.0, node=3)
+        series.append(500.0, 2.0, node=3)
+        series.append(0.0, 9.0, node=4)
+        assert series.points(node=3) == [(0.0, 1.0), (500.0, 2.0)]
+        assert series.last(node=3) == (500.0, 2.0)
+        assert series.values(node=3) == [1.0, 2.0]
+        assert series.points(node=99) == []
+        assert series.last(node=99) is None
+        assert len(series) == 2
+
+    def test_capacity_evicts_oldest(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("ts", capacity=3)
+        for t in range(5):
+            series.append(float(t), float(t * 10))
+        assert series.points() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_invalid_capacity_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.timeseries("ts", capacity=0)
+
+    def test_get_or_create_and_kind_mismatch(self):
+        registry = MetricsRegistry()
+        first = registry.timeseries("ts")
+        assert registry.timeseries("ts") is first
+        with pytest.raises(ValueError):
+            registry.counter("ts")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        series = registry.timeseries("ts", capacity=8)
+        series.append(1.0, 2.0, node=1)
+        doc = series.snapshot()
+        assert doc["kind"] == "timeseries"
+        assert doc["capacity"] == 8
+        assert doc["series"] == [{"labels": {"node": 1}, "points": [[1.0, 2.0]]}]
+
+
+class TestRegistryJsonRoundTrip:
+    """snapshot() -> to_json() -> parse must reproduce snapshot() exactly."""
+
+    def test_mixed_label_orders_address_one_series(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, a=1, b=2)
+        counter.inc(2, b=2, a=1)  # same series, different kwarg order
+        assert counter.get(a=1, b=2) == 3
+        parsed = json.loads(registry.to_json())
+        series = parsed["metrics"][0]["series"]
+        assert len(series) == 1
+        assert series[0]["value"] == 3
+
+    def test_full_roundtrip_equals_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4, peer=7)
+        registry.counter("c").inc(1, peer=9)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(3.0, phase="route")
+        registry.timeseries("ts").append(0.0, 1.0, node=1)
+        assert json.loads(registry.to_json()) == registry.snapshot()
+        lines = registry.to_jsonl().strip().splitlines()
+        assert [json.loads(line) for line in lines] == registry.snapshot()[
+            "metrics"
+        ]
+
+    def test_empty_registry_roundtrip(self):
+        registry = MetricsRegistry()
+        assert json.loads(registry.to_json()) == {"metrics": []}
+        assert registry.to_jsonl() == ""
+
+    def test_cleared_metric_keeps_name_drops_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5, peer=1)
+        registry.counter("c").clear()
+        parsed = json.loads(registry.to_json())
+        assert parsed["metrics"] == [
+            {"name": "c", "kind": "counter", "help": "", "series": []}
+        ]

@@ -162,3 +162,59 @@ class TestSimFuture:
 
     def test_gather_of_nothing_resolves_empty(self):
         assert gather([]).result() == []
+
+
+class TestPendingAccounting:
+    """``pending`` counts live events exactly; ``queued`` is raw heap size."""
+
+    def test_pending_tracks_schedule_and_fire(self):
+        sim = Simulator()
+        assert sim.pending == 0
+        sim.call_later(10, lambda: None)
+        sim.call_later(20, lambda: None)
+        assert sim.pending == 2
+        assert sim.queued == 2
+        sim.step()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+        assert sim.queued == 0
+
+    def test_cancel_decrements_pending_not_queued(self):
+        sim = Simulator()
+        timer = sim.call_later(10, lambda: None)
+        sim.call_later(20, lambda: None)
+        timer.cancel()
+        # The cancelled entry stays in the heap (O(1) cancel) but is no
+        # longer live work.
+        assert sim.pending == 1
+        assert sim.queued == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        timer = sim.call_later(10, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim.pending == 0
+        assert timer.cancelled
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.call_later(10, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+        assert sim.pending == 0
+        timer.cancel()  # racing a reply against its own timeout
+        assert sim.pending == 0
+        assert not timer.cancelled
+
+    def test_pending_includes_events_past_run_horizon(self):
+        sim = Simulator()
+        sim.call_later(5, lambda: None)
+        sim.call_later(500, lambda: None)
+        sim.run(until=10)
+        assert sim.pending == 1
+        assert sim.queued == 1
