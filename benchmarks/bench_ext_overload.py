@@ -1,0 +1,59 @@
+"""Extension — overload protection: graceful degradation under load.
+
+Asserts the graceful-degradation shape the overload-protection layer
+exists to show: at twice the saturating load with 10% grey-slow peers,
+the full protection stack (adaptive timeouts, circuit breakers, hedged
+lookups, partial quorum) holds p99 latency within 3x of the uncontended
+baseline and recall within five points of it, while the unprotected
+configuration visibly collapses into timeout-schedule latency.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_overload import OverloadExperiment
+
+
+def _make(scale: str) -> OverloadExperiment:
+    return (
+        OverloadExperiment.paper()
+        if scale == "paper"
+        else OverloadExperiment.quick()
+    )
+
+
+def test_ext_overload(benchmark, scale, emit):
+    experiment = _make(scale)
+    outcome = run_once(benchmark, lambda: experiment.run())
+    emit("ext_overload", outcome.report())
+
+    base = outcome.baseline()
+    heavy = max(experiment.load_factors)
+    slow = max(experiment.slow_fractions)
+    protected = outcome.cell(True, heavy, slow)
+    unprotected = outcome.cell(False, heavy, slow)
+    benchmark.extra_info["baseline_p99_ms"] = base.p99_ms
+    benchmark.extra_info["protected_p99_ms"] = protected.p99_ms
+    benchmark.extra_info["unprotected_p99_ms"] = unprotected.p99_ms
+
+    # The protections actually engaged under stress...
+    assert protected.hedges > 0
+    assert protected.hedge_wins > 0
+    assert protected.partial_queries > 0
+    # ...and the unprotected run is the same system minus the responses.
+    assert unprotected.hedges == 0
+    assert unprotected.breaker_opens == 0
+    assert unprotected.partial_queries == 0
+
+    # Protections-on degrades gracefully: latency and recall hold.  (A
+    # one-point recall tolerance against the unprotected run: partial
+    # quorum deliberately trades the last straggler chain for latency.)
+    assert protected.p99_ms <= 3.0 * base.p99_ms
+    assert protected.mean_recall >= base.mean_recall - 0.05
+    assert protected.mean_recall >= unprotected.mean_recall - 0.01
+    # Protections-off visibly collapses versus both the baseline and the
+    # protected run under the identical load.
+    assert unprotected.p99_ms > 3.0 * base.p99_ms
+    assert unprotected.p99_ms > 1.25 * protected.p99_ms
+    assert unprotected.busy_shed > protected.busy_shed

@@ -121,6 +121,63 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 = repair off)",
     )
     simulate.add_argument(
+        "--peer-queue",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bounded per-peer service queue capacity; full queues shed "
+        "requests with a busy reply (0 = no queue model)",
+    )
+    simulate.add_argument(
+        "--service-rate",
+        type=float,
+        default=0.0,
+        metavar="QPS",
+        help="per-peer service rate in requests/s (required with "
+        "--peer-queue; load beyond it becomes queueing delay)",
+    )
+    simulate.add_argument(
+        "--hedge",
+        action="store_true",
+        help="launch a backup lookup for chains still unanswered at the "
+        "live p95 chain latency (first answer wins)",
+    )
+    simulate.add_argument(
+        "--quorum",
+        type=int,
+        default=0,
+        metavar="M",
+        help="answer once M of the l chains replied if the best match "
+        "clears the similarity threshold (0 = wait for all l)",
+    )
+    simulate.add_argument(
+        "--breaker",
+        action="store_true",
+        help="per-destination circuit breakers: fail fast toward peers "
+        "that keep timing out or shedding",
+    )
+    simulate.add_argument(
+        "--adaptive-timeout",
+        action="store_true",
+        help="per-destination RTT-based timeouts plus jittered "
+        "exponential retry backoff",
+    )
+    simulate.add_argument(
+        "--slow",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of peers grey-failed before the timed phase: "
+        "alive, but slowed by --slow-factor [0, 1)",
+    )
+    simulate.add_argument(
+        "--slow-factor",
+        type=float,
+        default=4.0,
+        metavar="X",
+        help="latency and service-time multiplier for grey-failed peers",
+    )
+    simulate.add_argument(
         "--overlay",
         choices=("chord", "can"),
         default="chord",
@@ -311,11 +368,21 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         raise ReproError("--sample-interval cannot be negative")
     if args.overlay == "can" and args.repair_interval > 0:
         raise ReproError("--repair-interval requires the chord overlay")
+    if not 0.0 <= args.slow < 1.0:
+        raise ReproError("--slow must be within [0, 1)")
+    if args.slow_factor < 1.0:
+        raise ReproError("--slow-factor must be >= 1")
     config = SystemConfig(
         n_peers=args.peers,
         seed=args.seed,
         replicas=args.replicas,
         overlay=args.overlay,
+        peer_queue=args.peer_queue,
+        service_rate=args.service_rate,
+        hedge=args.hedge,
+        quorum=args.quorum,
+        breaker=args.breaker,
+        adaptive_timeout=args.adaptive_timeout,
     )
     system = RangeSelectionSystem(config)
     print(f"system: {config.describe()}", file=out)
@@ -335,6 +402,15 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     crash_rng = derive_rng(args.seed, "cli/simulate-crashes")
     for index in crash_rng.choice(len(node_ids), size=n_crashed, replace=False):
         engine.crash_peer(node_ids[int(index)])
+    n_slow = int(round(args.slow * len(node_ids)))
+    if n_slow:
+        slow_rng = derive_rng(args.seed, "cli/simulate-slow")
+        for index in slow_rng.choice(len(node_ids), size=n_slow, replace=False):
+            engine.slow_peer(
+                node_ids[int(index)],
+                latency_factor=args.slow_factor,
+                service_factor=args.slow_factor,
+            )
     print(
         f"faults: drop={args.drop:.0%}, crashed {n_crashed}/{len(node_ids)} peers; "
         f"link delay [{low_ms:g}, {high_ms:g}] ms, "
@@ -342,6 +418,20 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         f"replicas={args.replicas}",
         file=out,
     )
+    overload_on = (
+        args.peer_queue or n_slow or args.hedge or args.quorum
+        or args.breaker or args.adaptive_timeout
+    )
+    if overload_on:
+        print(
+            f"overload: queue={args.peer_queue} @ {args.service_rate:g} req/s, "
+            f"slow {n_slow}/{len(node_ids)} peers x{args.slow_factor:g}, "
+            f"hedge={'on' if args.hedge else 'off'}, "
+            f"quorum={args.quorum or 'off'}, "
+            f"breaker={'on' if args.breaker else 'off'}, "
+            f"adaptive={'on' if args.adaptive_timeout else 'off'}",
+            file=out,
+        )
     repairer = None
     if args.repair_interval > 0:
         repairer = ReplicaRepairer(engine, interval_ms=args.repair_interval)
@@ -362,13 +452,17 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         sampler.sample_once()
         sampler.start()
     collector = LatencyCollector(registry=system.metrics)
+    dead_queries = 0
     for index, query in enumerate(
         UniformRangeWorkload(config.domain, args.queries, seed=args.seed + 2).ranges()
     ):
         trace = None
         if args.trace is not None and index == 0:
             trace = engine.start_trace(query)
-        collector.add(engine.run(query, trace=trace))
+        result = engine.run(query, trace=trace)
+        collector.add(result)
+        if result.timeouts == len(result.chains) and not result.found:
+            dead_queries += 1
         if trace is not None:
             with open(args.trace, "w", encoding="utf-8") as handle:
                 handle.write(trace.to_json(indent=2))
@@ -385,10 +479,17 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         )
     print(collector.report(), file=out)
     stats = engine.net.stats
+    overload_traffic = ""
+    if stats.busy_shed or stats.hedges:
+        overload_traffic = (
+            f", {stats.busy_shed} busy-shed, {stats.hedges} hedges "
+            f"({stats.hedge_wins} won)"
+        )
     print(
         f"traffic: {stats.messages} messages, {stats.drops} dropped, "
         f"{stats.retries} retries, {stats.timeouts} request timeouts, "
-        f"{stats.failovers} failovers, {stats.replica_stores} replica stores",
+        f"{stats.failovers} failovers, {stats.replica_stores} replica stores"
+        f"{overload_traffic}",
         file=out,
     )
     if repairer is not None:
@@ -402,6 +503,15 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
         )
     if args.metrics:
         print(system.metrics.report("Simulation metrics"), file=out)
+    if args.queries > 0 and dead_queries == args.queries:
+        print(
+            f"warning: all {args.queries} queries failed (every lookup "
+            "chain timed out or was shed) — the summary above reflects "
+            "no successful lookups; lower the load or raise the fault "
+            "budget (timeout, retries, replicas)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -43,6 +43,29 @@ class SystemConfig:
     #: fail over down that chain when the owner is unreachable.  ``1``
     #: reproduces the paper's unreplicated scheme.
     replicas: int = 1
+    #: Bounded per-peer service queue capacity on the event-driven
+    #: transport (requests queued or in service); ``0`` disables the queue
+    #: model entirely — peers serve instantly, the pre-overload behaviour.
+    peer_queue: int = 0
+    #: Per-peer service rate in requests per second (event-driven
+    #: transport).  Required positive when ``peer_queue`` is on; each
+    #: request then occupies the server for ``1000 / service_rate`` ms.
+    service_rate: float = 0.0
+    #: Launch a backup lookup for a chain still unanswered at the live
+    #: p95 chain latency (first answer wins, loser cancelled).
+    hedge: bool = False
+    #: Partial-quorum early completion: answer once this many of the
+    #: ``l`` chains replied, if the best match clears
+    #: ``quorum_threshold``.  ``0`` waits for all ``l`` chains.
+    quorum: int = 0
+    #: Matcher score the best reply must reach before a partial quorum
+    #: may answer early.
+    quorum_threshold: float = 0.9
+    #: Per-destination circuit breakers on the event-driven transport.
+    breaker: bool = False
+    #: Per-destination Jacobson RTT-based timeouts plus jittered
+    #: exponential retry backoff on the event-driven transport.
+    adaptive_timeout: bool = False
     seed: int = 2003
 
     def __post_init__(self) -> None:
@@ -77,6 +100,20 @@ class SystemConfig:
             )
         if self.replicas > self.n_peers:
             raise ConfigError("replicas cannot exceed n_peers")
+        if self.peer_queue < 0:
+            raise ConfigError("peer_queue cannot be negative")
+        if self.service_rate < 0:
+            raise ConfigError("service_rate cannot be negative")
+        if self.peer_queue > 0 and self.service_rate <= 0:
+            raise ConfigError(
+                "a bounded peer queue needs a positive service_rate"
+            )
+        if self.quorum < 0:
+            raise ConfigError("quorum cannot be negative")
+        if self.quorum > self.l:
+            raise ConfigError("quorum cannot exceed l (the number of chains)")
+        if not 0.0 < self.quorum_threshold <= 1.0:
+            raise ConfigError("quorum_threshold must be in (0, 1]")
 
     def describe(self) -> str:
         """One-line summary for reports."""

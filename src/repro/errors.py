@@ -62,6 +62,42 @@ class PeerUnavailableError(NetworkError):
         self.peer_id = peer_id
 
 
+class PeerBusyError(NetworkError):
+    """A peer's bounded service queue was full and it shed the request.
+
+    Unlike a timeout this is *explicit* back-pressure: the overloaded peer
+    answers immediately with a busy reply instead of leaving the requester
+    to wait out its patience, so callers can fail over (or back off) after
+    one round trip rather than a full retry schedule.  Counted separately
+    from timeouts in :class:`~repro.net.transport.TrafficStats`.
+    """
+
+    def __init__(self, peer_id: int) -> None:
+        super().__init__(f"peer {peer_id} shed the request (service queue full)")
+        self.peer_id = peer_id
+
+
+class OpenCircuitError(NetworkError):
+    """A request was refused locally because the destination's circuit
+    breaker is open.
+
+    No message is sent and no retry budget is consumed: the breaker has
+    seen enough consecutive failures/busy replies from this peer that
+    asking again before the cooldown elapses would only add load to a
+    struggling destination.
+    """
+
+    def __init__(self, peer_id: int) -> None:
+        super().__init__(f"circuit breaker for peer {peer_id} is open")
+        self.peer_id = peer_id
+
+
+class FutureCancelledError(ReproError):
+    """A :class:`~repro.sim.futures.SimFuture` was cancelled before it
+    settled — e.g. the losing side of a hedged lookup, or the chains a
+    partial-quorum query no longer needs."""
+
+
 class RequestTimeoutError(NetworkError, TimeoutError):
     """A request exhausted its retry budget without receiving a reply.
 

@@ -22,6 +22,8 @@ Extensions (Sections 5.3 and 6 of the paper):
 - ideal permutations ablation — :mod:`repro.experiments.ext_ideal_family`
 - recall under churn (replication x crash rate) —
   :mod:`repro.experiments.ext_churn_recall`
+- overload protection (offered load x grey-slow peers) —
+  :mod:`repro.experiments.ext_overload`
 """
 
 from repro.experiments.ext_adaptive_padding import AdaptivePaddingExperiment
@@ -30,6 +32,7 @@ from repro.experiments.ext_composite import CompositeAnswerExperiment
 from repro.experiments.ext_ideal_family import IdealFamilyAblation
 from repro.experiments.ext_local_index import LocalIndexExperiment
 from repro.experiments.ext_overlay_compare import OverlayComparisonExperiment
+from repro.experiments.ext_overload import OverloadExperiment
 from repro.experiments.ext_stats_planning import StatsPlanningExperiment
 from repro.experiments.fig5_timing import HashTimingExperiment
 from repro.experiments.fig6_7_quality import MatchQualityExperiment, QualityOutcome
@@ -55,4 +58,5 @@ __all__ = [
     "OverlayComparisonExperiment",
     "StatsPlanningExperiment",
     "ChurnRecallExperiment",
+    "OverloadExperiment",
 ]

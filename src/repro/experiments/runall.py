@@ -23,6 +23,7 @@ from repro.experiments.ext_health_churn import HealthChurnExperiment
 from repro.experiments.ext_ideal_family import IdealFamilyAblation
 from repro.experiments.ext_local_index import LocalIndexExperiment
 from repro.experiments.ext_overlay_compare import OverlayComparisonExperiment
+from repro.experiments.ext_overload import OverloadExperiment
 from repro.experiments.ext_stats_planning import StatsPlanningExperiment
 from repro.experiments.fig5_timing import HashTimingExperiment
 from repro.experiments.fig6_7_quality import MatchQualityExperiment
@@ -85,6 +86,7 @@ def run_all(scale: str = "paper", results_dir: "str | Path" = "results") -> None
         ("ext_event_latency", lambda: scaled(EventLatencyExperiment).run().report()),
         ("ext_churn_recall", lambda: scaled(ChurnRecallExperiment).run().report()),
         ("ext_health_churn", lambda: scaled(HealthChurnExperiment).run().report()),
+        ("ext_overload", lambda: scaled(OverloadExperiment).run().report()),
     ]
     for name, job in jobs:
         start = time.perf_counter()

@@ -145,6 +145,7 @@ class LatencyCollector(RegistryBackedCounters):
         "chain_timeouts",
         "failovers",
         "degraded_queries",
+        "partial_queries",
         "misses",
     )
 
@@ -156,6 +157,8 @@ class LatencyCollector(RegistryBackedCounters):
     failovers = registry_field("failovers")
     #: Queries answered from fewer than ``l`` replies.
     degraded_queries = registry_field("degraded_queries")
+    #: Queries a partial quorum answered early (a subset of degraded).
+    partial_queries = registry_field("partial_queries")
     #: Queries that located no partition at all.
     misses = registry_field("misses")
 
@@ -185,6 +188,8 @@ class LatencyCollector(RegistryBackedCounters):
         self.failovers += result.failovers
         if result.degraded:
             self.degraded_queries += 1
+        if result.partial:
+            self.partial_queries += 1
         if not result.found:
             self.misses += 1
         self.recalls.append(result.recall)
@@ -215,9 +220,14 @@ class LatencyCollector(RegistryBackedCounters):
             rows,
             title=title,
         )
+        # The partial tally only appears when quorum completion fired, so
+        # reports from runs without the feature stay byte-identical.
+        partial = (
+            f"partial={self.partial_queries}  " if self.partial_queries else ""
+        )
         tail = (
             f"queries={self.queries}  chain timeouts={self.chain_timeouts}  "
             f"failovers={self.failovers}  degraded={self.degraded_queries}  "
-            f"misses={self.misses}  mean recall={self.mean_recall():.3f}"
+            f"{partial}misses={self.misses}  mean recall={self.mean_recall():.3f}"
         )
         return f"{table}\n{tail}"

@@ -38,6 +38,10 @@ class TrafficStats(RegistryBackedCounters):
         "failovers",
         "failover_exhausted",
         "replica_stores",
+        "busy_shed",
+        "hedges",
+        "hedge_wins",
+        "replies_to_dead",
     )
 
     messages = registry_field("messages")
@@ -56,6 +60,17 @@ class TrafficStats(RegistryBackedCounters):
     failover_exhausted = registry_field("failover_exhausted")
     #: Store placements addressed to non-primary replicas.
     replica_stores = registry_field("replica_stores")
+    #: Requests shed by a peer whose bounded service queue was full
+    #: (event-driven transport only) — explicit back-pressure, counted
+    #: apart from silent timeouts.
+    busy_shed = registry_field("busy_shed")
+    #: Backup lookups launched for straggling chains (event-driven only).
+    hedges = registry_field("hedges")
+    #: Hedged lookups whose backup answered first.
+    hedge_wins = registry_field("hedge_wins")
+    #: Replies dropped because the requester crashed while its request
+    #: was in flight (event-driven transport only).
+    replies_to_dead = registry_field("replies_to_dead")
 
     def __init__(
         self, registry: MetricsRegistry | None = None, namespace: str = "net"
@@ -106,6 +121,10 @@ class TrafficStats(RegistryBackedCounters):
         self.failovers = 0
         self.failover_exhausted = 0
         self.replica_stores = 0
+        self.busy_shed = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.replies_to_dead = 0
         self.by_kind.clear()
         self.sent_by_peer.clear()
         self.received_by_peer.clear()

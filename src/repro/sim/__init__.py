@@ -14,13 +14,25 @@ this subpackage answers "how long, and what breaks".  It provides:
   with the ``l`` lookups genuinely concurrent, timed per phase, failing
   over down the successor list when replicas are configured;
 - :class:`~repro.sim.repair.ReplicaRepairer` — the periodic anti-entropy
-  task that restores the replication factor after crashes.
+  task that restores the replication factor after crashes;
+- :mod:`repro.sim.policies` — the overload-protection layer: per-peer
+  adaptive timeouts (:class:`~repro.sim.policies.AdaptiveTimeout`),
+  jittered retry backoff (:class:`~repro.sim.policies.JitteredBackoff`),
+  per-destination circuit breakers
+  (:class:`~repro.sim.policies.CircuitBreaker`) and the hedged-lookup
+  trigger (:class:`~repro.sim.policies.HedgePolicy`).
 """
 
 from repro.sim.faults import FaultInjector
 from repro.sim.futures import SimFuture, gather
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.network import AsyncNetwork, RetryPolicy
+from repro.sim.policies import (
+    AdaptiveTimeout,
+    CircuitBreaker,
+    HedgePolicy,
+    JitteredBackoff,
+)
 from repro.sim.query import AsyncQueryEngine, ChainOutcome, TimedQueryResult
 from repro.sim.repair import RepairStats, ReplicaRepairer
 
@@ -32,6 +44,10 @@ __all__ = [
     "FaultInjector",
     "AsyncNetwork",
     "RetryPolicy",
+    "AdaptiveTimeout",
+    "JitteredBackoff",
+    "CircuitBreaker",
+    "HedgePolicy",
     "AsyncQueryEngine",
     "ChainOutcome",
     "TimedQueryResult",

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generic, Sequence, TypeVar
 
+from repro.errors import FutureCancelledError
+
 T = TypeVar("T")
 
 __all__ = ["SimFuture", "gather"]
@@ -19,6 +21,7 @@ __all__ = ["SimFuture", "gather"]
 _PENDING = "pending"
 _RESOLVED = "resolved"
 _REJECTED = "rejected"
+_CANCELLED = "cancelled"
 
 
 class SimFuture(Generic[T]):
@@ -41,21 +44,30 @@ class SimFuture(Generic[T]):
 
     @property
     def failed(self) -> bool:
-        """Whether the future settled with an error."""
-        return self._state == _REJECTED
+        """Whether the future settled with an error (cancellation counts:
+        a cancelled future carries a
+        :class:`~repro.errors.FutureCancelledError`, so fan-out code that
+        partitions outcomes into values and exceptions needs no third
+        case)."""
+        return self._state in (_REJECTED, _CANCELLED)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the future was settled by :meth:`cancel`."""
+        return self._state == _CANCELLED
 
     def result(self) -> T:
-        """The resolved value; raises the error if rejected, or
+        """The resolved value; raises the error if rejected/cancelled, or
         :class:`RuntimeError` if still pending."""
         if self._state == _RESOLVED:
             return self._value  # type: ignore[return-value]
-        if self._state == _REJECTED:
+        if self._state in (_REJECTED, _CANCELLED):
             assert self._error is not None
             raise self._error
         raise RuntimeError("future is still pending")
 
     def exception(self) -> BaseException | None:
-        """The rejection error, or None when pending/resolved."""
+        """The rejection/cancellation error, or None when pending/resolved."""
         return self._error
 
     # -- settling ------------------------------------------------------
@@ -68,7 +80,26 @@ class SimFuture(Generic[T]):
         """Settle with an error."""
         self._settle(_REJECTED, error=error)
 
+    def cancel(self) -> bool:
+        """Abandon a pending future; returns whether anything changed.
+
+        Cancelling settles the future with a
+        :class:`~repro.errors.FutureCancelledError` and runs its callbacks
+        — owners of associated resources (timeout timers, queued retries)
+        hook those callbacks to release them.  Cancelling an
+        already-settled future (the reply won the race) is a no-op, as is
+        a second cancel.
+        """
+        if self.done:
+            return False
+        self._settle(_CANCELLED, error=FutureCancelledError("future cancelled"))
+        return True
+
     def _settle(self, state: str, value: Any = None, error: BaseException | None = None) -> None:
+        if self._state == _CANCELLED:
+            # The operation was abandoned; a late resolution (the losing
+            # hedge's reply finally landing) is dropped silently.
+            return
         if self._state != _PENDING:
             raise RuntimeError(f"future already {self._state}")
         self._state = state

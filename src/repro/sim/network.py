@@ -9,9 +9,28 @@ Requests therefore need timeouts — :meth:`request` arms a retry schedule
 (:class:`RetryPolicy`) and rejects with
 :class:`~repro.errors.RequestTimeoutError` once it is exhausted.
 
-Traffic accounting reuses :class:`~repro.net.transport.TrafficStats`;
-messages are charged at send time (the wire carries a lost packet just the
-same) and drops/retries/timeouts are counted separately.
+Two overload mechanisms extend the base model, both off by default:
+
+- **bounded service queues** (``queue_capacity`` + ``service_time_ms``):
+  each peer serves requests one at a time; arrivals queue behind the
+  in-service request (so load shows up as queueing delay) and arrivals
+  that find the queue full are *shed* — the peer sends a small busy reply
+  and the requester's future rejects with
+  :class:`~repro.errors.PeerBusyError`, counted as ``busy_shed`` apart
+  from silent timeouts;
+- **adaptive request policies** (:mod:`repro.sim.policies`): attach an
+  :class:`~repro.sim.policies.AdaptiveTimeout`,
+  :class:`~repro.sim.policies.JitteredBackoff` and/or
+  :class:`~repro.sim.policies.CircuitBreaker` to the network and every
+  :meth:`request` consults them — per-destination patience, paced
+  retries, and fail-fast refusal (:class:`~repro.errors.OpenCircuitError`)
+  toward destinations that keep failing.
+
+Grey failures registered with the :class:`~repro.sim.faults.FaultInjector`
+inflate link latency (worse endpoint wins) and service time.  Traffic
+accounting reuses :class:`~repro.net.transport.TrafficStats`; messages are
+charged at send time (the wire carries a lost packet just the same) and
+drops/retries/timeouts/sheds are counted separately.
 """
 
 from __future__ import annotations
@@ -19,18 +38,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import RequestTimeoutError, UnknownPeerError
+from repro.errors import (
+    OpenCircuitError,
+    PeerBusyError,
+    RequestTimeoutError,
+    UnknownPeerError,
+)
 from repro.net.latency import LatencyModel, SeededLatency
 from repro.net.message import Message
 from repro.net.transport import TrafficStats
 from repro.obs.registry import MetricsRegistry
 from repro.sim.faults import FaultInjector
 from repro.sim.futures import SimFuture
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.policies import AdaptiveTimeout, CircuitBreaker, JitteredBackoff
 
 __all__ = ["AsyncNetwork", "RetryPolicy"]
 
 Handler = Callable[[Message], Any]
+
+#: Size of the busy reply a shedding peer sends (it carries no payload).
+BUSY_REPLY_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -68,6 +96,16 @@ class RetryPolicy:
         return sum(self.timeout_for(i) for i in range(self.total_attempts))
 
 
+class _ServiceQueue:
+    """One peer's bounded single-server queue state."""
+
+    __slots__ = ("backlog", "free_at")
+
+    def __init__(self) -> None:
+        self.backlog = 0  # requests queued or in service
+        self.free_at = 0.0  # virtual time the server next idles
+
+
 class AsyncNetwork:
     """Peers exchanging delayed, droppable messages on a virtual clock."""
 
@@ -78,7 +116,17 @@ class AsyncNetwork:
         drop_probability: float = 0.0,
         seed: int = 0,
         registry: "MetricsRegistry | None" = None,
+        queue_capacity: int = 0,
+        service_time_ms: float = 0.0,
     ) -> None:
+        if queue_capacity < 0:
+            raise ValueError("queue capacity cannot be negative")
+        if service_time_ms < 0:
+            raise ValueError("service time cannot be negative")
+        if queue_capacity > 0 and service_time_ms <= 0:
+            # With zero service time same-instant arrivals would race the
+            # zero-delay completion events and shed nondeterministically.
+            raise ValueError("a bounded queue needs a positive service time")
         self.sim = sim
         self.latency = latency if latency is not None else SeededLatency(seed=seed)
         self.faults = FaultInjector(drop_probability, seed=seed)
@@ -86,7 +134,17 @@ class AsyncNetwork:
         # system running both keeps the two accountings distinct in one
         # shared registry.
         self.stats = TrafficStats(registry=registry, namespace="sim.net")
+        #: 0 disables the queue model entirely: handlers run the instant a
+        #: request arrives, exactly the pre-overload-layer behaviour.
+        self.queue_capacity = queue_capacity
+        self.service_time_ms = service_time_ms
+        #: Optional adaptive policies consulted by :meth:`request`; all
+        #: None by default (static policy, immediate retries, no breaker).
+        self.adaptive: AdaptiveTimeout | None = None
+        self.backoff: JitteredBackoff | None = None
+        self.breaker: CircuitBreaker | None = None
         self._handlers: dict[int, Handler] = {}
+        self._queues: dict[int, _ServiceQueue] = {}
 
     # -- membership (mirrors SimulatedNetwork) -------------------------
 
@@ -97,6 +155,7 @@ class AsyncNetwork:
     def unregister(self, peer_id: int) -> None:
         """Detach a peer (it stops receiving messages)."""
         self._handlers.pop(peer_id, None)
+        self._queues.pop(peer_id, None)
 
     def is_registered(self, peer_id: int) -> bool:
         return peer_id in self._handlers
@@ -119,6 +178,13 @@ class AsyncNetwork:
         """Registered and not currently crashed."""
         return self.is_registered(peer_id) and not self.faults.is_crashed(peer_id)
 
+    # -- load introspection --------------------------------------------
+
+    def queue_backlog(self, peer_id: int) -> int:
+        """Requests currently queued or in service at ``peer_id``."""
+        queue = self._queues.get(peer_id)
+        return queue.backlog if queue is not None else 0
+
     # -- delivery ------------------------------------------------------
 
     def send(
@@ -133,9 +199,12 @@ class AsyncNetwork:
         """One request/reply exchange, no retries.
 
         Resolves with the recipient handler's return value after a full
-        round trip of sampled latency.  A message lost to a drop or a
-        crashed recipient leaves the future pending forever — arming a
-        timeout is the caller's job (see :meth:`request`).
+        round trip of sampled latency (queueing delay included when the
+        service-queue model is on); rejects with
+        :class:`~repro.errors.PeerBusyError` if the recipient shed the
+        request.  A message lost to a drop or a crashed recipient leaves
+        the future pending forever — arming a timeout is the caller's job
+        (see :meth:`request`).
         """
         if recipient not in self._handlers:
             future: SimFuture[Any] = SimFuture()
@@ -149,27 +218,28 @@ class AsyncNetwork:
             size_bytes=size_bytes,
         )
         future = SimFuture()
-        out_delay = self.latency.sample_ms(sender, recipient)
+        out_delay = self.latency.sample_ms(sender, recipient) * self.faults.link_factor(
+            sender, recipient
+        )
         self.stats.record(message, out_delay)
         dropped_out = self.faults.drops_delivery()
 
-        def deliver() -> None:
-            if dropped_out or self.faults.is_crashed(recipient):
-                self.stats.drops += 1
-                return
-            handler = self._handlers.get(recipient)
-            if handler is None:  # unregistered while in flight
-                self.stats.drops += 1
-                return
-            reply_payload = handler(message)
+        def send_reply(
+            reply_kind: str,
+            reply_payload: Any,
+            size: int,
+            settle: Callable[[], None],
+        ) -> None:
             reply = Message(
                 sender=recipient,
                 recipient=sender,
-                kind=f"{kind}-reply",
+                kind=reply_kind,
                 payload=reply_payload,
-                size_bytes=reply_size_bytes,
+                size_bytes=size,
             )
-            back_delay = self.latency.sample_ms(recipient, sender)
+            back_delay = self.latency.sample_ms(
+                recipient, sender
+            ) * self.faults.link_factor(recipient, sender)
             self.stats.record(reply, back_delay)
             dropped_back = self.faults.drops_delivery()
 
@@ -177,9 +247,66 @@ class AsyncNetwork:
                 if dropped_back:
                     self.stats.drops += 1
                     return
-                future.resolve(reply_payload)
+                if self.faults.is_crashed(sender):
+                    # The requester crashed while the exchange was in
+                    # flight; running its continuation would hand a reply
+                    # to a dead peer.
+                    self.stats.replies_to_dead += 1
+                    return
+                settle()
 
             self.sim.call_later(back_delay, deliver_reply)
+
+        def serve() -> None:
+            if self.faults.is_crashed(recipient):
+                # Crashed after the request arrived (possibly mid-queue).
+                self.stats.drops += 1
+                return
+            handler = self._handlers.get(recipient)
+            if handler is None:
+                self.stats.drops += 1
+                return
+            reply_payload = handler(message)
+            send_reply(
+                f"{kind}-reply",
+                reply_payload,
+                reply_size_bytes,
+                lambda: future.resolve(reply_payload),
+            )
+
+        def deliver() -> None:
+            if dropped_out or self.faults.is_crashed(recipient):
+                self.stats.drops += 1
+                return
+            if recipient not in self._handlers:  # unregistered while in flight
+                self.stats.drops += 1
+                return
+            if self.queue_capacity == 0:
+                serve()
+                return
+            queue = self._queues.get(recipient)
+            if queue is None:
+                queue = _ServiceQueue()
+                self._queues[recipient] = queue
+            if queue.backlog >= self.queue_capacity:
+                self.stats.busy_shed += 1
+                send_reply(
+                    f"{kind}-busy",
+                    None,
+                    BUSY_REPLY_BYTES,
+                    lambda: future.reject(PeerBusyError(recipient)),
+                )
+                return
+            queue.backlog += 1
+            start = max(queue.free_at, self.sim.now)
+            done = start + self.service_time_ms * self.faults.service_factor(recipient)
+            queue.free_at = done
+
+            def serve_queued() -> None:
+                queue.backlog -= 1
+                serve()
+
+            self.sim.call_later(done - self.sim.now, serve_queued)
 
         self.sim.call_later(out_delay, deliver)
         return future
@@ -200,25 +327,49 @@ class AsyncNetwork:
         Resolves with the first reply to arrive (late replies from earlier
         attempts count); rejects with
         :class:`~repro.errors.RequestTimeoutError` when every attempt's
-        patience runs out.
+        patience runs out, with :class:`~repro.errors.PeerBusyError` when
+        the final attempt was shed, or immediately with
+        :class:`~repro.errors.OpenCircuitError` when the destination's
+        circuit breaker refuses the send (no retry budget consumed).
+
+        When the network carries adaptive policies, each attempt's
+        patience comes from the destination's RTT estimate once warm
+        (scaled by the policy's backoff for later attempts), retries are
+        paced by the jittered backoff, and every outcome feeds the
+        breaker.  Cancelling the returned future releases its pending
+        timer — hedged lookups rely on that to not leak virtual-time work.
 
         ``observer(name, attrs)`` — when given — is called at each
         lifecycle step, at the virtual time it happens: ``send`` per
         attempt launched, ``retry`` when a timed-out attempt re-sends,
-        ``reply`` when the winning reply lands, ``timeout`` when the
-        request as a whole gives up.  The tracing layer maps these onto
-        span events.
+        ``busy`` when an attempt came back shed, ``breaker-open`` on a
+        fail-fast refusal, ``reply`` when the winning reply lands,
+        ``timeout`` when the request as a whole gives up.  The tracing
+        layer maps these onto span events.
         """
         policy = policy if policy is not None else RetryPolicy()
         out: SimFuture[Any] = SimFuture()
         started = self.sim.now
         attempt_no = 0
+        pending_timer: list[Timer | None] = [None]
 
         def notify(name: str, **attrs) -> None:
             if observer is not None:
                 observer(name, attrs)
 
+        def timeout_for(attempt: int) -> float:
+            if self.adaptive is not None:
+                warm = self.adaptive.timeout_ms(recipient)
+                if warm is not None:
+                    return warm * policy.backoff**attempt
+            return policy.timeout_for(attempt)
+
         def launch_attempt() -> None:
+            if self.breaker is not None and not self.breaker.allow(recipient):
+                notify("breaker-open", to=recipient)
+                out.reject(OpenCircuitError(recipient))
+                return
+            attempt_started = self.sim.now
             notify("send", attempt=attempt_no, to=recipient, kind=kind)
             inner = self.send(
                 sender,
@@ -228,42 +379,70 @@ class AsyncNetwork:
                 size_bytes=size_bytes,
                 reply_size_bytes=reply_size_bytes,
             )
-            timer = self.sim.call_later(policy.timeout_for(attempt_no), on_timeout)
+            timer = self.sim.call_later(timeout_for(attempt_no), on_timeout)
+            pending_timer[0] = timer
 
             def on_reply(settled: SimFuture[Any]) -> None:
                 timer.cancel()
                 if out.done:
                     return  # duplicate reply after a retry already won
                 if settled.failed:
-                    out.reject(settled.exception())  # type: ignore[arg-type]
-                else:
-                    notify("reply", ms=self.sim.now - started)
-                    out.resolve(settled.result())
+                    error = settled.exception()
+                    if isinstance(error, PeerBusyError):
+                        if self.breaker is not None:
+                            self.breaker.record_failure(recipient)
+                        notify("busy", peer=recipient, attempt=attempt_no)
+                        fail_attempt(error)
+                        return
+                    out.reject(error)  # type: ignore[arg-type]
+                    return
+                if self.adaptive is not None:
+                    # Each attempt has its own future, so this RTT is
+                    # unambiguously attributable (Karn's concern is moot).
+                    self.adaptive.observe(recipient, self.sim.now - attempt_started)
+                if self.breaker is not None:
+                    self.breaker.record_success(recipient)
+                notify("reply", ms=self.sim.now - started)
+                out.resolve(settled.result())
 
             inner.add_done_callback(on_reply)
 
-        def on_timeout() -> None:
+        def fail_attempt(error: BaseException | None) -> None:
             nonlocal attempt_no
-            if out.done:
-                return
             attempt_no += 1
             if attempt_no >= policy.total_attempts:
+                waited = self.sim.now - started
+                if isinstance(error, PeerBusyError):
+                    notify("busy-exhausted", attempts=attempt_no, waited_ms=waited)
+                    out.reject(error)
+                    return
                 self.stats.timeouts += 1
-                notify(
-                    "timeout",
-                    attempts=attempt_no,
-                    waited_ms=self.sim.now - started,
-                )
-                out.reject(
-                    RequestTimeoutError(
-                        recipient, attempt_no, self.sim.now - started
-                    )
-                )
+                notify("timeout", attempts=attempt_no, waited_ms=waited)
+                out.reject(RequestTimeoutError(recipient, attempt_no, waited))
+                return
+            self.stats.retries += 1
+            notify("retry", attempt=attempt_no)
+            if self.backoff is not None:
+                delay = self.backoff.delay_ms(attempt_no - 1)
+                pending_timer[0] = self.sim.call_later(delay, launch_attempt)
             else:
-                self.stats.retries += 1
-                notify("retry", attempt=attempt_no)
                 launch_attempt()
 
+        def on_timeout() -> None:
+            if out.done:
+                return
+            if self.breaker is not None:
+                self.breaker.record_failure(recipient)
+            fail_attempt(None)
+
+        def release_timer(_: SimFuture[Any]) -> None:
+            timer = pending_timer[0]
+            if timer is not None:
+                timer.cancel()
+
+        # Runs on every settle (reply, rejection, *cancellation*): the
+        # pending timeout/backoff timer must not outlive the request.
+        out.add_done_callback(release_timer)
         launch_attempt()
         return out
 

@@ -17,6 +17,20 @@ Phase accounting per query:
 - ``fetch_ms``  — retrieving the winning partition's rows (when enabled);
 - ``store_ms``  — the store-on-miss fan-out to the ``l`` owners;
 - ``total_ms``  — end-to-end virtual time, = locate + fetch + store spans.
+
+Because completion is the *max* over chains, one stalled owner is the whole
+query's latency — which makes this layer the right home for the two
+tail-tolerance moves (both off by default, enabled via
+:class:`~repro.core.config.SystemConfig`):
+
+- **hedged lookups** (``config.hedge``): a chain still unanswered at the
+  live p95 of past chains (see :class:`~repro.sim.policies.HedgePolicy`)
+  launches a backup request at the next replica down the successor list;
+  first answer wins and the loser is cancelled;
+- **partial quorum** (``config.quorum = m``): the query answers once ``m``
+  of the ``l`` chains replied, provided the best match already clears
+  ``config.quorum_threshold`` — the remaining chains are cancelled and the
+  result is flagged ``partial``.
 """
 
 from __future__ import annotations
@@ -36,8 +50,14 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import NULL_TRACE, QueryTrace, Span
 from repro.ranges.interval import IntRange
 from repro.sim.futures import SimFuture, gather
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, Timer
 from repro.sim.network import AsyncNetwork, RetryPolicy
+from repro.sim.policies import (
+    AdaptiveTimeout,
+    CircuitBreaker,
+    HedgePolicy,
+    JitteredBackoff,
+)
 from repro.util.rng import derive_rng
 
 __all__ = ["AsyncQueryEngine", "ChainOutcome", "TimedQueryResult"]
@@ -64,6 +84,8 @@ class ChainOutcome:
     timed_out: bool
     #: Failover steps taken down the successor list (0 = owner answered).
     failovers: int = 0
+    #: Whether the answer came from a hedged (backup) lookup.
+    hedged: bool = False
 
 
 @dataclass(frozen=True)
@@ -92,6 +114,8 @@ class TimedQueryResult:
     fetch_ms: float
     store_ms: float
     total_ms: float
+    #: Whether a partial quorum answered early (remaining chains cancelled).
+    partial: bool = False
     fetched: Partition | None = None
 
     @property
@@ -102,7 +126,7 @@ class TimedQueryResult:
     @property
     def degraded(self) -> bool:
         """Whether the answer came from fewer than ``l`` replies."""
-        return self.timeouts > 0
+        return self.timeouts > 0 or self.partial
 
 
 class AsyncQueryEngine:
@@ -131,6 +155,8 @@ class AsyncQueryEngine:
             seed = system.config.seed
         if latency is None:
             latency = SeededLatency(seed=seed)
+        config = system.config
+        bound_registry = registry if registry is not None else system.metrics
         # The engine's transport publishes into the system's unified
         # registry (as "sim.net.*") unless told otherwise.
         self.net = AsyncNetwork(
@@ -138,9 +164,40 @@ class AsyncQueryEngine:
             latency=latency,
             drop_probability=drop_probability,
             seed=seed,
-            registry=registry if registry is not None else system.metrics,
+            registry=bound_registry,
+            queue_capacity=config.peer_queue,
+            service_time_ms=(
+                1000.0 / config.service_rate if config.service_rate > 0 else 0.0
+            ),
         )
+        # Overload protections, all config-gated so the default config
+        # leaves the event-driven path byte-identical to the base model.
+        if config.adaptive_timeout:
+            self.net.adaptive = AdaptiveTimeout()
+            self.net.backoff = JitteredBackoff(seed=seed, name="sim/backoff")
+        if config.breaker:
+            self.net.breaker = CircuitBreaker(
+                clock=lambda: self.sim.now, registry=bound_registry
+            )
+            self.net.breaker.transition_hook = (
+                lambda peer, old, new: logger.info(
+                    "breaker for peer %d: %s -> %s at t=%.1f",
+                    peer, old, new, self.sim.now,
+                )
+            )
+        self.quorum_m = config.quorum
+        self.quorum_threshold = config.quorum_threshold
         self.policy = policy if policy is not None else RetryPolicy()
+        # The hedge delay is capped at the retry timeout: waiting longer
+        # than the timeout to launch a backup is pointless, because at the
+        # timeout the original attempt retries or fails over anyway.  The
+        # cap also keeps the live-p95 trigger useful when stragglers are
+        # common enough (>5% of chains) to contaminate the p95 itself.
+        self.hedge: HedgePolicy | None = (
+            HedgePolicy(registry=bound_registry, ceiling_ms=self.policy.timeout_ms)
+            if config.hedge
+            else None
+        )
         #: Budget for each *failover* attempt down the successor list.  The
         #: default gives every replica one try under the base timeout (no
         #: retries), so a chain's worst case grows linearly in replicas
@@ -166,6 +223,19 @@ class AsyncQueryEngine:
     def recover_peer(self, peer_id: int) -> None:
         """Bring a crashed peer back."""
         self.net.recover(peer_id)
+
+    def slow_peer(
+        self,
+        peer_id: int,
+        latency_factor: float = 1.0,
+        service_factor: float = 1.0,
+    ) -> None:
+        """Grey-fail one peer: inflate its link latency and service time."""
+        self.net.faults.slow(peer_id, latency_factor, service_factor)
+
+    def unslow_peer(self, peer_id: int) -> None:
+        """Restore a grey-failed peer to full speed."""
+        self.net.faults.unslow(peer_id)
 
     def pick_origin(self) -> int:
         """A uniformly random *alive* querying peer."""
@@ -241,12 +311,63 @@ class AsyncQueryEngine:
             for identifier in identifiers
         ]
         out: SimFuture[TimedQueryResult] = SimFuture()
-        gather(chain_futures).add_done_callback(
-            lambda settled: self._after_locate(
-                settled.result(), query, hashed_query, relation, attribute,
-                origin, started, out, trace, locate_span,
+
+        def locate(chains: list[ChainOutcome], partial: bool) -> None:
+            self._after_locate(
+                chains, query, hashed_query, relation, attribute,
+                origin, started, out, trace, locate_span, partial=partial,
             )
-        )
+
+        m = self.quorum_m
+        if m and m < len(chain_futures):
+            # Partial quorum: answer as soon as m chains replied with a
+            # good-enough best match; the stragglers are cancelled.
+            threshold = self.quorum_threshold
+            outcomes: list[ChainOutcome] = []
+            remaining = [len(chain_futures)]
+            completing = [False]
+
+            def on_chain(settled: SimFuture) -> None:
+                remaining[0] -= 1
+                if completing[0]:
+                    return  # a cancellation triggered by early completion
+                if not settled.failed:
+                    outcomes.append(settled.result())
+                answered = sum(1 for c in outcomes if c.reply is not None)
+                best = max(
+                    (
+                        c.reply.score
+                        for c in outcomes
+                        if c.reply is not None and c.reply.descriptor is not None
+                    ),
+                    default=None,
+                )
+                if (
+                    remaining[0] > 0
+                    and answered >= m
+                    and best is not None
+                    and best >= threshold
+                ):
+                    completing[0] = True
+                    locate_span.event(
+                        "quorum",
+                        answered=answered,
+                        cancelled=remaining[0],
+                        best_score=best,
+                    )
+                    for chain_future in chain_futures:
+                        chain_future.cancel()
+                    locate(list(outcomes), partial=True)
+                elif remaining[0] == 0:
+                    completing[0] = True
+                    locate(list(outcomes), partial=False)
+
+            for chain_future in chain_futures:
+                chain_future.add_done_callback(on_chain)
+        else:
+            gather(chain_futures).add_done_callback(
+                lambda settled: locate(settled.result(), False)
+            )
         return out
 
     def run(
@@ -264,6 +385,53 @@ class AsyncQueryEngine:
             trace=trace,
         )
         return self.sim.run_until_complete(future)
+
+    def run_open_loop(
+        self,
+        queries: "list[IntRange]",
+        interval_ms: float,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+    ) -> list[TimedQueryResult]:
+        """Issue queries at a fixed arrival rate and run all to completion.
+
+        Query ``i`` *starts* at ``now + i * interval_ms`` regardless of
+        whether earlier queries have finished — an open-loop workload, the
+        shape that exposes overload: a closed loop (issue, wait, issue)
+        self-throttles when the system slows down, hiding collapse.
+        Origins are pre-drawn (one per query, in issue order) so the
+        schedule is deterministic under a fixed seed.  Returns results in
+        issue order.
+        """
+        if interval_ms < 0:
+            raise ValueError("arrival interval cannot be negative")
+        if not queries:
+            return []
+        origins = [self.pick_origin() for _ in queries]
+        results: list[TimedQueryResult | None] = [None] * len(queries)
+        remaining = [len(queries)]
+        all_done: SimFuture[None] = SimFuture()
+
+        def launch(index: int) -> None:
+            future = self.query(
+                queries[index], relation, attribute, origin=origins[index]
+            )
+
+            def on_done(settled: SimFuture, index: int = index) -> None:
+                results[index] = settled.result()
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    all_done.resolve(None)
+
+            future.add_done_callback(on_done)
+
+        base = self.sim.now
+        for index in range(len(queries)):
+            self.sim.call_at(
+                base + index * interval_ms, lambda index=index: launch(index)
+            )
+        self.sim.run_until_complete(all_done)
+        return [result for result in results if result is not None]
 
     # -- internals -----------------------------------------------------
 
@@ -285,9 +453,13 @@ class AsyncQueryEngine:
         legs to the replicas are where loss and crashes bite.  The first
         attempt (the owner) runs under the engine's base retry policy;
         each failover attempt gets its own :attr:`failover_policy` budget
-        and is charged one successor-pointer hop.  The chain future always
-        *resolves* (exhausting every replica yields ``timed_out=True``),
-        so dead peers degrade the query instead of failing it.
+        and is charged one successor-pointer hop.  With hedging enabled, a
+        chain still unanswered at the hedge delay additionally launches
+        the next untried replica *concurrently* — first answer wins, and
+        settling the chain (resolve or cancel) cancels every outstanding
+        request and timer.  The chain future always *resolves* (exhausting
+        every replica yields ``timed_out=True``), so dead peers degrade
+        the query instead of failing it.
         """
         sim = self.sim
         net = self.net
@@ -305,13 +477,32 @@ class AsyncQueryEngine:
         edges = list(zip(path, path[1:]))
         span = parent.span("chain", identifier=identifier, placed=placed)
         chain: SimFuture[ChainOutcome] = SimFuture()
+        outstanding: list[SimFuture] = []
+        pending_timers: list[Timer] = []
+
+        def on_chain_settled(settled: SimFuture) -> None:
+            # Whether the chain resolved or was cancelled (quorum already
+            # met), nothing launched on its behalf may keep running: the
+            # losing hedge's request, queued failover hops, the hedge
+            # timer — all released here.
+            for timer in pending_timers:
+                timer.cancel()
+            for request in outstanding:
+                request.cancel()
+            if settled.cancelled:
+                span.end(cancelled=True)
+
+        chain.add_done_callback(on_chain_settled)
 
         def finish(
             reply: MatchReply | None,
             route_ms: float,
             timed_out: bool,
             failovers: int,
+            hedged: bool = False,
         ) -> None:
+            if chain.done:
+                return
             span.end(
                 owner=owner,
                 hops=hops,
@@ -329,67 +520,94 @@ class AsyncQueryEngine:
                     completed_ms=sim.now - started,
                     timed_out=timed_out,
                     failovers=failovers,
+                    hedged=hedged,
                 )
             )
 
         def ask_replicas() -> None:
             route_ms = sim.now - started
+            match_started = sim.now
             candidates = system.failover_candidates(
                 identifier, is_alive=net.is_alive
             )
             if owner not in candidates:
                 candidates.insert(0, owner)
+            #: next: rank of the next untried candidate; active: requests
+            #: currently in flight for this chain.
+            state = {"next": 1, "active": 0}
 
-            def ask(index: int) -> None:
-                if index >= len(candidates):
-                    net.stats.failover_exhausted += 1
-                    system.counters.failed_lookups += 1
-                    logger.warning(
-                        "identifier %d unreachable at t=%.1f: all %d "
-                        "candidates exhausted their budget",
-                        identifier, sim.now, len(candidates),
-                    )
-                    span.event("unreachable", candidates=len(candidates))
-                    finish(None, route_ms, timed_out=True, failovers=index - 1)
+            def exhausted() -> None:
+                net.stats.failover_exhausted += 1
+                system.counters.failed_lookups += 1
+                logger.warning(
+                    "identifier %d unreachable at t=%.1f: all %d "
+                    "candidates exhausted their budget",
+                    identifier, sim.now, len(candidates),
+                )
+                span.event("unreachable", candidates=len(candidates))
+                finish(
+                    None, route_ms, timed_out=True,
+                    failovers=len(candidates) - 1,
+                )
+
+            def launch(rank: int, hedged: bool) -> None:
+                if chain.done or rank >= len(candidates):
                     return
-                candidate = candidates[index]
-                span.event("attempt", peer=candidate, rank=index)
+                candidate = candidates[rank]
+                state["active"] += 1
+                if hedged:
+                    net.stats.hedges += 1
+                    span.event("hedge-launch", peer=candidate, rank=rank)
+                span.event("attempt", peer=candidate, rank=rank)
                 request = net.request(
                     origin,
                     candidate,
                     "match-request",
                     payload=(identifier, hashed_query, relation, attribute),
-                    policy=self.policy if index == 0 else self.failover_policy,
+                    policy=self.policy if rank == 0 else self.failover_policy,
                     observer=lambda name, attrs: span.event(
-                        f"net-{name}", peer=candidate, **attrs
+                        name if name == "breaker-open" else f"net-{name}",
+                        **{"peer": candidate, **attrs},
                     ),
                 )
+                outstanding.append(request)
 
                 def on_done(settled: SimFuture) -> None:
+                    state["active"] -= 1
+                    if chain.done:
+                        return
                     if settled.failed:
-                        next_index = index + 1
-                        if next_index < len(candidates):
+                        nxt = state["next"]
+                        if nxt < len(candidates):
+                            state["next"] = nxt + 1
                             span.event(
                                 "failover",
                                 source=candidate,
-                                target=candidates[next_index],
+                                target=candidates[nxt],
                             )
                             # One successor-pointer hop to the next replica.
                             delay = net.latency.sample_ms(
-                                candidate, candidates[next_index]
+                                candidate, candidates[nxt]
                             )
                             net.stats.record_routing_hops(1, latency_ms=delay)
-                            sim.call_later(delay, lambda: ask(next_index))
-                        else:
-                            ask(next_index)
+                            pending_timers.append(
+                                sim.call_later(
+                                    delay, lambda: launch(nxt, hedged=False)
+                                )
+                            )
+                        elif state["active"] == 0:
+                            exhausted()
                         return
-                    if index > 0:
+                    if hedged:
+                        net.stats.hedge_wins += 1
+                        span.event("hedge-win", peer=candidate, rank=rank)
+                    elif rank > 0:
                         net.stats.failovers += 1
                         system.counters.failovers += 1
                         logger.info(
                             "degraded answer for identifier %d at t=%.1f: "
                             "replica %d answered after %d failover step(s)",
-                            identifier, sim.now, candidate, index,
+                            identifier, sim.now, candidate, rank,
                         )
                     answer = settled.result()
                     if answer is None:
@@ -407,11 +625,28 @@ class AsyncQueryEngine:
                             else None
                         ),
                     )
-                    finish(reply, route_ms, timed_out=False, failovers=index)
+                    if self.hedge is not None:
+                        self.hedge.observe(sim.now - match_started)
+                    finish(
+                        reply, route_ms, timed_out=False,
+                        failovers=0 if hedged else rank, hedged=hedged,
+                    )
 
                 request.add_done_callback(on_done)
 
-            ask(0)
+            launch(0, hedged=False)
+            if self.hedge is not None and len(candidates) > 1:
+                hedge_delay = self.hedge.delay_ms()
+                if hedge_delay is not None:
+
+                    def fire_hedge() -> None:
+                        if chain.done or state["next"] >= len(candidates):
+                            return
+                        nxt = state["next"]
+                        state["next"] = nxt + 1
+                        launch(nxt, hedged=True)
+
+                    pending_timers.append(sim.call_later(hedge_delay, fire_hedge))
 
         def advance(edge_index: int) -> None:
             if edge_index == len(edges):
@@ -448,6 +683,7 @@ class AsyncQueryEngine:
         out: SimFuture[TimedQueryResult],
         trace: "QueryTrace | None" = None,
         locate_span: "Span | None" = None,
+        partial: bool = False,
     ) -> None:
         sim = self.sim
         config = self.system.config
@@ -498,6 +734,7 @@ class AsyncQueryEngine:
                 hops=sum(c.hops for c in chains),
                 timeouts=timeouts,
                 failovers=failovers,
+                degraded="partial" if partial else (timeouts > 0),
                 total_ms=sim.now - started,
             )
             out.resolve(
@@ -520,6 +757,7 @@ class AsyncQueryEngine:
                     fetch_ms=fetch_ms,
                     store_ms=store_ms,
                     total_ms=sim.now - started,
+                    partial=partial,
                     fetched=fetched,
                 )
             )

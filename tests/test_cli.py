@@ -147,6 +147,74 @@ class TestSimulate:
         assert "error:" in capsys.readouterr().err
 
 
+class TestSimulateOverload:
+    def test_protections_run_and_are_summarized(self):
+        code, text = run_cli(
+            "simulate",
+            "--peers", "40",
+            "--queries", "8",
+            "--warm-queries", "20",
+            "--replicas", "3",
+            "--peer-queue", "4",
+            "--service-rate", "50",
+            "--hedge",
+            "--quorum", "3",
+            "--breaker",
+            "--adaptive-timeout",
+            "--slow", "0.2",
+            "--slow-factor", "8",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "overload:" in text
+        assert "slow 8/40 peers" in text
+        assert "quorum=3" in text
+
+    def test_default_run_has_no_overload_line(self):
+        code, text = run_cli(
+            "simulate", "--peers", "40", "--queries", "5",
+            "--warm-queries", "10", "--seed", "3",
+        )
+        assert code == 0
+        assert "overload:" not in text
+        assert "busy-shed" not in text
+
+    def test_all_queries_failing_warns_and_exits_nonzero(self, capsys):
+        # A single service slot that takes ~3 virtual hours per request:
+        # the first request parks in it forever and everything else sheds.
+        code, text = run_cli(
+            "simulate",
+            "--peers", "30",
+            "--queries", "3",
+            "--warm-queries", "1",
+            "--peer-queue", "1",
+            "--service-rate", "0.0001",
+            "--timeout-ms", "50",
+            "--seed", "3",
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "warning: all 3 queries failed" in err
+        assert "mean recall" in text  # the report still renders
+
+    def test_rejects_bad_slow_fraction(self, capsys):
+        code, _ = run_cli("simulate", "--peers", "20", "--slow", "1.5")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_bad_slow_factor(self, capsys):
+        code, _ = run_cli(
+            "simulate", "--peers", "20", "--slow", "0.1", "--slow-factor", "0.5"
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_queue_without_service_rate(self, capsys):
+        code, _ = run_cli("simulate", "--peers", "20", "--peer-queue", "4")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestInfo:
     def test_info_prints_defaults(self):
         code, text = run_cli("info")

@@ -251,6 +251,25 @@ class TestMoreExtensions:
         assert outcome.cell("r=3+repair", worst).failovers > 0
         assert "recall under churn" in outcome.report()
 
+    def test_overload_protections_degrade_gracefully(self):
+        from repro.experiments.ext_overload import OverloadExperiment
+
+        experiment = OverloadExperiment(
+            n_peers=60, timed_queries=60, warmup_queries=40
+        )
+        outcome = experiment.run()
+        heavy = max(experiment.load_factors)
+        slow = max(experiment.slow_fractions)
+        protected = outcome.cell(True, heavy, slow)
+        unprotected = outcome.cell(False, heavy, slow)
+        # The protections engage under stress and cut the tail...
+        assert protected.hedges > 0 and protected.hedge_wins > 0
+        assert protected.partial_queries > 0
+        assert protected.p99_ms < unprotected.p99_ms
+        # ...without giving up answers.
+        assert protected.mean_recall >= outcome.baseline().mean_recall - 0.05
+        assert "overload protection" in outcome.report()
+
     def test_linear_catches_up_under_repetition(self):
         """Section 5.1: "As the system evolves, the probability that
         identical queries had been asked earlier goes higher and linear

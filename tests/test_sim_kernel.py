@@ -163,6 +163,47 @@ class TestSimFuture:
     def test_gather_of_nothing_resolves_empty(self):
         assert gather([]).result() == []
 
+    def test_cancel_settles_with_typed_error(self):
+        from repro.errors import FutureCancelledError
+
+        future: SimFuture[int] = SimFuture()
+        seen: list[bool] = []
+        future.add_done_callback(lambda f: seen.append(f.cancelled))
+        assert future.cancel()
+        assert future.done and future.failed and future.cancelled
+        assert isinstance(future.exception(), FutureCancelledError)
+        assert seen == [True]  # callbacks fire on cancel, for cleanup
+
+    def test_cancel_after_resolve_is_noop(self):
+        future: SimFuture[int] = SimFuture()
+        future.resolve(42)
+        assert not future.cancel()
+        assert not future.cancelled
+        assert future.result() == 42
+
+    def test_double_cancel_changes_nothing(self):
+        future: SimFuture[int] = SimFuture()
+        assert future.cancel()
+        assert not future.cancel()
+
+    def test_late_settle_after_cancel_is_dropped_silently(self):
+        future: SimFuture[int] = SimFuture()
+        future.cancel()
+        future.resolve(42)  # the losing hedge's reply finally landing
+        future.reject(TimeoutError("late"))
+        assert future.cancelled
+        with pytest.raises(Exception):
+            future.result()
+
+    def test_gather_counts_cancellation_as_an_error_slot(self):
+        futures = [SimFuture() for _ in range(2)]
+        combined = gather(futures)
+        futures[0].resolve("a")
+        futures[1].cancel()
+        value, error = combined.result()
+        assert value == "a"
+        assert futures[1].cancelled and error is futures[1].exception()
+
 
 class TestPendingAccounting:
     """``pending`` counts live events exactly; ``queued`` is raw heap size."""
