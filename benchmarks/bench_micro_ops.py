@@ -2,12 +2,24 @@
 
 These are the per-operation costs behind the figure experiments: hashing
 one range to its l identifiers (naive vs RMQ-accelerated), one Chord
-lookup, and one end-to-end system query.
+lookup, and one end-to-end system query — at the default size and at the
+paper's 1000-peer scale.
+
+Every run writes ``BENCH_micro_ops.json`` at the repo root (CI uploads
+it as an artifact), so the per-operation cost trajectory is persisted
+PR over PR instead of vanishing with the run.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+from pathlib import Path
+
 import pytest
+
+from conftest import bench_scale
 
 from repro.chord.ring import ChordRing
 from repro.core.config import SystemConfig
@@ -23,6 +35,46 @@ from repro.util.rng import derive_rng
 
 DOMAIN = Domain("value", 0, 1000)
 QUERY = IntRange(200, 600)
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_micro_ops.json"
+
+#: op name -> timing row, flushed to ``BENCH_micro_ops.json`` at teardown.
+_RECORDED: dict[str, dict] = {}
+
+
+def record(name: str, benchmark) -> None:
+    """Keep one op's timings for the JSON report (no-op when disabled)."""
+    metadata = getattr(benchmark, "stats", None)
+    if metadata is None:  # --benchmark-disable
+        return
+    stats = metadata.stats
+    _RECORDED[name] = {
+        "mean_s": stats.mean,
+        "median_s": stats.median,
+        "min_s": stats.min,
+        "stddev_s": stats.stddev,
+        "rounds": stats.rounds,
+        "ops_per_s": stats.ops,
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Write the per-operation trajectory file once the module is done."""
+    _RECORDED.clear()
+    yield
+    if not _RECORDED:
+        return
+    payload = {
+        "suite": "micro_ops",
+        "scale": bench_scale(),
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "ops": _RECORDED,
+    }
+    REPORT_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="module")
@@ -46,11 +98,13 @@ def ring():
 def test_hash_identifiers_naive(benchmark, scheme):
     result = benchmark(scheme.identifiers, QUERY)
     assert len(result) == 5
+    record("hash_identifiers_naive", benchmark)
 
 
 def test_hash_identifiers_accelerated(benchmark, accel_index):
     result = benchmark(accel_index.identifiers, QUERY)
     assert result == accel_index.scheme.identifiers(QUERY)
+    record("hash_identifiers_accelerated", benchmark)
 
 
 def test_chord_lookup(benchmark, ring):
@@ -67,10 +121,11 @@ def test_chord_lookup(benchmark, ring):
 
     result = benchmark(one_lookup)
     assert result.owner_id == ring.successor_of(result.key)
+    record("chord_lookup_1000_peers", benchmark)
 
 
-def test_system_query(benchmark):
-    system = RangeSelectionSystem(SystemConfig(n_peers=200, seed=2))
+def _bench_system_query(benchmark, n_peers: int, name: str) -> None:
+    system = RangeSelectionSystem(SystemConfig(n_peers=n_peers, seed=2))
     rng = derive_rng(1, "micro/query")
 
     def one_query():
@@ -80,3 +135,14 @@ def test_system_query(benchmark):
 
     result = benchmark(one_query)
     assert result.peers_contacted >= 1
+    record(name, benchmark)
+
+
+def test_system_query(benchmark):
+    _bench_system_query(benchmark, 200, "system_query_200_peers")
+
+
+def test_system_query_at_scale(benchmark, scale):
+    # The paper's n=1000 operating point; CI's quick scale keeps it small.
+    n_peers = 1000 if scale == "paper" else 400
+    _bench_system_query(benchmark, n_peers, f"system_query_{n_peers}_peers")

@@ -296,6 +296,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--out", default="results")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run one peer as a TCP server (a node of a live cluster)",
+    )
+    serve.add_argument(
+        "--address", required=True,
+        help="the peer's logical address; its node id is SHA-1 of this",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 = OS-assigned)"
+    )
+    serve.add_argument(
+        "--bootstrap",
+        metavar="HOST:PORT",
+        default=None,
+        help="an existing peer to join through (omit for the first peer)",
+    )
+    serve.add_argument(
+        "--config-json",
+        metavar="JSON",
+        default=None,
+        help="system configuration as JSON (all peers must agree; the "
+        "bootstrap peer's config is served to clients via 'hello')",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="spawn a localhost cluster of serve processes and run a "
+        "scripted workload against it",
+    )
+    cluster.add_argument("--peers", type=int, default=8)
+    cluster.add_argument(
+        "--replicas", type=int, default=3, help="replication factor r"
+    )
+    cluster.add_argument(
+        "--queries", type=int, default=30, help="timed queries to run"
+    )
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fault drill: kill one non-owner replica mid-workload and "
+        "exit nonzero unless recall survives via failover",
+    )
+    cluster.add_argument(
+        "--hold",
+        action="store_true",
+        help="keep the ring serving after the workload (until Ctrl-C) "
+        "so `repro client` can query it",
+    )
+
+    client = sub.add_parser(
+        "client", help="run one query against a live cluster"
+    )
+    client.add_argument(
+        "--bootstrap",
+        metavar="HOST:PORT",
+        required=True,
+        help="any live peer of the cluster",
+    )
+    client.add_argument(
+        "--query",
+        metavar="START:END",
+        required=True,
+        help="the range to query, e.g. 100:200",
+    )
+    client.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the query N times (later runs show cache behaviour)",
+    )
+
     sub.add_parser("info", help="print the default configuration")
     return parser
 
@@ -603,6 +675,166 @@ def _run_health(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError(f"expected HOST:PORT, got {text!r}")
+    return (host, int(port))
+
+
+def _run_serve(args: argparse.Namespace, out) -> int:
+    import asyncio
+    import json
+
+    from repro.rpc import wire
+    from repro.rpc.server import run_server
+
+    if args.config_json is not None:
+        try:
+            config = wire.config_from_wire(json.loads(args.config_json))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ReproError(f"bad --config-json: {exc}") from exc
+    else:
+        config = SystemConfig()
+    bootstrap = (
+        _parse_endpoint(args.bootstrap) if args.bootstrap is not None else None
+    )
+    try:
+        asyncio.run(
+            run_server(
+                args.address,
+                config,
+                host=args.host,
+                port=args.port,
+                bootstrap=bootstrap,
+            )
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_cluster(args: argparse.Namespace, out) -> int:
+    from repro.rpc.cluster import LocalCluster
+    from repro.workloads.generators import UniformRangeWorkload
+
+    if args.peers < 2:
+        raise ReproError("--peers must be at least 2")
+    config = SystemConfig(
+        n_peers=args.peers, seed=args.seed, replicas=args.replicas
+    )
+    queries = list(
+        UniformRangeWorkload(
+            config.domain, args.queries, seed=args.seed + 2
+        ).ranges()
+    )
+    with LocalCluster(args.peers, config) as cluster:
+        endpoints = ", ".join(
+            f"{address}@{host}:{port}"
+            for address, (host, port) in cluster.endpoints.items()
+        )
+        print(f"cluster: {args.peers} peers up ({endpoints})", file=out)
+        with cluster.client() as client:
+            # Warm pass: populate the buckets (store-on-miss).
+            for query in queries:
+                client.query(query)
+            warm = [client.query(query) for query in queries]
+            warm_recall = sum(r.recall for r in warm) / max(1, len(warm))
+            print(
+                f"warm: {len(warm)} queries, mean recall {warm_recall:.2f}",
+                file=out,
+            )
+            victim = None
+            if args.smoke:
+                if args.replicas < 2:
+                    raise ReproError("--smoke needs --replicas >= 2")
+                victim = _pick_smoke_victim(client, queries[0])
+                cluster.kill(victim)
+                print(f"smoke: killed {victim} (SIGKILL)", file=out)
+            after = [client.query(query) for query in queries]
+            recall = sum(r.recall for r in after) / max(1, len(after))
+            failovers = client.system.counters.failovers
+            failed = client.system.counters.failed_lookups
+            print(
+                f"after: {len(after)} queries, mean recall {recall:.2f}, "
+                f"{failovers} failovers, {failed} failed lookups",
+                file=out,
+            )
+            if args.smoke:
+                copies = client.repair()
+                print(f"repair: created {copies} copies", file=out)
+                if recall < warm_recall - 1e-9:
+                    print(
+                        f"error: recall dropped after the kill "
+                        f"({warm_recall:.3f} -> {recall:.3f})",
+                        file=sys.stderr,
+                    )
+                    return 1
+                if failovers == 0:
+                    print(
+                        "error: the killed replica was never failed over "
+                        "(did the kill land?)",
+                        file=sys.stderr,
+                    )
+                    return 1
+                print("smoke: recall survived the kill", file=out)
+        if args.hold:
+            import time
+
+            boot_host, boot_port = cluster.bootstrap_endpoint()
+            print(
+                f"holding: query with `python -m repro client "
+                f"--bootstrap {boot_host}:{boot_port} --query START:END` "
+                f"(Ctrl-C to stop)",
+                file=out,
+            )
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+    return 0
+
+
+def _pick_smoke_victim(client, query) -> str:
+    """A peer that replicates (but does not own) the first query's first
+    identifier — killing it must be absorbed by replica-chain failover.
+    Never the client's bootstrap peer, which it needs for refresh()."""
+    system = client.system
+    ring = system.router.ring
+    bootstrap_node = None
+    for node_id in ring.node_ids:
+        if system.endpoints[node_id] == client.bootstrap:
+            bootstrap_node = node_id
+    for identifier in system.identifiers_for(query):
+        for replica in system.replica_owners(identifier)[1:]:
+            if replica != bootstrap_node:
+                return ring.node(replica).address
+    raise ReproError("no non-owner replica available to kill")
+
+
+def _run_client(args: argparse.Namespace, out) -> int:
+    from repro.rpc.client import ClusterClient
+
+    start_text, _, end_text = args.query.partition(":")
+    try:
+        query = IntRange(int(start_text), int(end_text))
+    except ValueError as exc:
+        raise ReproError(f"bad --query (want START:END): {exc}") from exc
+    with ClusterClient(_parse_endpoint(args.bootstrap)) as client:
+        print(f"cluster: {len(client.members)} members", file=out)
+        for run_index in range(max(1, args.repeat)):
+            result = client.query(query)
+            print(
+                f"run {run_index + 1}: matched={result.matched} "
+                f"similarity={result.similarity:.3f} "
+                f"recall={result.recall:.2f} hops={result.overlay_hops} "
+                f"latency={result.total_ms:.1f} ms",
+                file=out,
+            )
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace, out) -> int:
     from repro.experiments.runall import run_all
 
@@ -642,6 +874,12 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_metrics(args, out)
         if args.command == "health":
             return _run_health(args, out)
+        if args.command == "serve":
+            return _run_serve(args, out)
+        if args.command == "cluster":
+            return _run_cluster(args, out)
+        if args.command == "client":
+            return _run_client(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "info":

@@ -35,6 +35,9 @@ from repro.obs.registry import (
 )
 from repro.obs.trace import NULL_TRACE, QueryTrace
 from repro.ranges.interval import IntRange
+from repro.rpc.engine import MatchReply, QueryEngine
+from repro.rpc.peer import PeerLogic
+from repro.rpc.transports import SyncTransport
 from repro.storage.store import LRUEviction, NoEviction, PeerStore
 from repro.util.rng import derive_rng
 
@@ -46,20 +49,6 @@ logger = get_logger("core.system")
 #: hash bare integer ranges without a real schema behind them.
 SIM_RELATION = "R"
 SIM_ATTRIBUTE = "value"
-
-
-@dataclass(frozen=True)
-class MatchReply:
-    """One owner peer's answer to a match request.
-
-    ``peer_id`` is the peer that actually answered — under failover this
-    can be a successor-list replica rather than the identifier's owner.
-    """
-
-    peer_id: int
-    identifier: int
-    descriptor: PartitionDescriptor | None
-    score: float
 
 
 @dataclass(frozen=True)
@@ -193,6 +182,12 @@ class RangeSelectionSystem:
             self._register_peer(node_id)
         self._rng = derive_rng(config.seed, "system/origins")
         self.counters = SystemCounters(registry=self.metrics)
+        #: The synchronous transport + the shared query engine bound to it.
+        #: Requests on :class:`~repro.rpc.transports.SyncTransport` settle
+        #: immediately, so the engine's futures are already resolved when
+        #: :meth:`locate` / :meth:`query` / :meth:`store_partition` return.
+        self.transport = SyncTransport(self.network)
+        self._engine = QueryEngine(self, self.transport)
 
     def _place(self, identifier: int) -> int:
         """Ring position for a bucket identifier.
@@ -231,47 +226,19 @@ class RangeSelectionSystem:
         return self._place(identifier)
 
     def _make_handler(self, node_id: int):
+        # One PeerLogic per peer: the same dispatch the socket server
+        # runs, so the data plane cannot drift between transports.
+        logic = PeerLogic(
+            node_id,
+            self.stores[node_id],
+            self.matcher,
+            local_index=self.config.local_index,
+        )
+
         def handler(message: Message):
-            kind = message.kind
-            if kind == "match-request":
-                identifier, query, relation, attribute = message.payload
-                return self._handle_match(
-                    node_id, identifier, query, relation, attribute
-                )
-            if kind == "store-request":
-                identifier, descriptor, partition, primary = message.payload
-                return self.stores[node_id].store(
-                    identifier, descriptor, partition, primary=primary
-                )
-            if kind == "fetch-partition":
-                identifier, descriptor = message.payload
-                bucket = self.stores[node_id].bucket(identifier)
-                entry = bucket.get(descriptor) if bucket is not None else None
-                return entry.partition if entry is not None else None
-            raise ConfigError(f"unknown message kind {kind!r}")
+            return logic.handle(message.kind, message.payload)
 
         return handler
-
-    def _handle_match(
-        self,
-        node_id: int,
-        identifier: int,
-        query: IntRange,
-        relation: str,
-        attribute: str,
-    ) -> tuple[PartitionDescriptor, float] | None:
-        store = self.stores[node_id]
-        score = self.matcher.score
-        if self.config.local_index:
-            found = store.best_match_local(query, relation, attribute, score)
-        else:
-            found = store.best_match_in_bucket(
-                identifier, query, relation, attribute, score
-            )
-        if found is None:
-            return None
-        entry, value = found
-        return (entry.descriptor, value)
 
     # ------------------------------------------------------------------
     # Hashing
@@ -386,138 +353,30 @@ class RangeSelectionSystem:
         ``attempt`` events, ``failover`` steps and the ``match-reply``.
         """
         trace = trace if trace is not None else NULL_TRACE
-        tracing = trace is not NULL_TRACE
         if origin is None:
             origin = self.pick_origin()
-        with trace.span("hash") as hash_span:
-            identifiers = self.identifiers_for(query)
-            for group, identifier in enumerate(identifiers):
-                hash_span.event(
-                    "group",
-                    group=group,
-                    identifier=identifier,
-                    placed=self._place(identifier),
-                )
-        locate_span = trace.span("locate", origin=origin)
-        owners: list[int] = []
-        replies: list[MatchReply] = []
-        hops = 0
-        failovers = 0
-        unreachable = 0
-        for identifier in identifiers:
-            placed = self._place(identifier)
-            chain = locate_span.span("chain", identifier=identifier, placed=placed)
-            if tracing:
-                hop_edges: list[tuple[int, int, str]] = []
-                route_path = self.router.route(
-                    placed,
-                    start_id=origin,
-                    recorder=lambda f, t, via: hop_edges.append((f, t, via)),
-                )
-                # Charge edge by edge so each route-hop event lands at
-                # the wire-time the hop actually finished.
-                for hop_from, hop_to, via in hop_edges:
-                    self.network.charge_route((hop_from, hop_to))
-                    chain.event(
-                        "route-hop", source=hop_from, target=hop_to, via=via
-                    )
-            else:
-                route_path = self.router.route(placed, start_id=origin)
-                self.network.charge_route(route_path)
-            owner_id, lookup_hops = route_path[-1], len(route_path) - 1
-            hops += lookup_hops
-            candidates = self.failover_candidates(
-                identifier, is_alive=self.network.is_alive
-            )
-            if owner_id not in candidates:
-                candidates.insert(0, owner_id)
-            answer = None
-            answered_by: int | None = None
-            previous = owner_id
-            for attempt, candidate in enumerate(candidates):
-                if attempt > 0:
-                    # One successor-pointer hop from the last peer tried.
-                    self.network.charge_route((previous, candidate))
-                    hops += 1
-                    chain.event("failover", source=previous, target=candidate)
-                try:
-                    answer = self.network.send(
-                        origin,
-                        candidate,
-                        "match-request",
-                        payload=(identifier, query, relation, attribute),
-                    )
-                except PeerUnavailableError:
-                    chain.event(
-                        "attempt", peer=candidate, rank=attempt,
-                        outcome="unreachable",
-                    )
-                    previous = candidate
-                    continue
-                chain.event(
-                    "attempt", peer=candidate, rank=attempt, outcome="answered"
-                )
-                answered_by = candidate
-                if attempt > 0:
-                    failovers += 1
-                    self.network.stats.failovers += 1
-                    self.counters.failovers += 1
-                    logger.info(
-                        "degraded answer for identifier %d: replica %d "
-                        "answered after %d failover step(s)",
-                        identifier, candidate, attempt,
-                    )
-                break
-            if answered_by is None:
-                unreachable += 1
-                self.network.stats.failover_exhausted += 1
-                self.counters.failed_lookups += 1
-                logger.warning(
-                    "identifier %d unreachable: all %d candidates down",
-                    identifier, len(candidates),
-                )
-                owners.append(owner_id)
-                replies.append(MatchReply(owner_id, identifier, None, 0.0))
-                chain.event("unreachable", identifier=identifier)
-                chain.end(owner=owner_id, hops=lookup_hops, answered_by=None)
-                continue
-            owners.append(answered_by)
-            if answer is None:
-                replies.append(MatchReply(answered_by, identifier, None, 0.0))
-                chain.event("match-reply", peer=answered_by, score=0.0,
-                            descriptor=None)
-            else:
-                descriptor, score = answer
-                replies.append(
-                    MatchReply(answered_by, identifier, descriptor, score)
-                )
-                chain.event("match-reply", peer=answered_by, score=score,
-                            descriptor=str(descriptor))
-            chain.end(
-                owner=owner_id, hops=lookup_hops, answered_by=answered_by
-            )
-        best = max(
-            (r for r in replies if r.descriptor is not None),
-            key=lambda r: r.score,
-            default=None,
-        )
-        locate_span.end(
-            hops=hops,
-            failovers=failovers,
-            unreachable=unreachable,
-            best_score=best.score if best is not None else None,
-            best_peer=best.peer_id if best is not None else None,
+        # The sync transport settles every request before returning, so
+        # the shared engine's future is already resolved here.
+        phase = self._engine.locate(
+            query, relation, attribute, origin, trace=trace
+        ).result()
+        owners = phase.answered_by
+        replies = tuple(
+            c.reply
+            if c.reply is not None
+            else MatchReply(c.owner, c.identifier, None, 0.0)
+            for c in phase.chains
         )
         return LocateResult(
             query=query,
-            identifiers=tuple(identifiers),
-            owners=tuple(owners),
-            replies=tuple(replies),
-            best=best,
-            overlay_hops=hops,
+            identifiers=tuple(c.identifier for c in phase.chains),
+            owners=owners,
+            replies=replies,
+            best=phase.best,
+            overlay_hops=phase.overlay_hops,
             peers_contacted=len(set(owners)),
-            failovers=failovers,
-            unreachable=unreachable,
+            failovers=phase.failovers,
+            unreachable=phase.timeouts,
         )
 
     def store_partition(
@@ -539,57 +398,22 @@ class RangeSelectionSystem:
         repair loop re-establishes the replication factor later.
 
         Returns the number of *new* primary placements.  ``identifiers``
-        and ``owners`` may be passed from a prior :meth:`locate` to avoid
-        re-routing.  A ``trace`` records the store fan-out as one
-        ``placement`` event per (identifier, target) pair.
+        may be passed from a prior :meth:`locate` to avoid re-hashing;
+        ``owners`` is accepted for backward compatibility but placement
+        always targets the identifiers' *current* replica sets (with
+        ``replicas = 1`` and no faults the two coincide by construction).
+        A ``trace`` records the store fan-out as one ``placement`` event
+        per (identifier, target) pair.
         """
+        del owners  # placement recomputes replica sets; see docstring
         trace = trace if trace is not None else NULL_TRACE
         if origin is None:
             origin = self.pick_origin()
-        if identifiers is None:
-            identifiers = self.identifiers_for(r)
-        if owners is None or self.config.replicas > 1:
-            targets = [self.replica_owners(i) for i in identifiers]
-        else:
-            targets = [[owner] for owner in owners]
-        descriptor = PartitionDescriptor(relation, attribute, r)
-        new_placements = 0
-        size = partition.size_bytes if partition is not None else 64
-        store_span = trace.span("store", descriptor=str(descriptor))
-        for identifier, replica_set in zip(identifiers, targets):
-            for rank, target in enumerate(replica_set):
-                primary = rank == 0
-                try:
-                    stored = self.network.send(
-                        origin,
-                        target,
-                        "store-request",
-                        payload=(identifier, descriptor, partition, primary),
-                        size_bytes=size,
-                    )
-                except PeerUnavailableError:
-                    self.counters.store_failures += 1
-                    store_span.event(
-                        "placement", identifier=identifier, target=target,
-                        primary=primary, outcome="unreachable",
-                    )
-                    continue
-                if not primary:
-                    self.network.stats.replica_stores += 1
-                store_span.event(
-                    "placement", identifier=identifier, target=target,
-                    primary=primary,
-                    outcome="stored" if stored else "duplicate",
-                )
-                if stored:
-                    if primary:
-                        new_placements += 1
-                    else:
-                        self.counters.replica_placements += 1
-        store_span.end(new_placements=new_placements)
-        self.counters.stores += 1
-        self.counters.placements += new_placements
-        return new_placements
+        outcome = self._engine.store(
+            r, relation, attribute, origin,
+            identifiers=identifiers, partition=partition, trace=trace,
+        ).result()
+        return outcome.new_placements
 
     def fetch_rows(
         self, reply: MatchReply, origin: int
@@ -625,69 +449,24 @@ class RangeSelectionSystem:
         trace = trace if trace is not None else NULL_TRACE
         if origin is None:
             origin = self.pick_origin()
-        effective_padding = self.config.padding if padding is None else padding
-        hashed_query = query
-        if effective_padding > 0:
-            hashed_query = query.pad(
-                effective_padding,
-                lower_bound=self.config.domain.low,
-                upper_bound=self.config.domain.high,
-            )
-            trace.event(
-                "padded", padding=effective_padding, hashed=str(hashed_query)
-            )
-        located = self.locate(
-            hashed_query, relation, attribute, origin=origin, trace=trace
-        )
-
-        matched: PartitionDescriptor | None = None
-        score = 0.0
-        if located.best is not None:
-            matched = located.best.descriptor
-            score = located.best.score
-        exact = matched is not None and matched.range == hashed_query
-        stored = False
-        if not exact and self.config.store_on_miss:
-            self.store_partition(
-                hashed_query,
-                relation,
-                attribute,
-                origin=origin,
-                identifiers=list(located.identifiers),
-                owners=list(located.owners),
-                trace=trace,
-            )
-            stored = True
-
-        similarity = matched.jaccard_to(query) if matched is not None else 0.0
-        recall = matched.containment_of(query) if matched is not None else 0.0
-        self.counters.queries += 1
-        self.counters.overlay_hops += located.overlay_hops
-        if exact:
-            self.counters.exact_hits += 1
-        if matched is None:
-            self.counters.misses += 1
-        trace.end(
-            matched=str(matched) if matched is not None else None,
-            similarity=similarity,
-            recall=recall,
-            exact=exact,
-            stored=stored,
-            hops=located.overlay_hops,
-            failovers=located.failovers,
-            unreachable=located.unreachable,
-        )
+        timed = self._engine.query(
+            query, relation, attribute, origin, padding=padding, trace=trace
+        ).result()
+        answered = {
+            c.reply.peer_id if c.reply is not None else c.owner
+            for c in timed.chains
+        }
         return RangeQueryResult(
             query=query,
-            hashed_query=hashed_query,
-            matched=matched,
-            similarity=similarity,
-            recall=recall,
-            matcher_score=score,
-            exact=exact,
-            stored=stored,
-            overlay_hops=located.overlay_hops,
-            peers_contacted=located.peers_contacted,
+            hashed_query=timed.hashed_query,
+            matched=timed.matched,
+            similarity=timed.similarity,
+            recall=timed.recall,
+            matcher_score=timed.matcher_score,
+            exact=timed.exact,
+            stored=timed.stored,
+            overlay_hops=timed.overlay_hops,
+            peers_contacted=len(answered),
         )
 
     # ------------------------------------------------------------------

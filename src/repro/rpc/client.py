@@ -1,0 +1,503 @@
+"""The socket side of the query engine: transport, topology view, client.
+
+Three pieces turn the transport-agnostic
+:class:`~repro.rpc.engine.QueryEngine` into a real network client:
+
+- :class:`SocketTransport` — the third :class:`~repro.rpc.transports.Transport`.
+  ``request()`` opens an asyncio TCP connection to the recipient and
+  settles a :class:`~repro.sim.futures.SimFuture` when the reply frame
+  lands, so the ``l`` lookup chains of one query run concurrently over
+  real connections.  Routing hops stay *virtual*: the client mirrors the
+  full ring, so the owner of an identifier is a local computation, and
+  each traversed finger edge is charged to the traffic stats without a
+  network round trip (the classic client-mode DHT shortcut).
+- :class:`ClientSystem` — the engine's topology contract (hashing,
+  placement, replica sets) rebuilt from a membership map instead of local
+  peer stores.  Node ids are SHA-1 of peer addresses, so the client
+  places identifiers exactly like every server's mirror.
+- :class:`ClusterClient` — connects to any live peer, mirrors membership
+  and config from its ``hello`` reply, and exposes ``query`` / ``leave``
+  / ``repair`` over the cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable
+
+from repro.chord.hashing import rehash_for_placement
+from repro.chord.ring import ChordRing
+from repro.core.config import SystemConfig
+from repro.core.overlays import ChordRouter
+from repro.core.system import SIM_ATTRIBUTE, SIM_RELATION, SystemCounters
+from repro.errors import (
+    PeerUnavailableError,
+    ReproError,
+    RequestTimeoutError,
+)
+from repro.lsh import DomainMinHashIndex, LSHIdentifierScheme, family_for_domain
+from repro.net.transport import TrafficStats
+from repro.obs.log import get_logger
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import QueryTrace
+from repro.ranges.interval import IntRange
+from repro.rpc import wire
+from repro.rpc.engine import QueryEngine, TimedQueryResult
+from repro.rpc.transports import Observer, Transport
+from repro.sim.futures import SimFuture
+from repro.util.rng import derive_rng
+
+__all__ = ["SocketTransport", "ClientSystem", "ClusterClient"]
+
+logger = get_logger("rpc.client")
+
+
+class _Handle:
+    """Cancellation handle over an asyncio timer (or nothing)."""
+
+    def __init__(self, inner: Any = None) -> None:
+        self._inner = inner
+
+    def cancel(self) -> None:
+        if self._inner is not None:
+            self._inner.cancel()
+
+
+class SocketTransport(Transport):
+    """The engine's transport over asyncio TCP connections.
+
+    Must be used from inside a running event loop (the
+    :class:`ClusterClient` drives one); ``request()`` spawns one task per
+    exchange and settles the returned future from the loop.
+    """
+
+    def __init__(
+        self,
+        endpoints: dict[int, tuple[str, int]],
+        *,
+        registry: MetricsRegistry | None = None,
+        timeout_ms: float = 2_000.0,
+        retries: int = 1,
+    ) -> None:
+        self.endpoints = dict(endpoints)
+        self._stats = TrafficStats(registry=registry)
+        self.timeout_ms = timeout_ms
+        self.retries = retries
+        #: Peers that refused a connection; cleared by a successful ping.
+        self.dead: set[int] = set()
+        self._tasks: set[asyncio.Task] = set()
+        self._epoch = time.monotonic()
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._stats
+
+    def now(self) -> float:
+        return (time.monotonic() - self._epoch) * 1000.0
+
+    def is_alive(self, peer_id: int) -> bool:
+        return peer_id not in self.dead
+
+    def mark_alive(self, peer_id: int) -> None:
+        self.dead.discard(peer_id)
+
+    def call_later(self, delay_ms: float, fn: Callable[[], None]) -> Any:
+        loop = asyncio.get_running_loop()
+        return _Handle(loop.call_later(delay_ms / 1000.0, fn))
+
+    def hop(
+        self, hop_from: int, hop_to: int, fn: Callable[[float], None]
+    ) -> Any:
+        # The ring is mirrored locally, so overlay routing costs no wire
+        # time here; the edge is still charged as a routing message to
+        # keep hop accounting comparable across transports.
+        self.stats.record_routing_hops(1)
+        fn(0.0)
+        return _Handle()
+
+    def request(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        *,
+        size_bytes: int = 64,
+        rank: int = 0,
+        observer: Observer | None = None,
+    ) -> SimFuture:
+        future: SimFuture = SimFuture()
+        attempts = (self.retries + 1) if rank == 0 else 1
+        task = asyncio.get_running_loop().create_task(
+            self._exchange(
+                future, sender, recipient, kind, payload,
+                size_bytes=size_bytes, attempts=attempts, observer=observer,
+            )
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return future
+
+    async def _exchange(
+        self,
+        future: SimFuture,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any,
+        *,
+        size_bytes: int,
+        attempts: int,
+        observer: Observer | None,
+    ) -> None:
+        host, port = self.endpoints[recipient]
+        waited = 0.0
+        for attempt in range(attempts):
+            if future.done:
+                return  # cancelled (hedge loser / quorum leftover)
+            if observer is not None:
+                observer(
+                    "send", {"attempt": attempt, "to": recipient, "kind": kind}
+                )
+            started = time.monotonic()
+            try:
+                value = await wire.call(
+                    host, port, kind, payload,
+                    sender=sender, peer_id=recipient,
+                    timeout_ms=self.timeout_ms,
+                )
+            except PeerUnavailableError as exc:
+                # A refused connection is definitive — no retry budget
+                # spent, the peer is marked dead for failover planning.
+                self.dead.add(recipient)
+                self.stats.timeouts += 1
+                if observer is not None:
+                    observer("unreachable", {"to": recipient})
+                if not future.done:
+                    future.reject(exc)
+                return
+            except RequestTimeoutError:
+                waited += (time.monotonic() - started) * 1000.0
+                self.stats.timeouts += 1
+                if attempt + 1 < attempts:
+                    self.stats.retries += 1
+                    if observer is not None:
+                        observer("retry", {"attempt": attempt + 1})
+                    continue
+                if not future.done:
+                    future.reject(
+                        RequestTimeoutError(recipient, attempts, waited)
+                    )
+                return
+            except ReproError as exc:
+                if not future.done:
+                    future.reject(exc)
+                return
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            self.stats.messages += 2  # request + reply frames
+            self.stats.bytes += size_bytes + 64
+            self.stats.latency_ms += elapsed_ms
+            self.stats.by_kind[kind] += 1
+            if observer is not None:
+                observer("reply", {"ms": elapsed_ms})
+            if not future.done:
+                future.resolve(value)
+            return
+
+
+class ClientSystem:
+    """The engine's topology contract, served from a membership map.
+
+    Mirrors the hashing/placement/replication views of
+    :class:`~repro.core.system.RangeSelectionSystem` (the engine's
+    documented contract) without any local peer state: identifiers come
+    from the same seeded LSH scheme, the ring is rebuilt from member
+    addresses, and liveness is whatever the transport has observed.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        members: dict[str, tuple[str, int]],
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.members = dict(members)
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        family = family_for_domain(config.family, config.domain)
+        self.scheme = LSHIdentifierScheme.from_family(
+            family, l=config.l, k=config.k, seed=config.seed,
+            id_bits=config.id_bits,
+        )
+        self._accel: DomainMinHashIndex | None = None
+        if config.accelerate:
+            self._accel = DomainMinHashIndex(self.scheme, config.domain)
+        ring = ChordRing(
+            m=config.id_bits, successor_list_size=max(4, config.replicas)
+        )
+        for address in self.members:
+            ring.add_node(address)
+        ring.build()
+        self.router = ChordRouter(ring)
+        self.counters = SystemCounters(registry=self.metrics)
+        #: node id -> (host, port), for the transport.
+        self.endpoints: dict[int, tuple[str, int]] = {
+            node_id: self.members[ring.node(node_id).address]
+            for node_id in ring.node_ids
+        }
+
+    def identifiers_for(self, r: IntRange) -> list[int]:
+        if self._accel is not None:
+            domain = self.config.domain
+            if r.start >= domain.low and r.end <= domain.high:
+                return self._accel.identifiers(r)
+        return self.scheme.identifiers(r)
+
+    def place_identifier(self, identifier: int) -> int:
+        if self.config.placement == "rehash":
+            return rehash_for_placement(identifier, self.config.id_bits)
+        return identifier
+
+    def replica_owners(self, identifier: int) -> list[int]:
+        return self.router.replica_set(
+            self.place_identifier(identifier), self.config.replicas
+        )
+
+    def replica_targets(
+        self, identifier: int, is_alive: Callable[[int], bool]
+    ) -> list[int]:
+        return self.router.replica_set(
+            self.place_identifier(identifier),
+            self.config.replicas,
+            predicate=is_alive,
+        )
+
+    def failover_candidates(
+        self,
+        identifier: int,
+        is_alive: Callable[[int], bool] | None = None,
+    ) -> list[int]:
+        candidates = self.replica_owners(identifier)
+        if self.config.replicas > 1 and is_alive is not None:
+            for peer in self.replica_targets(identifier, is_alive):
+                if peer not in candidates:
+                    candidates.append(peer)
+        return candidates
+
+
+class ClusterClient:
+    """A querying client of a live socket cluster (``repro client``)."""
+
+    def __init__(
+        self,
+        bootstrap: tuple[str, int],
+        *,
+        loop: asyncio.AbstractEventLoop | None = None,
+        timeout_ms: float = 2_000.0,
+        retries: int = 1,
+    ) -> None:
+        self.bootstrap = bootstrap
+        self.timeout_ms = timeout_ms
+        self.retries = retries
+        self._owns_loop = loop is None
+        self.loop = loop if loop is not None else asyncio.new_event_loop()
+        self.system: ClientSystem
+        self.transport: SocketTransport
+        self.engine: QueryEngine
+        self._rng = None
+        self.refresh()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _run(self, coroutine):
+        return self.loop.run_until_complete(coroutine)
+
+    async def _await_future(self, future: SimFuture):
+        """Bridge a SimFuture settled by transport tasks into awaitable."""
+        done = self.loop.create_future()
+        future.add_done_callback(
+            lambda settled: done.done() or done.set_result(settled)
+        )
+        settled = await done
+        return settled.result()
+
+    def close(self) -> None:
+        if self._owns_loop and not self.loop.is_closed():
+            self.loop.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- membership ------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Re-mirror membership and config from the bootstrap peer."""
+        hello = self._run(
+            wire.call(
+                self.bootstrap[0], self.bootstrap[1], "hello",
+                timeout_ms=self.timeout_ms,
+            )
+        )
+        config = wire.config_from_wire(hello["config"])
+        members = {
+            address: (str(endpoint[0]), int(endpoint[1]))
+            for address, endpoint in hello["members"].items()
+        }
+        previously_dead = (
+            self.transport.dead if hasattr(self, "transport") else set()
+        )
+        self.system = ClientSystem(config, members)
+        self.transport = SocketTransport(
+            self.system.endpoints,
+            registry=self.system.metrics,
+            timeout_ms=self.timeout_ms,
+            retries=self.retries,
+        )
+        self.transport.dead |= previously_dead & set(self.system.endpoints)
+        self.engine = QueryEngine(self.system, self.transport)
+        self._rng = derive_rng(config.seed, "client/origins")
+        logger.info(
+            "mirrored %d member(s) at epoch %s",
+            len(members), hello.get("epoch"),
+        )
+
+    @property
+    def members(self) -> dict[str, tuple[str, int]]:
+        return self.system.members
+
+    def endpoint_of(self, address: str) -> tuple[str, int]:
+        return self.system.members[address]
+
+    def pick_origin(self) -> int:
+        """A random believed-alive member to originate routing from."""
+        alive = [
+            node_id
+            for node_id in self.system.router.node_ids
+            if self.transport.is_alive(node_id)
+        ]
+        if not alive:
+            raise ReproError("no alive peer can originate a query")
+        return alive[int(self._rng.integers(len(alive)))]
+
+    # -- the query path ----------------------------------------------------
+
+    def start_trace(self, query: IntRange | None = None, **attrs) -> QueryTrace:
+        """A wall-clock trace for one query over the socket transport."""
+        if query is not None:
+            attrs.setdefault("query", str(query))
+        attrs.setdefault("path", "socket")
+        return QueryTrace(clock=self.transport.now, **attrs)
+
+    def query(
+        self,
+        query: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        origin: int | None = None,
+        padding: float | None = None,
+        trace: QueryTrace | None = None,
+    ) -> TimedQueryResult:
+        """One full query (locate, match, store-on-miss) over sockets."""
+        if origin is None:
+            origin = self.pick_origin()
+
+        async def go() -> TimedQueryResult:
+            future = self.engine.query(
+                query, relation, attribute, origin,
+                padding=padding, trace=trace,
+            )
+            return await self._await_future(future)
+
+        return self._run(go())
+
+    # -- cluster control -------------------------------------------------
+
+    def call(self, address: str, kind: str, payload: Any = None) -> Any:
+        """One control RPC to a member, by address."""
+        host, port = self.endpoint_of(address)
+        return self._run(
+            wire.call(host, port, kind, payload, timeout_ms=self.timeout_ms)
+        )
+
+    def ping(self, address: str) -> bool:
+        try:
+            return bool(self.call(address, "ping"))
+        except ReproError:
+            return False
+
+    def leave(self, address: str) -> int:
+        """Ask a peer to leave gracefully; returns copies it handed off."""
+        moved = int(self.call(address, "leave"))
+        self.refresh()
+        return moved
+
+    def repair(self) -> int:
+        """Client-driven anti-entropy: one repair round over the cluster.
+
+        Pulls every live peer's entry list, computes each entry's goal
+        replica set over the *alive* members (the same goal state the
+        simulated :class:`~repro.sim.repair.ReplicaRepairer` converges
+        to), and pushes the missing copies.  Returns copies created.
+        """
+        return self._run(self._repair_round())
+
+    async def _repair_round(self) -> int:
+        # Probe liveness first so replica targets skip dead peers.
+        node_of = {}
+        for node_id in self.system.router.node_ids:
+            address = self.system.router.ring.node(node_id).address
+            node_of[address] = node_id
+        entries_by_peer: dict[int, list] = {}
+        for address, (host, port) in self.system.members.items():
+            node_id = node_of[address]
+            try:
+                entries = await wire.call(
+                    host, port, "entries",
+                    peer_id=node_id, timeout_ms=self.timeout_ms,
+                )
+            except ReproError:
+                self.transport.dead.add(node_id)
+                continue
+            self.transport.mark_alive(node_id)
+            entries_by_peer[node_id] = entries
+        # holders[(identifier, descriptor)] = {node_id: (partition, primary)}
+        holders: dict[tuple, dict[int, tuple]] = {}
+        for node_id, entries in entries_by_peer.items():
+            for identifier, descriptor, partition, primary in entries:
+                holders.setdefault((identifier, descriptor), {})[node_id] = (
+                    partition, primary,
+                )
+        copies = 0
+        for (identifier, descriptor), holding in holders.items():
+            targets = self.system.replica_targets(
+                identifier, self.transport.is_alive
+            )
+            # Prefer a source that still has the rows, not just metadata.
+            source = max(
+                holding.values(), key=lambda held: held[0] is not None
+            )
+            partition = source[0]
+            for rank, target in enumerate(targets):
+                held = holding.get(target)
+                primary = rank == 0
+                if held is not None and (held[1] == primary or not primary):
+                    continue  # already placed correctly (or a spare copy)
+                host, port = self.system.endpoints[target]
+                try:
+                    stored = await wire.call(
+                        host, port, "store-request",
+                        (identifier, descriptor, partition, primary),
+                        peer_id=target, timeout_ms=self.timeout_ms,
+                    )
+                except ReproError:
+                    self.transport.dead.add(target)
+                    continue
+                if stored:
+                    copies += 1
+        self.system.counters.repairs += copies
+        return copies

@@ -1,0 +1,210 @@
+"""Spawn and manage a localhost cluster of ``repro serve`` processes.
+
+:class:`LocalCluster` is the process-level harness behind
+``repro cluster``, the CI live-cluster smoke job and
+``examples/live_cluster.py``: it starts one OS process per peer
+(``python -m repro serve``), waits for each peer's ready line before
+starting the next (so joins — and the data hand-offs they trigger — are
+strictly ordered), and can remove peers both ways the paper's fault model
+distinguishes: a graceful ``leave`` (RPC; the peer hands its data off
+first) and an abrupt :meth:`kill` (SIGKILL; recovery is entirely the
+replica chain's and anti-entropy repair's problem).
+
+Every wait is bounded, so a wedged peer fails the harness instead of
+hanging it (the CI job adds its own outer ``timeout`` as a backstop).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import select
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import SystemConfig
+from repro.errors import ReproError
+from repro.obs.log import get_logger
+from repro.rpc import wire
+from repro.rpc.client import ClusterClient
+from repro.rpc.server import READY_PREFIX
+
+__all__ = ["LocalCluster", "ClusterError"]
+
+logger = get_logger("rpc.cluster")
+
+
+class ClusterError(ReproError):
+    """A peer process failed to start, answer, or stop in time."""
+
+
+def _src_path() -> str:
+    """The import root of this package, for child PYTHONPATHs."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+class LocalCluster:
+    """``peers`` live peer processes on 127.0.0.1, ports picked by the OS."""
+
+    def __init__(
+        self,
+        peers: int,
+        config: SystemConfig | None = None,
+        *,
+        host: str = "127.0.0.1",
+        startup_timeout_s: float = 30.0,
+    ) -> None:
+        if peers < 1:
+            raise ClusterError("a cluster needs at least one peer")
+        self.n_peers = peers
+        # n_peers is meaningless for a live cluster's config (membership
+        # is discovered, not declared), but keep it consistent anyway.
+        self.config = (
+            config if config is not None else SystemConfig(n_peers=peers)
+        )
+        self.host = host
+        self.startup_timeout_s = startup_timeout_s
+        self.processes: dict[str, subprocess.Popen] = {}
+        self.endpoints: dict[str, tuple[str, int]] = {}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "LocalCluster":
+        """Spawn all peers; the first is the bootstrap."""
+        for index in range(self.n_peers):
+            self.spawn(f"peer-{index}")
+        return self
+
+    def spawn(self, address: str) -> tuple[str, int]:
+        """Start one peer process and wait for its ready line."""
+        if address in self.processes:
+            raise ClusterError(f"peer {address!r} already running")
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--address", address,
+            "--host", self.host,
+            "--port", "0",
+            "--config-json", json.dumps(wire.config_to_wire(self.config)),
+        ]
+        if self.endpoints:
+            boot_host, boot_port = self.bootstrap_endpoint()
+            command += ["--bootstrap", f"{boot_host}:{boot_port}"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            path
+            for path in (_src_path(), env.get("PYTHONPATH", ""))
+            if path
+        )
+        process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            endpoint = self._await_ready(address, process)
+        except ClusterError:
+            process.kill()
+            process.wait()
+            raise
+        self.processes[address] = process
+        self.endpoints[address] = endpoint
+        logger.info("peer %s up at %s:%d", address, *endpoint)
+        return endpoint
+
+    def _await_ready(
+        self, address: str, process: subprocess.Popen
+    ) -> tuple[str, int]:
+        assert process.stdout is not None
+        deadline = time.monotonic() + self.startup_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(f"peer {address!r} not ready in time")
+            if process.poll() is not None:
+                raise ClusterError(
+                    f"peer {address!r} exited with {process.returncode} "
+                    "before becoming ready"
+                )
+            readable, _, _ = select.select([process.stdout], [], [], remaining)
+            if not readable:
+                continue
+            line = process.stdout.readline()
+            if not line:
+                raise ClusterError(f"peer {address!r} closed stdout early")
+            if not line.startswith(READY_PREFIX):
+                continue
+            fields = dict(
+                token.split("=", 1)
+                for token in line.strip().split()
+                if "=" in token
+            )
+            return (fields["host"], int(fields["port"]))
+
+    def bootstrap_endpoint(self) -> tuple[str, int]:
+        """The endpoint of the longest-lived peer still running."""
+        for address, endpoint in self.endpoints.items():
+            process = self.processes.get(address)
+            if process is not None and process.poll() is None:
+                return endpoint
+        raise ClusterError("no live peer to bootstrap from")
+
+    def client(self, **kwargs) -> ClusterClient:
+        """A :class:`~repro.rpc.client.ClusterClient` on this cluster."""
+        return ClusterClient(self.bootstrap_endpoint(), **kwargs)
+
+    # -- faults ------------------------------------------------------------
+
+    def kill(self, address: str) -> None:
+        """Abrupt fail-stop: SIGKILL, no hand-off, no goodbye."""
+        process = self.processes[address]
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=10)
+        logger.info("peer %s killed", address)
+
+    def leave(self, address: str) -> int:
+        """Graceful departure via the ``leave`` RPC; waits for exit."""
+        import asyncio
+
+        host, port = self.endpoints[address]
+        moved = asyncio.run(
+            wire.call(host, port, "leave", timeout_ms=30_000.0)
+        )
+        self.processes[address].wait(timeout=10)
+        logger.info("peer %s left, handed off %d copie(s)", address, moved)
+        return int(moved)
+
+    def alive(self, address: str) -> bool:
+        process = self.processes.get(address)
+        return process is not None and process.poll() is None
+
+    # -- teardown ----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop every remaining peer; escalate to SIGKILL if needed."""
+        for address, process in self.processes.items():
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + 10.0
+        for process in self.processes.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        for process in self.processes.values():
+            if process.stdout is not None:
+                process.stdout.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

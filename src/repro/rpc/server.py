@@ -1,0 +1,355 @@
+"""A peer as a process: asyncio TCP server owning one node's partitions.
+
+``repro serve`` runs one :class:`PeerServer`.  The server speaks the
+length-prefixed JSON protocol of :mod:`repro.rpc.wire` and serves two
+planes on the same port:
+
+- the **data plane** — ``match-request`` / ``store-request`` /
+  ``fetch-partition`` — dispatched through the same
+  :class:`~repro.rpc.peer.PeerLogic` the in-process transports use;
+- the **control plane** — ``hello``, ``join``, ``member-update``,
+  ``leave``, ``entries``, ``ping``, ``shutdown`` — the node lifecycle.
+
+Membership is a full member map ``address -> (host, port)`` carried on an
+epoch counter.  Every server mirrors the whole map and derives the Chord
+ring locally (node ids are SHA-1 of the address, so every mirror and
+every client places identifiers identically).  Joins go through the
+bootstrap peer, which admits the newcomer and broadcasts the new epoch;
+each member then re-places its entries against the new ring
+(:meth:`PeerServer.rebalance`), which is what hands data to the newcomer.
+A graceful ``leave`` pushes the departing peer's entries to their current
+replica sets first, so nothing is lost; an abrupt kill loses nothing
+either as long as ``replicas > 1`` — lookups fail over down the successor
+list and anti-entropy repair re-establishes the replication factor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.chord.hashing import node_id_for_address, rehash_for_placement
+from repro.chord.ring import ChordRing
+from repro.core.config import SystemConfig
+from repro.core.matcher import matcher_by_name
+from repro.core.overlays import ChordRouter
+from repro.errors import ReproError
+from repro.obs.log import get_logger
+from repro.rpc import wire
+from repro.rpc.peer import DATA_KINDS, PeerLogic
+from repro.storage.store import LRUEviction, NoEviction, PeerStore
+
+__all__ = ["PeerServer", "READY_PREFIX"]
+
+logger = get_logger("rpc.server")
+
+#: First token of the line a server prints once it accepts connections;
+#: cluster managers (and the CI smoke job) wait for it.
+READY_PREFIX = "REPRO-SERVE ready"
+
+#: Budget for one control-plane RPC between servers (member-update
+#: broadcasts, hand-off store pushes).  Generous for loopback; bounded so
+#: a hung peer cannot wedge a join or leave forever.
+CONTROL_TIMEOUT_MS = 5_000.0
+
+
+class PeerServer:
+    """One node of the live cluster: store, ring mirror, TCP endpoint."""
+
+    def __init__(
+        self,
+        address: str,
+        config: SystemConfig,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        bootstrap: tuple[str, int] | None = None,
+    ) -> None:
+        if config.overlay != "chord":
+            raise ReproError("the socket transport requires the chord overlay")
+        self.address = address
+        self.config = config
+        self.host = host
+        self.port = port  # 0 until bound; then the real port
+        self.bootstrap = bootstrap
+        self.node_id = node_id_for_address(address, config.id_bits)
+        if config.max_partitions_per_peer:
+            eviction: LRUEviction | NoEviction = LRUEviction(
+                config.max_partitions_per_peer
+            )
+        else:
+            eviction = NoEviction()
+        self.store = PeerStore(self.node_id, eviction)
+        self.logic = PeerLogic(
+            self.node_id,
+            self.store,
+            matcher_by_name(config.matcher),
+            local_index=config.local_index,
+        )
+        #: Membership mirror: address -> (host, port), on an epoch counter.
+        self.members: dict[str, tuple[str, int]] = {}
+        self.epoch = 0
+        self.router: ChordRouter | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopped = asyncio.Event()
+
+    # -- ring mirror -----------------------------------------------------
+
+    def _rebuild_ring(self) -> None:
+        ring = ChordRing(
+            m=self.config.id_bits,
+            successor_list_size=max(4, self.config.replicas),
+        )
+        for address in self.members:
+            ring.add_node(address)
+        ring.build()
+        self.router = ChordRouter(ring)
+
+    def _place(self, identifier: int) -> int:
+        if self.config.placement == "rehash":
+            return rehash_for_placement(identifier, self.config.id_bits)
+        return identifier
+
+    def replica_owners(self, identifier: int) -> list[int]:
+        """The identifier's current replica set on the mirrored ring."""
+        assert self.router is not None
+        return self.router.replica_set(
+            self._place(identifier), self.config.replicas
+        )
+
+    def _endpoint_of(self, node_id: int) -> tuple[str, int]:
+        assert self.router is not None
+        address = self.router.ring.node(node_id).address
+        return self.members[address]
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the port, join via the bootstrap peer (if any), go live."""
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.bootstrap is None:
+            self.epoch = 1
+            self.members = {self.address: (self.host, self.port)}
+        else:
+            boot_host, boot_port = self.bootstrap
+            reply = await wire.call(
+                boot_host,
+                boot_port,
+                "join",
+                {
+                    "address": self.address,
+                    "host": self.host,
+                    "port": self.port,
+                },
+                timeout_ms=CONTROL_TIMEOUT_MS,
+            )
+            self._adopt_members(reply["epoch"], reply["members"])
+        self._rebuild_ring()
+        print(
+            f"{READY_PREFIX} address={self.address} node_id={self.node_id} "
+            f"host={self.host} port={self.port}",
+            flush=True,
+        )
+        logger.info(
+            "peer %s (id %d) serving on %s:%d, %d member(s)",
+            self.address, self.node_id, self.host, self.port, len(self.members),
+        )
+
+    async def serve_forever(self) -> None:
+        """Run until a ``shutdown`` or ``leave`` request stops the server."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop accepting connections (in-process embedders call this)."""
+        self._stopped.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    def _adopt_members(self, epoch: int, members: dict) -> None:
+        self.epoch = int(epoch)
+        self.members = {
+            address: (str(endpoint[0]), int(endpoint[1]))
+            for address, endpoint in members.items()
+        }
+
+    def _membership_payload(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "members": {
+                address: [host, port]
+                for address, (host, port) in self.members.items()
+            },
+        }
+
+    async def _broadcast_membership(self, exclude: set[str]) -> None:
+        """Best-effort push of the current member map to every other peer."""
+        payload = self._membership_payload()
+        for address, (host, port) in list(self.members.items()):
+            if address == self.address or address in exclude:
+                continue
+            try:
+                await wire.call(
+                    host, port, "member-update", payload,
+                    timeout_ms=CONTROL_TIMEOUT_MS,
+                )
+            except ReproError:
+                logger.warning("member-update to %s failed; skipping", address)
+
+    # -- data hand-off ---------------------------------------------------
+
+    async def rebalance(self) -> int:
+        """Re-place local entries against the current ring.
+
+        Pushes each held entry to every peer of its replica set (the
+        newcomer after a join, the new successor after a leave) and drops
+        the local copy when this peer is no longer in the set.  Returns
+        the number of copies pushed.  Unreachable targets are skipped —
+        anti-entropy repair owns eventual convergence.
+        """
+        pushed = 0
+        for identifier, entry in list(self.store.entries()):
+            targets = self.replica_owners(identifier)
+            for rank, target in enumerate(targets):
+                if target == self.node_id:
+                    continue
+                host, port = self._endpoint_of(target)
+                try:
+                    stored = await wire.call(
+                        host,
+                        port,
+                        "store-request",
+                        (identifier, entry.descriptor, entry.partition,
+                         rank == 0),
+                        sender=self.node_id,
+                        peer_id=target,
+                        timeout_ms=CONTROL_TIMEOUT_MS,
+                    )
+                except ReproError:
+                    logger.warning(
+                        "rebalance push of id %d to peer %d failed",
+                        identifier, target,
+                    )
+                    continue
+                if stored:
+                    pushed += 1
+            if self.node_id not in targets:
+                self.store.remove(identifier, entry.descriptor)
+            elif targets[0] == self.node_id and not entry.primary:
+                # Ownership moved onto this replica: promote in place.
+                self.store.store(
+                    identifier, entry.descriptor, entry.partition, primary=True
+                )
+        return pushed
+
+    async def _hand_off_and_leave(self) -> int:
+        """Graceful departure: push every entry to its post-leave replica
+        set, announce the shrunken membership, then stop serving."""
+        self.members.pop(self.address, None)
+        self.epoch += 1
+        self._rebuild_ring()
+        moved = await self.rebalance()
+        await self._broadcast_membership(exclude=set())
+        logger.info(
+            "peer %s leaving: moved %d copie(s) to %d member(s)",
+            self.address, moved, len(self.members),
+        )
+        self._stopped.set()
+        return moved
+
+    # -- request dispatch --------------------------------------------------
+
+    async def _handle(self, kind: str, payload: Any) -> Any:
+        if kind in DATA_KINDS:
+            return self.logic.handle(kind, payload)
+        if kind == "hello":
+            return {
+                "address": self.address,
+                "node_id": self.node_id,
+                "config": wire.config_to_wire(self.config),
+                **self._membership_payload(),
+            }
+        if kind == "join":
+            address = str(payload["address"])
+            endpoint = (str(payload["host"]), int(payload["port"]))
+            self.members[address] = endpoint
+            self.epoch += 1
+            self._rebuild_ring()
+            reply = self._membership_payload()
+            await self._broadcast_membership(exclude={address})
+            await self.rebalance()
+            return reply
+        if kind == "member-update":
+            if int(payload["epoch"]) <= self.epoch:
+                return False  # stale broadcast; keep the newer view
+            self._adopt_members(payload["epoch"], payload["members"])
+            self._rebuild_ring()
+            await self.rebalance()
+            return True
+        if kind == "entries":
+            return [
+                (identifier, entry.descriptor, entry.partition, entry.primary)
+                for identifier, entry in self.store.entries()
+            ]
+        if kind == "leave":
+            return await self._hand_off_and_leave()
+        if kind == "ping":
+            return True
+        if kind == "shutdown":
+            self._stopped.set()
+            return True
+        # Unknown kinds surface the same ConfigError the in-process
+        # handler raises, reported over the wire as an error reply.
+        return self.logic.handle(kind, payload)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await wire.read_frame(reader)
+                if request is None:
+                    return
+                try:
+                    value = await self._handle(
+                        str(request.get("kind")),
+                        wire.decode_value(request.get("payload")),
+                    )
+                    reply = {
+                        "id": request.get("id", 0),
+                        "ok": True,
+                        "value": wire.encode_value(value),
+                    }
+                except Exception as exc:  # noqa: BLE001 - reported to caller
+                    reply = {
+                        "id": request.get("id", 0),
+                        "ok": False,
+                        "error": str(exc),
+                        "error_type": type(exc).__name__,
+                    }
+                await wire.write_frame(writer, reply)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return  # client hung up mid-exchange; nothing to answer
+        finally:
+            writer.close()
+
+
+async def run_server(
+    address: str,
+    config: SystemConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    bootstrap: tuple[str, int] | None = None,
+) -> None:
+    """Start one peer and serve until asked to stop (``repro serve``)."""
+    server = PeerServer(
+        address, config, host=host, port=port, bootstrap=bootstrap
+    )
+    await server.serve_forever()

@@ -1,0 +1,233 @@
+"""Transport implementations for the unified query engine.
+
+A :class:`Transport` is everything the engine needs from a network: a
+clock, liveness, timers, one-hop routing charges, and a request/reply
+primitive that settles a :class:`~repro.sim.futures.SimFuture`.  The two
+in-process transports wrap the repo's existing networks:
+
+- :class:`SyncTransport` wraps :class:`~repro.net.transport.SimulatedNetwork`.
+  It has no clock of its own (``now()`` reads the cumulative simulated wire
+  time), timers fire immediately, and requests settle before ``request()``
+  returns — so the continuation-passing engine executes each lookup chain
+  to completion before starting the next, reproducing the classic
+  synchronous path exactly.
+- :class:`SimTransport` wraps :class:`~repro.sim.network.AsyncNetwork` on a
+  :class:`~repro.sim.kernel.Simulator`.  Timers and requests settle at
+  later virtual instants, so the ``l`` chains genuinely interleave.
+
+The third transport, :class:`repro.rpc.client.SocketTransport`, speaks real
+asyncio TCP sockets and lives with the client (it needs the wire protocol
+and a membership mirror).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable
+
+from repro.errors import PeerUnavailableError
+from repro.net.transport import SimulatedNetwork, TrafficStats
+from repro.sim.futures import SimFuture
+from repro.sim.kernel import Simulator
+from repro.sim.network import AsyncNetwork, RetryPolicy
+
+__all__ = ["Transport", "SyncTransport", "SimTransport"]
+
+#: Observer callback: ``(event_name, attrs)`` — the engine turns these into
+#: ``net-*`` trace events on the active chain span.
+Observer = Callable[[str, dict], None]
+
+
+class _ImmediateHandle:
+    """Cancellation handle for work that already ran (sync transport)."""
+
+    def cancel(self) -> None:  # pragma: no cover - trivial
+        pass
+
+
+_DONE = _ImmediateHandle()
+
+
+class Transport(ABC):
+    """What the query engine needs from a network."""
+
+    @property
+    @abstractmethod
+    def stats(self) -> TrafficStats:
+        """The transport's traffic counters (messages, bytes, failovers)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """The transport's clock, in milliseconds.
+
+        Synchronous transports report cumulative simulated wire time, the
+        event-driven transport virtual time, the socket transport wall
+        time; the engine only ever subtracts two readings.
+        """
+
+    @abstractmethod
+    def is_alive(self, peer_id: int) -> bool:
+        """Whether ``peer_id`` is believed reachable."""
+
+    @abstractmethod
+    def call_later(self, delay_ms: float, fn: Callable[[], None]) -> Any:
+        """Schedule ``fn`` after ``delay_ms``; returns a handle with
+        ``cancel()``.  A clockless transport runs ``fn`` immediately."""
+
+    @abstractmethod
+    def hop(
+        self, hop_from: int, hop_to: int, fn: Callable[[float], None]
+    ) -> Any:
+        """Charge one overlay routing edge, then run ``fn(delay_ms)`` at
+        the instant the hop lands.  Returns a cancellable handle."""
+
+    @abstractmethod
+    def request(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        *,
+        size_bytes: int = 64,
+        rank: int = 0,
+        observer: Observer | None = None,
+    ) -> SimFuture:
+        """One request/reply exchange; resolves with the handler's answer
+        or rejects when the recipient is unreachable within its budget.
+
+        ``rank`` is the replica rank of the attempt: rank 0 (the owner)
+        runs under the transport's base retry policy, higher ranks under
+        its single-attempt failover budget.  Transports without timers
+        ignore policies — unreachable means an immediate rejection.
+        """
+
+
+class SyncTransport(Transport):
+    """The in-process, message-counting transport.
+
+    Wraps the system's :class:`~repro.net.transport.SimulatedNetwork`:
+    every exchange completes (and is charged) before the call returns, so
+    the engine's continuations run depth-first and a query is fully
+    resolved when ``engine.query(...)`` returns its (already settled)
+    future.
+    """
+
+    def __init__(self, network: SimulatedNetwork) -> None:
+        self.network = network
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self.network.stats
+
+    def now(self) -> float:
+        return self.network.stats.latency_ms
+
+    def is_alive(self, peer_id: int) -> bool:
+        return self.network.is_alive(peer_id)
+
+    def call_later(self, delay_ms: float, fn: Callable[[], None]) -> Any:
+        fn()
+        return _DONE
+
+    def hop(
+        self, hop_from: int, hop_to: int, fn: Callable[[float], None]
+    ) -> Any:
+        delay = self.network.charge_route((hop_from, hop_to))
+        fn(delay)
+        return _DONE
+
+    def request(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        *,
+        size_bytes: int = 64,
+        rank: int = 0,
+        observer: Observer | None = None,
+    ) -> SimFuture:
+        future: SimFuture = SimFuture()
+        if observer is not None:
+            observer("send", {"attempt": 0, "to": recipient, "kind": kind})
+        before = self.network.stats.latency_ms
+        try:
+            value = self.network.send(
+                sender, recipient, kind, payload=payload, size_bytes=size_bytes
+            )
+        except PeerUnavailableError as exc:
+            # No clock, no timeout: unreachability is known immediately,
+            # the degenerate zero-budget case of the retry policy.
+            future.reject(exc)
+            return future
+        if observer is not None:
+            observer("reply", {"ms": self.network.stats.latency_ms - before})
+        future.resolve(value)
+        return future
+
+
+class SimTransport(Transport):
+    """The discrete-event transport: delays, drops, timeouts, retries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: AsyncNetwork,
+        policy: RetryPolicy | None = None,
+        failover_policy: RetryPolicy | None = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.policy = policy if policy is not None else RetryPolicy()
+        #: Budget for each failover attempt down the successor list: one
+        #: try under the base timeout, so a chain's worst case grows
+        #: linearly in replicas tried, not multiplicatively.
+        self.failover_policy = (
+            failover_policy
+            if failover_policy is not None
+            else RetryPolicy(
+                timeout_ms=self.policy.timeout_ms, max_retries=0, backoff=1.0
+            )
+        )
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self.net.stats
+
+    def now(self) -> float:
+        return self.sim.now
+
+    def is_alive(self, peer_id: int) -> bool:
+        return self.net.is_alive(peer_id)
+
+    def call_later(self, delay_ms: float, fn: Callable[[], None]) -> Any:
+        return self.sim.call_later(delay_ms, fn)
+
+    def hop(
+        self, hop_from: int, hop_to: int, fn: Callable[[float], None]
+    ) -> Any:
+        delay = self.net.latency.sample_ms(hop_from, hop_to)
+        self.net.stats.record_routing_hops(1, latency_ms=delay)
+        return self.sim.call_later(delay, lambda: fn(delay))
+
+    def request(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        *,
+        size_bytes: int = 64,
+        rank: int = 0,
+        observer: Observer | None = None,
+    ) -> SimFuture:
+        return self.net.request(
+            sender,
+            recipient,
+            kind,
+            payload=payload,
+            size_bytes=size_bytes,
+            policy=self.policy if rank == 0 else self.failover_policy,
+            observer=observer,
+        )

@@ -12,7 +12,8 @@ this subpackage answers "how long, and what breaks".  It provides:
   injection and :class:`~repro.sim.network.RetryPolicy` timeouts;
 - :class:`~repro.sim.query.AsyncQueryEngine` — the paper's query procedure
   with the ``l`` lookups genuinely concurrent, timed per phase, failing
-  over down the successor list when replicas are configured;
+  over down the successor list when replicas are configured (the shared
+  :class:`~repro.rpc.engine.QueryEngine` on the event-driven transport);
 - :class:`~repro.sim.repair.ReplicaRepairer` — the periodic anti-entropy
   task that restores the replication factor after crashes;
 - :mod:`repro.sim.policies` — the overload-protection layer: per-peer
@@ -21,36 +22,47 @@ this subpackage answers "how long, and what breaks".  It provides:
   per-destination circuit breakers
   (:class:`~repro.sim.policies.CircuitBreaker`) and the hedged-lookup
   trigger (:class:`~repro.sim.policies.HedgePolicy`).
+
+Exports resolve lazily (PEP 562): the low-level kernel modules
+(``futures``, ``kernel``) are imported by :mod:`repro.rpc.engine`, which
+:mod:`repro.core.system` in turn loads — an eager import of
+:mod:`repro.sim.query` here would close that loop.
 """
 
-from repro.sim.faults import FaultInjector
-from repro.sim.futures import SimFuture, gather
-from repro.sim.kernel import Simulator, Timer
-from repro.sim.network import AsyncNetwork, RetryPolicy
-from repro.sim.policies import (
-    AdaptiveTimeout,
-    CircuitBreaker,
-    HedgePolicy,
-    JitteredBackoff,
-)
-from repro.sim.query import AsyncQueryEngine, ChainOutcome, TimedQueryResult
-from repro.sim.repair import RepairStats, ReplicaRepairer
+from __future__ import annotations
 
-__all__ = [
-    "Simulator",
-    "Timer",
-    "SimFuture",
-    "gather",
-    "FaultInjector",
-    "AsyncNetwork",
-    "RetryPolicy",
-    "AdaptiveTimeout",
-    "JitteredBackoff",
-    "CircuitBreaker",
-    "HedgePolicy",
-    "AsyncQueryEngine",
-    "ChainOutcome",
-    "TimedQueryResult",
-    "ReplicaRepairer",
-    "RepairStats",
-]
+import importlib
+
+_EXPORTS = {
+    "Simulator": "repro.sim.kernel",
+    "Timer": "repro.sim.kernel",
+    "SimFuture": "repro.sim.futures",
+    "gather": "repro.sim.futures",
+    "FaultInjector": "repro.sim.faults",
+    "AsyncNetwork": "repro.sim.network",
+    "RetryPolicy": "repro.sim.network",
+    "AdaptiveTimeout": "repro.sim.policies",
+    "JitteredBackoff": "repro.sim.policies",
+    "CircuitBreaker": "repro.sim.policies",
+    "HedgePolicy": "repro.sim.policies",
+    "AsyncQueryEngine": "repro.sim.query",
+    "ChainOutcome": "repro.sim.query",
+    "TimedQueryResult": "repro.sim.query",
+    "ReplicaRepairer": "repro.sim.repair",
+    "RepairStats": "repro.sim.repair",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(__all__))

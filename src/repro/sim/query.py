@@ -9,6 +9,13 @@ in virtual time, so a query completes when its *slowest* chain does — the
 paper's ``O(log N)`` wall-clock claim — and a crashed owner costs one
 timed-out chain, not a hung query.
 
+The procedure itself lives in :class:`repro.rpc.engine.QueryEngine` — the
+one implementation shared with the synchronous and socket paths — bound
+here to a :class:`~repro.rpc.transports.SimTransport` over an
+:class:`~repro.sim.network.AsyncNetwork`.  This module keeps the
+simulation-facing surface: fault control, seeded origin choice, open-loop
+workloads, and the config-gated overload protections.
+
 Phase accounting per query:
 
 - ``route_ms``  — the slowest chain's hop-by-hop routing time;
@@ -35,22 +42,20 @@ tail-tolerance moves (both off by default, enabled via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.system import (
     SIM_ATTRIBUTE,
     SIM_RELATION,
-    MatchReply,
     RangeSelectionSystem,
 )
-from repro.db.partition import Partition, PartitionDescriptor
 from repro.net.latency import LatencyModel, SeededLatency
 from repro.obs.log import get_logger
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import NULL_TRACE, QueryTrace, Span
+from repro.obs.trace import QueryTrace
 from repro.ranges.interval import IntRange
-from repro.sim.futures import SimFuture, gather
-from repro.sim.kernel import Simulator, Timer
+from repro.rpc.engine import ChainOutcome, QueryEngine, TimedQueryResult
+from repro.rpc.transports import SimTransport
+from repro.sim.futures import SimFuture
+from repro.sim.kernel import Simulator
 from repro.sim.network import AsyncNetwork, RetryPolicy
 from repro.sim.policies import (
     AdaptiveTimeout,
@@ -63,70 +68,6 @@ from repro.util.rng import derive_rng
 __all__ = ["AsyncQueryEngine", "ChainOutcome", "TimedQueryResult"]
 
 logger = get_logger("sim.query")
-
-
-@dataclass(frozen=True)
-class ChainOutcome:
-    """One identifier lookup chain, timed."""
-
-    identifier: int
-    #: The identifier's nominal owner (the peer routing arrived at); under
-    #: failover the answering peer is ``reply.peer_id`` instead.
-    owner: int
-    hops: int
-    #: Hop-by-hop routing time of this chain.
-    route_ms: float
-    #: Reply from whichever replica answered; None when every candidate's
-    #: budget ran out.
-    reply: MatchReply | None
-    #: Virtual time from query start until this chain settled.
-    completed_ms: float
-    timed_out: bool
-    #: Failover steps taken down the successor list (0 = owner answered).
-    failovers: int = 0
-    #: Whether the answer came from a hedged (backup) lookup.
-    hedged: bool = False
-
-
-@dataclass(frozen=True)
-class TimedQueryResult:
-    """Outcome of one event-driven query, with phase timings."""
-
-    query: IntRange
-    hashed_query: IntRange
-    matched: PartitionDescriptor | None
-    similarity: float
-    recall: float
-    matcher_score: float
-    exact: bool
-    stored: bool
-    chains: tuple[ChainOutcome, ...]
-    #: Chains that exhausted every replica's retry budget (<= l).
-    timeouts: int
-    #: Chains answered by a successor-list replica after the owner was
-    #: unreachable.
-    failovers: int
-    #: Store-on-miss placements that themselves timed out.
-    store_failures: int
-    route_ms: float
-    match_ms: float
-    locate_ms: float
-    fetch_ms: float
-    store_ms: float
-    total_ms: float
-    #: Whether a partial quorum answered early (remaining chains cancelled).
-    partial: bool = False
-    fetched: Partition | None = None
-
-    @property
-    def found(self) -> bool:
-        """Whether any candidate partition was located."""
-        return self.matched is not None
-
-    @property
-    def degraded(self) -> bool:
-        """Whether the answer came from fewer than ``l`` replies."""
-        return self.timeouts > 0 or self.partial
 
 
 class AsyncQueryEngine:
@@ -213,6 +154,18 @@ class AsyncQueryEngine:
         for node_id in system.router.node_ids:
             self.net.register(node_id, system.peer_handler(node_id))
         self._rng = derive_rng(seed, "sim/origins")
+        self.transport = SimTransport(
+            self.sim, self.net,
+            policy=self.policy, failover_policy=self.failover_policy,
+        )
+        self._engine = QueryEngine(
+            system,
+            self.transport,
+            quorum_m=self.quorum_m,
+            quorum_threshold=self.quorum_threshold,
+            hedge=self.hedge,
+            fetch_rows=fetch_rows,
+        )
 
     # -- fault control -------------------------------------------------
 
@@ -276,99 +229,12 @@ class AsyncQueryEngine:
         attempt with its retries/timeouts, the store fan-out — with events
         timestamped at the virtual instant they happen.
         """
-        trace = trace if trace is not None else NULL_TRACE
-        system = self.system
-        config = system.config
         if origin is None:
             origin = self.pick_origin()
-        effective_padding = config.padding if padding is None else padding
-        hashed_query = query
-        if effective_padding > 0:
-            hashed_query = query.pad(
-                effective_padding,
-                lower_bound=config.domain.low,
-                upper_bound=config.domain.high,
-            )
-            trace.event(
-                "padded", padding=effective_padding, hashed=str(hashed_query)
-            )
-        started = self.sim.now
-        with trace.span("hash") as hash_span:
-            identifiers = system.identifiers_for(hashed_query)
-            for group, identifier in enumerate(identifiers):
-                hash_span.event(
-                    "group",
-                    group=group,
-                    identifier=identifier,
-                    placed=system.place_identifier(identifier),
-                )
-        locate_span = trace.span("locate", origin=origin)
-        chain_futures = [
-            self._run_chain(
-                origin, identifier, hashed_query, relation, attribute,
-                started, parent=locate_span,
-            )
-            for identifier in identifiers
-        ]
-        out: SimFuture[TimedQueryResult] = SimFuture()
-
-        def locate(chains: list[ChainOutcome], partial: bool) -> None:
-            self._after_locate(
-                chains, query, hashed_query, relation, attribute,
-                origin, started, out, trace, locate_span, partial=partial,
-            )
-
-        m = self.quorum_m
-        if m and m < len(chain_futures):
-            # Partial quorum: answer as soon as m chains replied with a
-            # good-enough best match; the stragglers are cancelled.
-            threshold = self.quorum_threshold
-            outcomes: list[ChainOutcome] = []
-            remaining = [len(chain_futures)]
-            completing = [False]
-
-            def on_chain(settled: SimFuture) -> None:
-                remaining[0] -= 1
-                if completing[0]:
-                    return  # a cancellation triggered by early completion
-                if not settled.failed:
-                    outcomes.append(settled.result())
-                answered = sum(1 for c in outcomes if c.reply is not None)
-                best = max(
-                    (
-                        c.reply.score
-                        for c in outcomes
-                        if c.reply is not None and c.reply.descriptor is not None
-                    ),
-                    default=None,
-                )
-                if (
-                    remaining[0] > 0
-                    and answered >= m
-                    and best is not None
-                    and best >= threshold
-                ):
-                    completing[0] = True
-                    locate_span.event(
-                        "quorum",
-                        answered=answered,
-                        cancelled=remaining[0],
-                        best_score=best,
-                    )
-                    for chain_future in chain_futures:
-                        chain_future.cancel()
-                    locate(list(outcomes), partial=True)
-                elif remaining[0] == 0:
-                    completing[0] = True
-                    locate(list(outcomes), partial=False)
-
-            for chain_future in chain_futures:
-                chain_future.add_done_callback(on_chain)
-        else:
-            gather(chain_futures).add_done_callback(
-                lambda settled: locate(settled.result(), False)
-            )
-        return out
+        return self._engine.query(
+            query, relation, attribute, origin,
+            padding=padding, trace=trace,
+        )
 
     def run(
         self,
@@ -432,401 +298,3 @@ class AsyncQueryEngine:
             )
         self.sim.run_until_complete(all_done)
         return [result for result in results if result is not None]
-
-    # -- internals -----------------------------------------------------
-
-    def _run_chain(
-        self,
-        origin: int,
-        identifier: int,
-        hashed_query: IntRange,
-        relation: str,
-        attribute: str,
-        started: float,
-        parent: "Span | None" = None,
-    ) -> SimFuture[ChainOutcome]:
-        """One identifier: hop along the overlay path, then ask the owner —
-        failing over down the successor list when the owner times out.
-
-        Routing hops are charged per edge but modelled as reliable — the
-        iterative Chord lookup retries hops internally; the request/reply
-        legs to the replicas are where loss and crashes bite.  The first
-        attempt (the owner) runs under the engine's base retry policy;
-        each failover attempt gets its own :attr:`failover_policy` budget
-        and is charged one successor-pointer hop.  With hedging enabled, a
-        chain still unanswered at the hedge delay additionally launches
-        the next untried replica *concurrently* — first answer wins, and
-        settling the chain (resolve or cancel) cancels every outstanding
-        request and timer.  The chain future always *resolves* (exhausting
-        every replica yields ``timed_out=True``), so dead peers degrade
-        the query instead of failing it.
-        """
-        sim = self.sim
-        net = self.net
-        system = self.system
-        parent = parent if parent is not None else NULL_TRACE
-        placed = system.place_identifier(identifier)
-        via_edges: list[tuple[int, int, str]] = []
-        path = system.router.route(
-            placed,
-            start_id=origin,
-            recorder=lambda f, t, via: via_edges.append((f, t, via)),
-        )
-        owner = path[-1]
-        hops = len(path) - 1
-        edges = list(zip(path, path[1:]))
-        span = parent.span("chain", identifier=identifier, placed=placed)
-        chain: SimFuture[ChainOutcome] = SimFuture()
-        outstanding: list[SimFuture] = []
-        pending_timers: list[Timer] = []
-
-        def on_chain_settled(settled: SimFuture) -> None:
-            # Whether the chain resolved or was cancelled (quorum already
-            # met), nothing launched on its behalf may keep running: the
-            # losing hedge's request, queued failover hops, the hedge
-            # timer — all released here.
-            for timer in pending_timers:
-                timer.cancel()
-            for request in outstanding:
-                request.cancel()
-            if settled.cancelled:
-                span.end(cancelled=True)
-
-        chain.add_done_callback(on_chain_settled)
-
-        def finish(
-            reply: MatchReply | None,
-            route_ms: float,
-            timed_out: bool,
-            failovers: int,
-            hedged: bool = False,
-        ) -> None:
-            if chain.done:
-                return
-            span.end(
-                owner=owner,
-                hops=hops,
-                timed_out=timed_out,
-                failovers=failovers,
-                answered_by=reply.peer_id if reply is not None else None,
-            )
-            chain.resolve(
-                ChainOutcome(
-                    identifier=identifier,
-                    owner=owner,
-                    hops=hops,
-                    route_ms=route_ms,
-                    reply=reply,
-                    completed_ms=sim.now - started,
-                    timed_out=timed_out,
-                    failovers=failovers,
-                    hedged=hedged,
-                )
-            )
-
-        def ask_replicas() -> None:
-            route_ms = sim.now - started
-            match_started = sim.now
-            candidates = system.failover_candidates(
-                identifier, is_alive=net.is_alive
-            )
-            if owner not in candidates:
-                candidates.insert(0, owner)
-            #: next: rank of the next untried candidate; active: requests
-            #: currently in flight for this chain.
-            state = {"next": 1, "active": 0}
-
-            def exhausted() -> None:
-                net.stats.failover_exhausted += 1
-                system.counters.failed_lookups += 1
-                logger.warning(
-                    "identifier %d unreachable at t=%.1f: all %d "
-                    "candidates exhausted their budget",
-                    identifier, sim.now, len(candidates),
-                )
-                span.event("unreachable", candidates=len(candidates))
-                finish(
-                    None, route_ms, timed_out=True,
-                    failovers=len(candidates) - 1,
-                )
-
-            def launch(rank: int, hedged: bool) -> None:
-                if chain.done or rank >= len(candidates):
-                    return
-                candidate = candidates[rank]
-                state["active"] += 1
-                if hedged:
-                    net.stats.hedges += 1
-                    span.event("hedge-launch", peer=candidate, rank=rank)
-                span.event("attempt", peer=candidate, rank=rank)
-                request = net.request(
-                    origin,
-                    candidate,
-                    "match-request",
-                    payload=(identifier, hashed_query, relation, attribute),
-                    policy=self.policy if rank == 0 else self.failover_policy,
-                    observer=lambda name, attrs: span.event(
-                        name if name == "breaker-open" else f"net-{name}",
-                        **{"peer": candidate, **attrs},
-                    ),
-                )
-                outstanding.append(request)
-
-                def on_done(settled: SimFuture) -> None:
-                    state["active"] -= 1
-                    if chain.done:
-                        return
-                    if settled.failed:
-                        nxt = state["next"]
-                        if nxt < len(candidates):
-                            state["next"] = nxt + 1
-                            span.event(
-                                "failover",
-                                source=candidate,
-                                target=candidates[nxt],
-                            )
-                            # One successor-pointer hop to the next replica.
-                            delay = net.latency.sample_ms(
-                                candidate, candidates[nxt]
-                            )
-                            net.stats.record_routing_hops(1, latency_ms=delay)
-                            pending_timers.append(
-                                sim.call_later(
-                                    delay, lambda: launch(nxt, hedged=False)
-                                )
-                            )
-                        elif state["active"] == 0:
-                            exhausted()
-                        return
-                    if hedged:
-                        net.stats.hedge_wins += 1
-                        span.event("hedge-win", peer=candidate, rank=rank)
-                    elif rank > 0:
-                        net.stats.failovers += 1
-                        system.counters.failovers += 1
-                        logger.info(
-                            "degraded answer for identifier %d at t=%.1f: "
-                            "replica %d answered after %d failover step(s)",
-                            identifier, sim.now, candidate, rank,
-                        )
-                    answer = settled.result()
-                    if answer is None:
-                        reply = MatchReply(candidate, identifier, None, 0.0)
-                    else:
-                        descriptor, score = answer
-                        reply = MatchReply(candidate, identifier, descriptor, score)
-                    span.event(
-                        "match-reply",
-                        peer=candidate,
-                        score=reply.score,
-                        descriptor=(
-                            str(reply.descriptor)
-                            if reply.descriptor is not None
-                            else None
-                        ),
-                    )
-                    if self.hedge is not None:
-                        self.hedge.observe(sim.now - match_started)
-                    finish(
-                        reply, route_ms, timed_out=False,
-                        failovers=0 if hedged else rank, hedged=hedged,
-                    )
-
-                request.add_done_callback(on_done)
-
-            launch(0, hedged=False)
-            if self.hedge is not None and len(candidates) > 1:
-                hedge_delay = self.hedge.delay_ms()
-                if hedge_delay is not None:
-
-                    def fire_hedge() -> None:
-                        if chain.done or state["next"] >= len(candidates):
-                            return
-                        nxt = state["next"]
-                        state["next"] = nxt + 1
-                        launch(nxt, hedged=True)
-
-                    pending_timers.append(sim.call_later(hedge_delay, fire_hedge))
-
-        def advance(edge_index: int) -> None:
-            if edge_index == len(edges):
-                ask_replicas()
-                return
-            hop_from, hop_to = edges[edge_index]
-            via = via_edges[edge_index][2] if edge_index < len(via_edges) else "?"
-            delay = net.latency.sample_ms(hop_from, hop_to)
-            net.stats.record_routing_hops(1, latency_ms=delay)
-
-            def arrive() -> None:
-                # Emitted on arrival, so the event's timestamp is the
-                # virtual instant the hop completed.
-                span.event(
-                    "route-hop", source=hop_from, target=hop_to, via=via,
-                    delay_ms=delay,
-                )
-                advance(edge_index + 1)
-
-            sim.call_later(delay, arrive)
-
-        advance(0)
-        return chain
-
-    def _after_locate(
-        self,
-        chains: list[ChainOutcome],
-        query: IntRange,
-        hashed_query: IntRange,
-        relation: str,
-        attribute: str,
-        origin: int,
-        started: float,
-        out: SimFuture[TimedQueryResult],
-        trace: "QueryTrace | None" = None,
-        locate_span: "Span | None" = None,
-        partial: bool = False,
-    ) -> None:
-        sim = self.sim
-        config = self.system.config
-        trace = trace if trace is not None else NULL_TRACE
-        locate_span = locate_span if locate_span is not None else NULL_TRACE
-        locate_done = sim.now
-        locate_ms = locate_done - started
-        route_ms = max((c.route_ms for c in chains), default=0.0)
-        timeouts = sum(1 for c in chains if c.timed_out)
-        failovers = sum(
-            1 for c in chains if not c.timed_out and c.failovers > 0
-        )
-        best = max(
-            (
-                c.reply
-                for c in chains
-                if c.reply is not None and c.reply.descriptor is not None
-            ),
-            key=lambda reply: reply.score,
-            default=None,
-        )
-        matched = best.descriptor if best is not None else None
-        matcher_score = best.score if best is not None else 0.0
-        exact = matched is not None and matched.range == hashed_query
-        locate_span.end(
-            hops=sum(c.hops for c in chains),
-            timeouts=timeouts,
-            failovers=failovers,
-            best_score=matcher_score if best is not None else None,
-            best_peer=best.peer_id if best is not None else None,
-        )
-
-        def finish(
-            fetched: Partition | None,
-            fetch_ms: float,
-            stored: bool,
-            store_failures: int,
-            store_ms: float,
-        ) -> None:
-            similarity = matched.jaccard_to(query) if matched is not None else 0.0
-            recall = matched.containment_of(query) if matched is not None else 0.0
-            trace.end(
-                matched=str(matched) if matched is not None else None,
-                similarity=similarity,
-                recall=recall,
-                exact=exact,
-                stored=stored,
-                hops=sum(c.hops for c in chains),
-                timeouts=timeouts,
-                failovers=failovers,
-                degraded="partial" if partial else (timeouts > 0),
-                total_ms=sim.now - started,
-            )
-            out.resolve(
-                TimedQueryResult(
-                    query=query,
-                    hashed_query=hashed_query,
-                    matched=matched,
-                    similarity=similarity,
-                    recall=recall,
-                    matcher_score=matcher_score,
-                    exact=exact,
-                    stored=stored,
-                    chains=tuple(chains),
-                    timeouts=timeouts,
-                    failovers=failovers,
-                    store_failures=store_failures,
-                    route_ms=route_ms,
-                    match_ms=locate_ms - route_ms,
-                    locate_ms=locate_ms,
-                    fetch_ms=fetch_ms,
-                    store_ms=store_ms,
-                    total_ms=sim.now - started,
-                    partial=partial,
-                    fetched=fetched,
-                )
-            )
-
-        def store_phase(fetched: Partition | None, fetch_ms: float) -> None:
-            if exact or not config.store_on_miss:
-                finish(fetched, fetch_ms, stored=False, store_failures=0, store_ms=0.0)
-                return
-            store_started = sim.now
-            descriptor = PartitionDescriptor(relation, attribute, hashed_query)
-            store_span = trace.span("store", descriptor=str(descriptor))
-            placements = []
-            for c in chains:
-                for rank, target in enumerate(
-                    self.system.replica_owners(c.identifier)
-                ):
-                    primary = rank == 0
-                    if not primary:
-                        self.net.stats.replica_stores += 1
-                    store_span.event(
-                        "placement",
-                        identifier=c.identifier,
-                        target=target,
-                        primary=primary,
-                    )
-                    placements.append(
-                        self.net.request(
-                            origin,
-                            target,
-                            "store-request",
-                            payload=(c.identifier, descriptor, None, primary),
-                            policy=self.policy,
-                        )
-                    )
-
-            def on_stored(settled: SimFuture) -> None:
-                outcomes = settled.result()
-                failures = sum(1 for o in outcomes if isinstance(o, Exception))
-                store_span.end(
-                    placements=len(outcomes) - failures, failures=failures
-                )
-                finish(
-                    fetched,
-                    fetch_ms,
-                    stored=True,
-                    store_failures=failures,
-                    store_ms=sim.now - store_started,
-                )
-
-            gather(placements).add_done_callback(on_stored)
-
-        if self.fetch_rows and best is not None:
-            fetch_started = sim.now
-            fetch_span = trace.span(
-                "fetch", peer=best.peer_id, descriptor=str(best.descriptor)
-            )
-            fetch = self.net.request(
-                origin,
-                best.peer_id,
-                "fetch-partition",
-                payload=(best.identifier, best.descriptor),
-                policy=self.policy,
-            )
-
-            def on_fetched(settled: SimFuture) -> None:
-                fetched = None if settled.failed else settled.result()
-                fetch_span.end(ok=not settled.failed)
-                store_phase(fetched, sim.now - fetch_started)
-
-            fetch.add_done_callback(on_fetched)
-        else:
-            store_phase(None, 0.0)

@@ -24,6 +24,7 @@ ALL_EXAMPLES = [
     "padding_tradeoff.py",
     "scalability_tour.py",
     "workload_comparison.py",
+    "live_cluster.py",
 ]
 
 

@@ -1,0 +1,112 @@
+"""Live-cluster drill: real processes, real sockets, real SIGKILL.
+
+One five-peer cluster (r=3) is spawned once for the module and taken
+through the full lifecycle the paper's fault model cares about: warm the
+ring with store-on-miss queries, SIGKILL a non-owner replica mid-workload
+(recall must survive via replica-chain failover), run anti-entropy repair
+(the lost copies must be re-created), then gracefully remove another peer
+(its entries must be handed off before it exits).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.ranges.interval import IntRange
+from repro.rpc.cluster import LocalCluster
+
+PEERS = 5
+QUERIES = [
+    IntRange(100, 200),
+    IntRange(250, 420),
+    IntRange(500, 640),
+    IntRange(700, 910),
+]
+
+
+def make_config() -> SystemConfig:
+    return SystemConfig(n_peers=PEERS, replicas=3, seed=7)
+
+
+def mean_recall(client) -> float:
+    results = [client.query(query) for query in QUERIES]
+    return sum(result.recall for result in results) / len(results)
+
+
+def pick_kill_victim(client) -> str:
+    """A peer that replicates — but does not own — the first query's
+    first identifier, and is not the client's bootstrap peer."""
+    system = client.system
+    ring = system.router.ring
+    bootstrap_node = next(
+        node_id
+        for node_id in ring.node_ids
+        if system.endpoints[node_id] == client.bootstrap
+    )
+    for identifier in system.identifiers_for(QUERIES[0]):
+        for replica in system.replica_owners(identifier)[1:]:
+            if replica != bootstrap_node:
+                return ring.node(replica).address
+    raise AssertionError("no non-owner replica to kill")
+
+
+@pytest.fixture(scope="module")
+def drill():
+    """Run the whole lifecycle once; tests assert on the observations."""
+    observed = {}
+    with LocalCluster(PEERS, make_config()) as cluster:
+        with cluster.client() as client:
+            # Warm: first pass stores (cold misses), second pass must hit.
+            for query in QUERIES:
+                client.query(query)
+            observed["warm_recall"] = mean_recall(client)
+
+            # Abrupt kill of a non-owner replica, mid-workload.
+            victim = pick_kill_victim(client)
+            cluster.kill(victim)
+            observed["kill_victim"] = victim
+            observed["kill_recall"] = mean_recall(client)
+            observed["failovers"] = client.system.counters.failovers
+            observed["failed_lookups"] = client.system.counters.failed_lookups
+
+            # Anti-entropy repair restores the replication factor.
+            observed["repair_copies"] = client.repair()
+
+            # Graceful leave of another peer: hand-off, then exit.
+            leaver = next(
+                address
+                for address in cluster.endpoints
+                if cluster.alive(address)
+                and cluster.endpoints[address] != client.bootstrap
+            )
+            observed["leave_moved"] = client.leave(leaver)
+            cluster.processes[leaver].wait(timeout=10)
+            observed["leaver"] = leaver
+            observed["leaver_alive"] = cluster.alive(leaver)
+            observed["members_after_leave"] = len(client.members)
+            observed["leave_recall"] = mean_recall(client)
+    return observed
+
+
+def test_warm_queries_all_hit(drill):
+    assert drill["warm_recall"] == pytest.approx(1.0)
+
+
+def test_recall_survives_abrupt_kill(drill):
+    assert drill["kill_recall"] >= drill["warm_recall"] - 1e-9
+    assert drill["failovers"] > 0, "the kill was never failed over"
+    assert drill["failed_lookups"] == 0
+
+
+def test_repair_recreates_lost_copies(drill):
+    assert drill["repair_copies"] > 0
+
+
+def test_graceful_leave_hands_off_and_exits(drill):
+    assert drill["leave_moved"] > 0
+    assert not drill["leaver_alive"]
+    # Only a graceful leave removes itself from the member map; the
+    # SIGKILLed peer stays as a stale entry that lookups route around.
+    assert drill["members_after_leave"] == PEERS - 1
+    assert drill["leave_recall"] == pytest.approx(1.0)

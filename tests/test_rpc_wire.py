@@ -1,0 +1,216 @@
+"""The socket wire protocol: framing, value codec, error mapping."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.errors import (
+    ConfigError,
+    PeerUnavailableError,
+    RequestTimeoutError,
+)
+from repro.ranges.domain import Domain
+from repro.ranges.interval import IntRange
+from repro.rpc import wire
+
+
+def roundtrip(value):
+    # Through real JSON, not just the codec functions, so nothing
+    # JSON-unfriendly (tuples, numpy ints) can hide in the encoded form.
+    return wire.decode_value(json.loads(json.dumps(wire.encode_value(value))))
+
+
+def test_scalars_pass_through():
+    for value in (None, True, 7, 2.5, "hello"):
+        assert roundtrip(value) == value
+
+
+def test_range_descriptor_partition_roundtrip():
+    r = IntRange(30, 50)
+    descriptor = PartitionDescriptor("patients", "age", r)
+    partition = Partition.from_rows(
+        "patients", "age", r, [(30, "a"), (41, "b")]
+    )
+    assert roundtrip(r) == r
+    assert roundtrip(descriptor) == descriptor
+    assert roundtrip(partition) == partition
+    assert roundtrip(partition).rows == ((30, "a"), (41, "b"))
+
+
+def test_request_payload_tuples_roundtrip():
+    # The exact payloads the data plane sends.
+    match = (123, IntRange(1, 9), "simulated", "value")
+    store = (
+        123,
+        PartitionDescriptor("simulated", "value", IntRange(1, 9)),
+        None,
+        True,
+    )
+    assert roundtrip(match) == match
+    assert roundtrip(store) == store
+
+
+def test_unencodable_value_raises():
+    with pytest.raises(TypeError):
+        wire.encode_value(object())
+
+
+def test_config_roundtrip_including_domain():
+    config = SystemConfig(
+        n_peers=9,
+        replicas=3,
+        domain=Domain("age", 0, 120),
+        matcher="containment",
+        seed=42,
+    )
+    assert wire.config_from_wire(wire.config_to_wire(config)) == config
+
+
+def test_config_from_wire_rejects_unknown_fields():
+    body = wire.config_to_wire(SystemConfig())
+    body["bogus"] = 1
+    with pytest.raises(ConfigError):
+        wire.config_from_wire(body)
+
+
+def test_config_from_wire_defaults_missing_fields():
+    assert wire.config_from_wire({"n_peers": 5}).l == SystemConfig().l
+
+
+def run(coroutine):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coroutine)
+    finally:
+        loop.close()
+
+
+def test_frame_roundtrip_over_loopback():
+    async def scenario():
+        received = []
+
+        async def serve(reader, writer):
+            frame = await wire.read_frame(reader)
+            received.append(frame)
+            await wire.write_frame(writer, {"ok": True, "echo": frame})
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        await wire.write_frame(writer, {"kind": "ping", "payload": [1, 2]})
+        reply = await wire.read_frame(reader)
+        writer.close()
+        server.close()
+        await server.wait_closed()
+        return received, reply
+
+    received, reply = run(scenario())
+    assert received == [{"kind": "ping", "payload": [1, 2]}]
+    assert reply["ok"] and reply["echo"]["kind"] == "ping"
+
+
+def test_read_frame_returns_none_on_eof():
+    async def scenario():
+        async def serve(reader, writer):
+            writer.close()  # hang up without answering
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        frame = await wire.read_frame(reader)
+        writer.close()
+        server.close()
+        await server.wait_closed()
+        return frame
+
+    assert run(scenario()) is None
+
+
+def test_oversized_length_prefix_is_refused():
+    async def scenario():
+        async def serve(reader, writer):
+            writer.write(struct.pack("!I", wire.MAX_FRAME_BYTES + 1))
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        try:
+            with pytest.raises(ValueError):
+                await wire.read_frame(reader)
+        finally:
+            writer.close()
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
+def test_call_maps_refused_connection_to_peer_unavailable():
+    async def scenario():
+        # Bind a port, then close it, so the connect is refused.
+        server = await asyncio.start_server(
+            lambda r, w: None, "127.0.0.1", 0
+        )
+        port = server.sockets[0].getsockname()[1]
+        server.close()
+        await server.wait_closed()
+        with pytest.raises(PeerUnavailableError) as info:
+            await wire.call("127.0.0.1", port, "ping", peer_id=42)
+        assert info.value.peer_id == 42
+
+    run(scenario())
+
+
+def test_call_times_out_against_a_silent_peer():
+    async def scenario():
+        async def serve(reader, writer):
+            await asyncio.sleep(30)  # never answer
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            with pytest.raises(RequestTimeoutError):
+                await wire.call(
+                    "127.0.0.1", port, "ping", peer_id=7, timeout_ms=100.0
+                )
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
+def test_call_maps_remote_error_types():
+    async def scenario():
+        async def serve(reader, writer):
+            await wire.read_frame(reader)
+            await wire.write_frame(
+                writer,
+                {
+                    "id": 0,
+                    "ok": False,
+                    "error": "unknown message kind 'bogus'",
+                    "error_type": "ConfigError",
+                },
+            )
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            with pytest.raises(ConfigError):
+                await wire.call("127.0.0.1", port, "bogus")
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
