@@ -1,0 +1,72 @@
+"""Extension — live churn: the cluster heals itself, recall survives.
+
+Spawns a real ``repro serve`` cluster (one OS process per peer, SWIM
+failure detection and server-side repair on), plays the kill / pause /
+partition waves of :class:`~repro.experiments.ext_live_churn.
+LiveChurnExperiment`, and asserts the self-healing contract end to end:
+
+- the SIGKILL'd peer is detected and evicted by the ring itself, its
+  entries are re-replicated to ``r`` live copies, and recall holds —
+  with the client idle throughout the detection/repair window;
+- the SIGSTOP'd peer is suspected but never evicted, rejoins on SIGCONT
+  with every entry it held, and recall holds;
+- after the two-sided partition heals, membership reconverges to the
+  full surviving ring and recall holds.
+
+This benchmark drives real processes and real clocks; it is excluded
+from ``repro experiments`` and runs in its own CI job under a hard
+timeout.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.ext_live_churn import LiveChurnExperiment
+
+
+def _make(scale: str) -> LiveChurnExperiment:
+    return (
+        LiveChurnExperiment.paper()
+        if scale == "paper"
+        else LiveChurnExperiment.quick()
+    )
+
+
+def test_ext_live_churn(benchmark, scale, emit):
+    experiment = _make(scale)
+    outcome = run_once(benchmark, lambda: experiment.run())
+    emit("ext_live_churn", outcome.report())
+
+    warm = outcome.wave("warm")
+    kill = outcome.wave("kill")
+    pause = outcome.wave("pause")
+    partition = outcome.wave("partition")
+    benchmark.extra_info["kill_detect_ms"] = kill.detect_ms
+    benchmark.extra_info["kill_repair_ms"] = kill.repair_ms
+    benchmark.extra_info["partition_repair_ms"] = partition.repair_ms
+
+    # Warm baseline: every tile stored and found.
+    assert warm.recall == 1.0
+    assert warm.members == experiment.n_peers
+
+    # Kill wave: the ring detected and repaired the death on its own.
+    assert kill.members == experiment.n_peers - 1
+    assert kill.detect_ms is not None and kill.detect_ms > 0
+    assert kill.repair_ms is not None and kill.repair_ms >= kill.detect_ms
+    assert kill.evicted > 0  # some peer confirmed the death
+    assert kill.repair_copies > 0  # server-driven re-replication ran
+    assert kill.recall >= warm.recall - 1e-9
+
+    # Pause wave: suspected, refuted, nothing lost, nobody evicted.
+    assert pause.members == experiment.n_peers - 1
+    assert pause.recall >= warm.recall - 1e-9
+
+    # Partition wave: both sides split and re-merged.
+    assert partition.members == experiment.n_peers - 1
+    assert partition.recall >= warm.recall - 1e-9
+
+    # The cluster's own telemetry recorded the detection latency.
+    detect_count, detect_mean, _ = outcome.swim_detect_stats
+    assert detect_count > 0
+    assert detect_mean > 0

@@ -1,0 +1,90 @@
+"""Gate: fail CI when the micro-op benchmarks regress past a threshold.
+
+Compares a freshly generated ``BENCH_micro_ops.json`` against the
+baseline committed at the repo root::
+
+    git show HEAD:BENCH_micro_ops.json > /tmp/baseline.json
+    python benchmarks/check_bench_regression.py /tmp/baseline.json \
+        BENCH_micro_ops.json --threshold 0.30
+
+An op regresses when its best-case time (``min_s`` — the least noisy
+statistic a shared CI runner produces) grows by more than ``threshold``
+relative to the baseline.  Ops present on only one side are reported but
+never fail the gate (new benchmarks must be able to land, and retired
+ones to leave).  Exit code 1 lists every regressed op; improvements are
+printed for the log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Timing statistic compared; min_s is the most reproducible on shared
+#: runners (mean/median absorb scheduler noise spikes).
+STAT = "min_s"
+
+
+def load_ops(path: Path) -> dict[str, dict]:
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+    ops = document.get("ops")
+    if not isinstance(ops, dict):
+        raise SystemExit(f"error: {path} has no 'ops' table")
+    return ops
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("current", type=Path, help="freshly generated JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        raise SystemExit("error: --threshold must be positive")
+    baseline = load_ops(args.baseline)
+    current = load_ops(args.current)
+    regressed: list[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        old = baseline.get(name, {}).get(STAT)
+        new = current.get(name, {}).get(STAT)
+        if old is None or new is None:
+            side = "baseline" if old is None else "current run"
+            print(f"  ~ {name}: missing from {side}, skipped")
+            continue
+        if old <= 0:
+            print(f"  ~ {name}: degenerate baseline ({old}), skipped")
+            continue
+        change = (new - old) / old
+        marker = " "
+        if change > args.threshold:
+            marker = "!"
+            regressed.append(name)
+        elif change < -args.threshold:
+            marker = "+"
+        print(
+            f"  {marker} {name}: {STAT} {old * 1e6:.1f}us -> "
+            f"{new * 1e6:.1f}us ({change:+.1%})"
+        )
+    if regressed:
+        print(
+            f"error: {len(regressed)} op(s) regressed more than "
+            f"{args.threshold:.0%}: {', '.join(regressed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: no op regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -321,6 +321,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="system configuration as JSON (all peers must agree; the "
         "bootstrap peer's config is served to clients via 'hello')",
     )
+    serve.add_argument(
+        "--swim-interval",
+        type=float,
+        default=1_000.0,
+        metavar="MS",
+        help="SWIM failure-detector tick period (0 = detector off; "
+        "membership then only changes on join/leave)",
+    )
+    serve.add_argument(
+        "--suspect-timeout",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="how long an un-refuted suspicion lives before the peer is "
+        "declared dead (default: 3x the swim interval)",
+    )
+    serve.add_argument(
+        "--swim-proxies",
+        type=int,
+        default=2,
+        metavar="K",
+        help="indirect ping-req proxies tried before suspecting a peer",
+    )
+    serve.add_argument(
+        "--repair-interval",
+        type=float,
+        default=1_000.0,
+        metavar="MS",
+        help="server-driven anti-entropy repair period (0 = repair "
+        "stays client-driven)",
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -340,6 +371,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fault drill: kill one non-owner replica mid-workload and "
         "exit nonzero unless recall survives via failover",
+    )
+    cluster.add_argument(
+        "--chaos",
+        metavar="SCHEDULE",
+        default=None,
+        help="seeded chaos drill, e.g. 'kill=1,pause=1,partition=1': "
+        "play the fault waves, wait for the ring to self-heal, and exit "
+        "nonzero unless membership reconverges and recall recovers",
+    )
+    cluster.add_argument(
+        "--swim-interval",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="SWIM tick period passed to every peer",
+    )
+    cluster.add_argument(
+        "--suspect-timeout",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="suspicion lifetime passed to every peer "
+        "(default: 3x the swim interval)",
+    )
+    cluster.add_argument(
+        "--repair-interval",
+        type=float,
+        default=500.0,
+        metavar="MS",
+        help="server-side repair period passed to every peer",
+    )
+    cluster.add_argument(
+        "--recovery-timeout",
+        type=float,
+        default=90.0,
+        metavar="S",
+        help="how long the chaos drill waits for the ring to reconverge",
     )
     cluster.add_argument(
         "--hold",
@@ -707,6 +775,10 @@ def _run_serve(args: argparse.Namespace, out) -> int:
                 host=args.host,
                 port=args.port,
                 bootstrap=bootstrap,
+                swim_interval_ms=args.swim_interval,
+                suspect_timeout_ms=args.suspect_timeout,
+                swim_proxies=args.swim_proxies,
+                repair_interval_ms=args.repair_interval,
             )
         )
     except KeyboardInterrupt:
@@ -728,7 +800,13 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
             config.domain, args.queries, seed=args.seed + 2
         ).ranges()
     )
-    with LocalCluster(args.peers, config) as cluster:
+    with LocalCluster(
+        args.peers,
+        config,
+        swim_interval_ms=args.swim_interval,
+        suspect_timeout_ms=args.suspect_timeout,
+        repair_interval_ms=args.repair_interval,
+    ) as cluster:
         endpoints = ", ".join(
             f"{address}@{host}:{port}"
             for address, (host, port) in cluster.endpoints.items()
@@ -778,6 +856,12 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
                     )
                     return 1
                 print("smoke: recall survived the kill", file=out)
+            if args.chaos:
+                status = _run_chaos_drill(
+                    args, cluster, client, queries, warm_recall, out
+                )
+                if status != 0:
+                    return status
         if args.hold:
             import time
 
@@ -794,6 +878,88 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
             except KeyboardInterrupt:
                 pass
     return 0
+
+
+def _run_chaos_drill(
+    args, cluster, client, queries, warm_recall: float, out
+) -> int:
+    """Play a seeded chaos schedule, then gate on ring self-healing."""
+    from repro.rpc.chaos import ChaosRunner, ChaosSchedule
+
+    counts = ChaosSchedule.parse_spec(args.chaos)
+    bootstrap_address = next(iter(cluster.endpoints))
+    schedule = ChaosSchedule.generate(
+        args.seed,
+        list(cluster.endpoints),
+        counts,
+        protect=(bootstrap_address,),
+    )
+    print(f"chaos: schedule [{schedule.describe()}]", file=out)
+    runner = ChaosRunner(cluster, schedule)
+    runner.run()
+    # The schedule is over: lift residual delay/drop faults (partitions
+    # heal via their own scheduled event) and let the ring converge.
+    cluster.heal()
+    if not _await_reconvergence(cluster, client, args.recovery_timeout):
+        live = sorted(a for a in cluster.endpoints if cluster.alive(a))
+        print(
+            f"error: membership never reconverged within "
+            f"{args.recovery_timeout:g}s (live={live}, "
+            f"mirrored={sorted(client.members)})",
+            file=sys.stderr,
+        )
+        return 1
+    healed = [client.query(query) for query in queries]
+    recall = sum(r.recall for r in healed) / max(1, len(healed))
+    print(
+        f"healed: {len(healed)} queries, mean recall {recall:.2f} "
+        f"(warm was {warm_recall:.2f}), {len(runner.applied)} faults applied",
+        file=out,
+    )
+    if recall < warm_recall - 1e-9:
+        print(
+            f"error: recall did not recover after chaos "
+            f"({warm_recall:.3f} -> {recall:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("chaos: ring self-healed, recall recovered", file=out)
+    return 0
+
+
+def _await_reconvergence(cluster, client, timeout_s: float) -> bool:
+    """Poll until every live peer's member map equals the live set."""
+    import asyncio
+    import time
+
+    from repro.rpc import wire
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        live = {a for a in cluster.endpoints if cluster.alive(a)}
+        try:
+            client.refresh()
+        except ReproError:
+            time.sleep(1.0)
+            continue
+        if set(client.members) == live:
+            agreed = True
+            for address in sorted(live):
+                host, port = cluster.endpoints[address]
+                try:
+                    hello = asyncio.run(
+                        wire.call(host, port, "hello", timeout_ms=2_000.0)
+                    )
+                except ReproError:
+                    agreed = False
+                    break
+                if set(hello["members"]) != live:
+                    agreed = False
+                    break
+            if agreed:
+                return True
+        time.sleep(1.0)
+    return False
 
 
 def _pick_smoke_victim(client, query) -> str:

@@ -32,6 +32,7 @@ from repro.core.config import SystemConfig
 from repro.core.overlays import ChordRouter
 from repro.core.system import SIM_ATTRIBUTE, SIM_RELATION, SystemCounters
 from repro.errors import (
+    OpenCircuitError,
     PeerUnavailableError,
     ReproError,
     RequestTimeoutError,
@@ -46,6 +47,7 @@ from repro.rpc import wire
 from repro.rpc.engine import QueryEngine, TimedQueryResult
 from repro.rpc.transports import Observer, Transport
 from repro.sim.futures import SimFuture
+from repro.sim.policies import AdaptiveTimeout, CircuitBreaker, JitteredBackoff
 from repro.util.rng import derive_rng
 
 __all__ = ["SocketTransport", "ClientSystem", "ClusterClient"]
@@ -70,6 +72,17 @@ class SocketTransport(Transport):
     Must be used from inside a running event loop (the
     :class:`ClusterClient` drives one); ``request()`` spawns one task per
     exchange and settles the returned future from the loop.
+
+    With ``policies=True`` (the default) the transport runs the adaptive
+    mechanisms of :mod:`repro.sim.policies` against real sockets: a
+    Jacobson/Karn :class:`~repro.sim.policies.AdaptiveTimeout` shrinks
+    per-peer patience toward observed RTTs, a
+    :class:`~repro.sim.policies.CircuitBreaker` fails requests to
+    repeatedly-unresponsive peers fast (the rejection reads as a failed
+    settle, so the engine's failover walks on to the next replica
+    immediately instead of burning a timeout per query), and a
+    :class:`~repro.sim.policies.JitteredBackoff` spaces the retries that
+    do happen so recovering peers are not met with a thundering herd.
     """
 
     def __init__(
@@ -79,6 +92,8 @@ class SocketTransport(Transport):
         registry: MetricsRegistry | None = None,
         timeout_ms: float = 2_000.0,
         retries: int = 1,
+        policies: bool = True,
+        seed: int = 0,
     ) -> None:
         self.endpoints = dict(endpoints)
         self._stats = TrafficStats(registry=registry)
@@ -88,6 +103,27 @@ class SocketTransport(Transport):
         self.dead: set[int] = set()
         self._tasks: set[asyncio.Task] = set()
         self._epoch = time.monotonic()
+        self.adaptive: AdaptiveTimeout | None = None
+        self.breaker: CircuitBreaker | None = None
+        self.backoff: JitteredBackoff | None = None
+        if policies:
+            self.adaptive = AdaptiveTimeout(
+                floor_ms=min(100.0, timeout_ms),
+                ceiling_ms=timeout_ms,
+            )
+            self.breaker = CircuitBreaker(
+                self.now,
+                failure_threshold=3,
+                cooldown_ms=timeout_ms,
+                registry=registry,
+                namespace="rpc.breaker",
+            )
+            self.backoff = JitteredBackoff(
+                base_ms=25.0,
+                cap_ms=max(25.0, timeout_ms),
+                seed=seed,
+                name="rpc/backoff",
+            )
 
     @property
     def stats(self) -> TrafficStats:
@@ -101,6 +137,10 @@ class SocketTransport(Transport):
 
     def mark_alive(self, peer_id: int) -> None:
         self.dead.discard(peer_id)
+        if self.breaker is not None:
+            self.breaker.reset(peer_id)
+        if self.adaptive is not None:
+            self.adaptive.forget(peer_id)
 
     def call_later(self, delay_ms: float, fn: Callable[[], None]) -> Any:
         loop = asyncio.get_running_loop()
@@ -152,6 +192,14 @@ class SocketTransport(Transport):
         observer: Observer | None,
     ) -> None:
         host, port = self.endpoints[recipient]
+        if self.breaker is not None and not self.breaker.allow(recipient):
+            # Fail fast: the engine sees a failed settle and walks on to
+            # the next replica without waiting out a timeout.
+            if observer is not None:
+                observer("breaker-open", {"to": recipient})
+            if not future.done:
+                future.reject(OpenCircuitError(recipient))
+            return
         waited = 0.0
         for attempt in range(attempts):
             if future.done:
@@ -160,18 +208,25 @@ class SocketTransport(Transport):
                 observer(
                     "send", {"attempt": attempt, "to": recipient, "kind": kind}
                 )
+            timeout_ms = self.timeout_ms
+            if self.adaptive is not None:
+                adaptive = self.adaptive.timeout_ms(recipient)
+                if adaptive is not None:
+                    timeout_ms = adaptive
             started = time.monotonic()
             try:
                 value = await wire.call(
                     host, port, kind, payload,
                     sender=sender, peer_id=recipient,
-                    timeout_ms=self.timeout_ms,
+                    timeout_ms=timeout_ms,
                 )
             except PeerUnavailableError as exc:
                 # A refused connection is definitive — no retry budget
                 # spent, the peer is marked dead for failover planning.
                 self.dead.add(recipient)
                 self.stats.timeouts += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure(recipient)
                 if observer is not None:
                     observer("unreachable", {"to": recipient})
                 if not future.done:
@@ -180,10 +235,16 @@ class SocketTransport(Transport):
             except RequestTimeoutError:
                 waited += (time.monotonic() - started) * 1000.0
                 self.stats.timeouts += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure(recipient)
                 if attempt + 1 < attempts:
                     self.stats.retries += 1
                     if observer is not None:
                         observer("retry", {"attempt": attempt + 1})
+                    if self.backoff is not None:
+                        await asyncio.sleep(
+                            self.backoff.delay_ms(attempt) / 1000.0
+                        )
                     continue
                 if not future.done:
                     future.reject(
@@ -199,6 +260,12 @@ class SocketTransport(Transport):
             self.stats.bytes += size_bytes + 64
             self.stats.latency_ms += elapsed_ms
             self.stats.by_kind[kind] += 1
+            if self.breaker is not None:
+                self.breaker.record_success(recipient)
+            if self.adaptive is not None and attempt == 0:
+                # Karn's rule: only unambiguous (first-try) samples feed
+                # the estimator.
+                self.adaptive.observe(recipient, elapsed_ms)
             if observer is not None:
                 observer("reply", {"ms": elapsed_ms})
             if not future.done:
@@ -297,10 +364,12 @@ class ClusterClient:
         loop: asyncio.AbstractEventLoop | None = None,
         timeout_ms: float = 2_000.0,
         retries: int = 1,
+        policies: bool = True,
     ) -> None:
         self.bootstrap = bootstrap
         self.timeout_ms = timeout_ms
         self.retries = retries
+        self.policies = policies
         self._owns_loop = loop is None
         self.loop = loop if loop is not None else asyncio.new_event_loop()
         self.system: ClientSystem
@@ -357,8 +426,23 @@ class ClusterClient:
             registry=self.system.metrics,
             timeout_ms=self.timeout_ms,
             retries=self.retries,
+            policies=self.policies,
+            seed=config.seed,
         )
         self.transport.dead |= previously_dead & set(self.system.endpoints)
+        # Peers the ring itself suspects are poor first choices: mark
+        # them dead up front so origin picking and failover planning
+        # route around them (a refuting peer clears itself on the next
+        # successful exchange via mark_alive).
+        node_of = {
+            self.system.router.ring.node(node_id).address: node_id
+            for node_id in self.system.router.node_ids
+        }
+        for address, record in hello.get("states", {}).items():
+            state = str(record[0]) if record else "alive"
+            node_id = node_of.get(address)
+            if node_id is not None and state != "alive":
+                self.transport.dead.add(node_id)
         self.engine = QueryEngine(self.system, self.transport)
         self._rng = derive_rng(config.seed, "client/origins")
         logger.info(
@@ -429,6 +513,14 @@ class ClusterClient:
             return bool(self.call(address, "ping"))
         except ReproError:
             return False
+
+    def metrics_of(self, address: str) -> dict:
+        """One peer's metrics registry snapshot (swim/repair telemetry)."""
+        return self.call(address, "metrics")
+
+    def entries_of(self, address: str) -> list:
+        """One peer's stored entries as (id, descriptor, partition, primary)."""
+        return self.call(address, "entries")
 
     def leave(self, address: str) -> int:
         """Ask a peer to leave gracefully; returns copies it handed off."""

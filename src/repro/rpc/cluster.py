@@ -58,6 +58,10 @@ class LocalCluster:
         *,
         host: str = "127.0.0.1",
         startup_timeout_s: float = 30.0,
+        swim_interval_ms: float = 1_000.0,
+        suspect_timeout_ms: float | None = None,
+        repair_interval_ms: float = 1_000.0,
+        spawn_attempts: int = 3,
     ) -> None:
         if peers < 1:
             raise ClusterError("a cluster needs at least one peer")
@@ -69,8 +73,15 @@ class LocalCluster:
         )
         self.host = host
         self.startup_timeout_s = startup_timeout_s
+        self.swim_interval_ms = swim_interval_ms
+        self.suspect_timeout_ms = suspect_timeout_ms
+        self.repair_interval_ms = repair_interval_ms
+        self.spawn_attempts = max(1, spawn_attempts)
         self.processes: dict[str, subprocess.Popen] = {}
         self.endpoints: dict[str, tuple[str, int]] = {}
+        #: Peers currently SIGSTOP'd (for teardown: a stopped process
+        #: never handles SIGTERM, so shutdown SIGCONTs them first).
+        self.paused: set[str] = set()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -81,7 +92,13 @@ class LocalCluster:
         return self
 
     def spawn(self, address: str) -> tuple[str, int]:
-        """Start one peer process and wait for its ready line."""
+        """Start one peer process and wait for its ready line.
+
+        A child that dies before its ready line — the classic cause being
+        an ``EADDRINUSE`` race on the ephemeral port it was handed — is
+        retried with a fresh OS-picked port up to ``spawn_attempts``
+        times, so one unlucky bind does not fail the whole cluster start.
+        """
         if address in self.processes:
             raise ClusterError(f"peer {address!r} already running")
         command = [
@@ -90,7 +107,11 @@ class LocalCluster:
             "--host", self.host,
             "--port", "0",
             "--config-json", json.dumps(wire.config_to_wire(self.config)),
+            "--swim-interval", str(self.swim_interval_ms),
+            "--repair-interval", str(self.repair_interval_ms),
         ]
+        if self.suspect_timeout_ms is not None:
+            command += ["--suspect-timeout", str(self.suspect_timeout_ms)]
         if self.endpoints:
             boot_host, boot_port = self.bootstrap_endpoint()
             command += ["--bootstrap", f"{boot_host}:{boot_port}"]
@@ -100,23 +121,38 @@ class LocalCluster:
             for path in (_src_path(), env.get("PYTHONPATH", ""))
             if path
         )
-        process = subprocess.Popen(
-            command,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.DEVNULL,
-            env=env,
-            text=True,
-        )
-        try:
-            endpoint = self._await_ready(address, process)
-        except ClusterError:
-            process.kill()
-            process.wait()
-            raise
-        self.processes[address] = process
-        self.endpoints[address] = endpoint
-        logger.info("peer %s up at %s:%d", address, *endpoint)
-        return endpoint
+        failure: ClusterError | None = None
+        for attempt in range(self.spawn_attempts):
+            process = subprocess.Popen(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                env=env,
+                text=True,
+            )
+            try:
+                endpoint = self._await_ready(address, process)
+            except ClusterError as exc:
+                process.kill()
+                process.wait()
+                if process.stdout is not None:
+                    process.stdout.close()
+                failure = exc
+                # Only an early exit is worth retrying (a bind race); a
+                # peer that is running but silent stays broken.
+                if "exited with" not in str(exc):
+                    raise
+                logger.warning(
+                    "peer %s spawn attempt %d failed (%s); retrying",
+                    address, attempt + 1, exc,
+                )
+                continue
+            self.processes[address] = process
+            self.endpoints[address] = endpoint
+            logger.info("peer %s up at %s:%d", address, *endpoint)
+            return endpoint
+        assert failure is not None
+        raise failure
 
     def _await_ready(
         self, address: str, process: subprocess.Popen
@@ -166,7 +202,69 @@ class LocalCluster:
         process = self.processes[address]
         process.send_signal(signal.SIGKILL)
         process.wait(timeout=10)
+        self.paused.discard(address)
         logger.info("peer %s killed", address)
+
+    def pause(self, address: str) -> None:
+        """Freeze a peer with SIGSTOP — alive but unresponsive, the
+        classic GC-pause/overload look that SWIM must *suspect* without
+        evicting too eagerly."""
+        process = self.processes[address]
+        process.send_signal(signal.SIGSTOP)
+        self.paused.add(address)
+        logger.info("peer %s paused (SIGSTOP)", address)
+
+    def resume(self, address: str) -> None:
+        """Thaw a SIGSTOP'd peer; it refutes any suspicion and rejoins."""
+        process = self.processes[address]
+        process.send_signal(signal.SIGCONT)
+        self.paused.discard(address)
+        logger.info("peer %s resumed (SIGCONT)", address)
+
+    def chaos_set(self, address: str, **settings) -> dict:
+        """Install fault-injection settings on one peer (``chaos-set``).
+
+        Recognised keys: ``delay_ms`` (added service delay), ``drop``
+        (probability a request is dropped without a reply), ``blocked``
+        (peer addresses whose requests are silently discarded) and
+        ``seed`` (reseeds the peer's drop RNG for determinism).
+        """
+        import asyncio
+
+        host, port = self.endpoints[address]
+        return asyncio.run(
+            wire.call(host, port, "chaos-set", settings, timeout_ms=10_000.0)
+        )
+
+    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Install a two-sided network partition between peer groups.
+
+        Each side blocks the other's addresses, so requests die in both
+        directions — exactly the symmetric split SWIM must resolve by
+        each side evicting the other (and healing on :meth:`heal`).
+        """
+        for address in group_a:
+            if self.alive(address):
+                self.chaos_set(address, blocked=list(group_b))
+        for address in group_b:
+            if self.alive(address):
+                self.chaos_set(address, blocked=list(group_a))
+        logger.info(
+            "partition installed: %s | %s",
+            ",".join(group_a), ",".join(group_b),
+        )
+
+    def heal(self) -> None:
+        """Lift every chaos setting on every live peer."""
+        for address in list(self.endpoints):
+            if self.alive(address) and address not in self.paused:
+                try:
+                    self.chaos_set(
+                        address, delay_ms=0.0, drop=0.0, blocked=[]
+                    )
+                except ReproError:
+                    logger.warning("heal: peer %s unreachable", address)
+        logger.info("chaos settings cleared")
 
     def leave(self, address: str) -> int:
         """Graceful departure via the ``leave`` RPC; waits for exit."""
@@ -188,6 +286,13 @@ class LocalCluster:
 
     def shutdown(self) -> None:
         """Stop every remaining peer; escalate to SIGKILL if needed."""
+        # A SIGSTOP'd process queues SIGTERM until continued — thaw
+        # everything first so termination can actually be delivered.
+        for address in list(self.paused):
+            process = self.processes.get(address)
+            if process is not None and process.poll() is None:
+                process.send_signal(signal.SIGCONT)
+        self.paused.clear()
         for address, process in self.processes.items():
             if process.poll() is None:
                 process.terminate()

@@ -83,3 +83,14 @@ class PeerLogic:
         bucket = self.store.bucket(identifier)
         entry = bucket.get(descriptor) if bucket is not None else None
         return entry.partition if entry is not None else None
+
+    def holds(self, identifier: int, descriptor: PartitionDescriptor) -> bool:
+        """Whether this peer currently stores ``(identifier, descriptor)``.
+
+        The anti-entropy digest primitive: a repairing holder asks each
+        replica target which of a batch of keys it already has, and only
+        pushes the missing ones — one round trip per peer per round
+        instead of one blind push per entry.
+        """
+        bucket = self.store.bucket(identifier)
+        return bucket is not None and bucket.get(descriptor) is not None

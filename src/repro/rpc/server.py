@@ -1,31 +1,56 @@
 """A peer as a process: asyncio TCP server owning one node's partitions.
 
 ``repro serve`` runs one :class:`PeerServer`.  The server speaks the
-length-prefixed JSON protocol of :mod:`repro.rpc.wire` and serves two
+length-prefixed JSON protocol of :mod:`repro.rpc.wire` and serves three
 planes on the same port:
 
 - the **data plane** — ``match-request`` / ``store-request`` /
   ``fetch-partition`` — dispatched through the same
   :class:`~repro.rpc.peer.PeerLogic` the in-process transports use;
 - the **control plane** — ``hello``, ``join``, ``member-update``,
-  ``leave``, ``entries``, ``ping``, ``shutdown`` — the node lifecycle.
+  ``leave``, ``entries``, ``ping``, ``metrics``, ``shutdown`` — the node
+  lifecycle;
+- the **health plane** — ``swim-ping``, ``ping-req``, ``suspect``,
+  ``has-entries``, ``repair-push``, ``chaos-set`` — the ring keeping
+  itself alive.
 
-Membership is a full member map ``address -> (host, port)`` carried on an
-epoch counter.  Every server mirrors the whole map and derives the Chord
-ring locally (node ids are SHA-1 of the address, so every mirror and
-every client places identifiers identically).  Joins go through the
-bootstrap peer, which admits the newcomer and broadcasts the new epoch;
-each member then re-places its entries against the new ring
-(:meth:`PeerServer.rebalance`), which is what hands data to the newcomer.
-A graceful ``leave`` pushes the departing peer's entries to their current
-replica sets first, so nothing is lost; an abrupt kill loses nothing
-either as long as ``replicas > 1`` — lookups fail over down the successor
-list and anti-entropy repair re-establishes the replication factor.
+Membership is a full member map mirrored on every peer, now carried by
+the SWIM state machine of :mod:`repro.rpc.swim`: each record is
+``address -> (host, port, state, incarnation)`` and merges by incarnation
+precedence, with the original epoch counter kept as a freshness hint.
+Node ids are SHA-1 of addresses, so every mirror and every client places
+identifiers identically.
+
+**Self-healing.**  With ``swim_interval_ms > 0`` every peer runs the SWIM
+failure detector: each tick it pings one member directly and, on silence,
+indirectly through ``swim_proxies`` randomly chosen proxies
+(``ping-req``).  A peer that answers neither route is marked *suspect*
+and the suspicion is broadcast; the accused — if merely slow or paused —
+refutes it by re-announcing itself at a higher incarnation.  A suspicion
+that ages past ``suspect_timeout_ms`` un-refuted is confirmed *dead*: the
+peer is evicted from the mirrored ring by the ring itself — no client
+involved — and an anti-entropy repair round is triggered.  With
+``repair_interval_ms > 0`` every peer also periodically computes its own
+replication deficits from the mirrored ring (which entries it holds whose
+current replica set is missing copies), asks each target which keys it
+already has (``has-entries``), and pushes only the missing ones
+(``repair-push``) — so a SIGKILL'd replica's partitions are back at ``r``
+copies within a couple of rounds, again with no client involved.
+
+**Chaos.**  ``chaos-set`` injects faults for the deterministic chaos
+harness: an added per-request service delay, a seeded drop probability,
+and a *blocked* sender list — requests from blocked peers are dropped
+without a reply and calls to them refused locally, which is how the
+harness builds two-sided network partitions without touching ``tc``.
+Clients never set a sender address and are never blocked: chaos partitions
+the overlay, not the observer.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
+import time
 from typing import Any
 
 from repro.chord.hashing import node_id_for_address, rehash_for_placement
@@ -33,10 +58,12 @@ from repro.chord.ring import ChordRing
 from repro.core.config import SystemConfig
 from repro.core.matcher import matcher_by_name
 from repro.core.overlays import ChordRouter
-from repro.errors import ReproError
+from repro.errors import PeerUnavailableError, ReproError
 from repro.obs.log import get_logger
+from repro.obs.registry import MetricsRegistry
 from repro.rpc import wire
 from repro.rpc.peer import DATA_KINDS, PeerLogic
+from repro.rpc.swim import ALIVE, DEAD, SUSPECT, MembershipTable, MergeOutcome
 from repro.storage.store import LRUEviction, NoEviction, PeerStore
 
 __all__ = ["PeerServer", "READY_PREFIX"]
@@ -52,6 +79,13 @@ READY_PREFIX = "REPRO-SERVE ready"
 #: a hung peer cannot wedge a join or leave forever.
 CONTROL_TIMEOUT_MS = 5_000.0
 
+#: Every this-many SWIM ticks, probe a tombstoned member instead of a
+#: live one.  A dead peer that was merely paused (SIGSTOP) answers the
+#: probe after SIGCONT, learns of its own death from the piggybacked
+#: table, refutes, and rejoins — the same path heals a two-sided
+#: partition after both sides evicted each other.
+RESURRECTION_PROBE_PERIOD = 4
+
 
 class PeerServer:
     """One node of the live cluster: store, ring mirror, TCP endpoint."""
@@ -64,9 +98,20 @@ class PeerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         bootstrap: tuple[str, int] | None = None,
+        swim_interval_ms: float = 0.0,
+        suspect_timeout_ms: float | None = None,
+        swim_proxies: int = 2,
+        ping_timeout_ms: float | None = None,
+        repair_interval_ms: float = 0.0,
     ) -> None:
         if config.overlay != "chord":
             raise ReproError("the socket transport requires the chord overlay")
+        if swim_interval_ms < 0:
+            raise ReproError("swim_interval_ms cannot be negative")
+        if repair_interval_ms < 0:
+            raise ReproError("repair_interval_ms cannot be negative")
+        if swim_proxies < 0:
+            raise ReproError("swim_proxies cannot be negative")
         self.address = address
         self.config = config
         self.host = host
@@ -86,12 +131,61 @@ class PeerServer:
             matcher_by_name(config.matcher),
             local_index=config.local_index,
         )
-        #: Membership mirror: address -> (host, port), on an epoch counter.
-        self.members: dict[str, tuple[str, int]] = {}
-        self.epoch = 0
+        #: SWIM membership mirror (records, states, incarnations, epoch).
+        self.table = MembershipTable(address, host, port)
         self.router: ChordRouter | None = None
+        self.metrics = MetricsRegistry()
+        # Failure-detector knobs.  swim_interval_ms == 0 disables the
+        # detector (PR 6 behaviour: membership only changes on join/leave);
+        # repair_interval_ms == 0 leaves repair to clients.
+        self.swim_interval_ms = swim_interval_ms
+        self.suspect_timeout_ms = (
+            suspect_timeout_ms
+            if suspect_timeout_ms is not None
+            else 3.0 * swim_interval_ms
+        )
+        self.swim_proxies = swim_proxies
+        self.ping_timeout_ms = (
+            ping_timeout_ms
+            if ping_timeout_ms is not None
+            else max(200.0, min(swim_interval_ms, 1_000.0))
+        )
+        self.repair_interval_ms = repair_interval_ms
+        #: Peers whose last member-update delivery failed; the SWIM loop
+        #: prioritises pinging them (the ping piggybacks the full table,
+        #: which *is* the re-delivery) and every later broadcast retries.
+        self._retry_updates: set[str] = set()
+        # Chaos-injection state, driven by the ``chaos-set`` RPC.
+        self.chaos_delay_ms = 0.0
+        self.chaos_drop = 0.0
+        self.chaos_blocked: set[str] = set()
+        self._chaos_rng = random.Random(0)
+        self._swim_rng = random.Random(node_id_for_address(address, 32))
+        self._ping_queue: list[str] = []
+        self._swim_tick_count = 0
+        #: Wall-clock ms of the first un-healed eviction this peer knows
+        #: of; cleared (into ``repair.heal_ms``) by the first repair round
+        #: that finds nothing missing.
+        self._evicted_at: float | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stopped = asyncio.Event()
+        self._repair_now = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- clocks and views ------------------------------------------------
+
+    @staticmethod
+    def _now_ms() -> float:
+        return time.monotonic() * 1000.0
+
+    @property
+    def members(self) -> dict[str, tuple[str, int]]:
+        """``address -> (host, port)`` of every non-dead member."""
+        return self.table.endpoints()
+
+    @property
+    def epoch(self) -> int:
+        return self.table.epoch
 
     # -- ring mirror -----------------------------------------------------
 
@@ -100,7 +194,7 @@ class PeerServer:
             m=self.config.id_bits,
             successor_list_size=max(4, self.config.replicas),
         )
-        for address in self.members:
+        for address in self.table.endpoints():
             ring.add_node(address)
         ring.build()
         self.router = ChordRouter(ring)
@@ -117,10 +211,47 @@ class PeerServer:
             self._place(identifier), self.config.replicas
         )
 
-    def _endpoint_of(self, node_id: int) -> tuple[str, int]:
+    def _address_of(self, node_id: int) -> str:
         assert self.router is not None
-        address = self.router.ring.node(node_id).address
-        return self.members[address]
+        return self.router.ring.node(node_id).address
+
+    def _endpoint_of(self, node_id: int) -> tuple[str, int]:
+        return self.table.endpoints()[self._address_of(node_id)]
+
+    # -- outgoing calls (all server-to-server traffic funnels here) ------
+
+    async def _call_member(
+        self,
+        address: str,
+        kind: str,
+        payload: Any = None,
+        *,
+        timeout_ms: float = CONTROL_TIMEOUT_MS,
+        peer_id: int = -1,
+    ) -> Any:
+        """One RPC to a member by address, honouring the chaos partition
+        (calls to blocked peers are refused locally, without a socket)."""
+        if address in self.chaos_blocked:
+            raise PeerUnavailableError(peer_id)
+        member = self.table.get(address)
+        if member is None:
+            raise PeerUnavailableError(peer_id)
+        return await wire.call(
+            member.host,
+            member.port,
+            kind,
+            payload,
+            sender=self.node_id,
+            sender_address=self.address,
+            peer_id=peer_id,
+            timeout_ms=timeout_ms,
+        )
+
+    def _spawn(self, coroutine) -> None:
+        """Run a coroutine in the background, tracked for teardown."""
+        task = asyncio.get_running_loop().create_task(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -130,9 +261,9 @@ class PeerServer:
             self._serve_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.table.set_endpoint(self.host, self.port)
         if self.bootstrap is None:
-            self.epoch = 1
-            self.members = {self.address: (self.host, self.port)}
+            self.table.epoch = 1
         else:
             boot_host, boot_port = self.bootstrap
             reply = await wire.call(
@@ -144,18 +275,26 @@ class PeerServer:
                     "host": self.host,
                     "port": self.port,
                 },
+                sender_address=self.address,
                 timeout_ms=CONTROL_TIMEOUT_MS,
             )
-            self._adopt_members(reply["epoch"], reply["members"])
+            self.table.replace(reply)
         self._rebuild_ring()
+        if self.swim_interval_ms > 0:
+            self._spawn(self._swim_loop())
+        if self.repair_interval_ms > 0:
+            self._spawn(self._repair_loop())
         print(
             f"{READY_PREFIX} address={self.address} node_id={self.node_id} "
             f"host={self.host} port={self.port}",
             flush=True,
         )
         logger.info(
-            "peer %s (id %d) serving on %s:%d, %d member(s)",
-            self.address, self.node_id, self.host, self.port, len(self.members),
+            "peer %s (id %d) serving on %s:%d, %d member(s), swim=%s repair=%s",
+            self.address, self.node_id, self.host, self.port,
+            len(self.table.endpoints()),
+            f"{self.swim_interval_ms:g}ms" if self.swim_interval_ms else "off",
+            f"{self.repair_interval_ms:g}ms" if self.repair_interval_ms else "off",
         )
 
     async def serve_forever(self) -> None:
@@ -168,39 +307,364 @@ class PeerServer:
     async def close(self) -> None:
         """Stop accepting connections (in-process embedders call this)."""
         self._stopped.set()
+        for task in list(self._tasks):
+            task.cancel()
+        self._tasks.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
 
-    def _adopt_members(self, epoch: int, members: dict) -> None:
-        self.epoch = int(epoch)
-        self.members = {
-            address: (str(endpoint[0]), int(endpoint[1]))
-            for address, endpoint in members.items()
-        }
+    # -- membership gossip -----------------------------------------------
 
     def _membership_payload(self) -> dict:
-        return {
-            "epoch": self.epoch,
-            "members": {
-                address: [host, port]
-                for address, (host, port) in self.members.items()
-            },
-        }
+        return self.table.payload()
 
     async def _broadcast_membership(self, exclude: set[str]) -> None:
-        """Best-effort push of the current member map to every other peer."""
+        """Push the current member map to every live peer, concurrently.
+
+        A failed delivery no longer drops the update forever: the peer is
+        queued for re-delivery (the SWIM loop pings it next, piggybacking
+        the full table) and counted as ``member.update_failed``.
+        """
         payload = self._membership_payload()
-        for address, (host, port) in list(self.members.items()):
-            if address == self.address or address in exclude:
-                continue
+        targets = [
+            address
+            for address in self.table.peers(ALIVE, SUSPECT)
+            if address not in exclude
+        ]
+
+        async def push(address: str) -> None:
             try:
-                await wire.call(
-                    host, port, "member-update", payload,
+                await self._call_member(
+                    address, "member-update", payload,
                     timeout_ms=CONTROL_TIMEOUT_MS,
                 )
             except ReproError:
-                logger.warning("member-update to %s failed; skipping", address)
+                self._retry_updates.add(address)
+                self.metrics.counter(
+                    "member.update_failed",
+                    help="member-update deliveries that failed and were "
+                    "queued for re-delivery",
+                ).inc()
+                logger.warning(
+                    "member-update to %s failed; queued for re-delivery",
+                    address,
+                )
+            else:
+                self._retry_updates.discard(address)
+
+        if targets:
+            await asyncio.gather(*(push(address) for address in targets))
+
+    def _after_merge(self, outcome: MergeOutcome) -> None:
+        """React to membership news learned from any gossip exchange."""
+        if outcome.ring_changed:
+            self._rebuild_ring()
+        if outcome.evicted:
+            for address in outcome.evicted:
+                logger.info(
+                    "peer %s: learned %s is dead (gossip)",
+                    self.address, address,
+                )
+            self.metrics.counter(
+                "swim.evicted",
+                help="members learned dead via gossip",
+            ).inc(len(outcome.evicted))
+            if self._evicted_at is None:
+                self._evicted_at = self._now_ms()
+            self._repair_now.set()
+        if outcome.joined:
+            # A member we did not know (or thought dead) is alive — make
+            # sure its share of the data reaches it.
+            self._repair_now.set()
+        if outcome.refuted:
+            self.metrics.counter(
+                "swim.refuted",
+                help="times this peer refuted an accusation against it",
+            ).inc()
+            logger.info(
+                "peer %s: refuted suspicion, incarnation now %d",
+                self.address, self.table.incarnation,
+            )
+            self._spawn(self._broadcast_membership(exclude=set()))
+
+    # -- the SWIM failure detector ---------------------------------------
+
+    async def _swim_loop(self) -> None:
+        while not self._stopped.is_set():
+            await asyncio.sleep(self.swim_interval_ms / 1000.0)
+            if self._stopped.is_set():
+                return
+            try:
+                await self._swim_tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - detector must survive
+                logger.exception("swim tick failed on %s", self.address)
+
+    def _next_ping_target(self) -> str | None:
+        """Round-robin over a shuffled member list, SWIM-style.
+
+        Peers with a pending member-update re-delivery go first; every
+        :data:`RESURRECTION_PROBE_PERIOD`-th tick probes a tombstone
+        instead, so paused peers and healed partitions can rejoin.
+        """
+        self._swim_tick_count += 1
+        for address in list(self._retry_updates):
+            if self.table.state_of(address) in (ALIVE, SUSPECT):
+                return address
+        if self._swim_tick_count % RESURRECTION_PROBE_PERIOD == 0:
+            dead = self.table.peers(DEAD)
+            if dead:
+                return dead[self._swim_rng.randrange(len(dead))]
+        candidates = set(self.table.peers(ALIVE, SUSPECT))
+        self._ping_queue = [a for a in self._ping_queue if a in candidates]
+        if not self._ping_queue:
+            self._ping_queue = sorted(candidates)
+            self._swim_rng.shuffle(self._ping_queue)
+        return self._ping_queue.pop() if self._ping_queue else None
+
+    async def _direct_ping(self, address: str) -> dict | None:
+        """Ping a member, piggybacking our table; returns its table."""
+        try:
+            reply = await self._call_member(
+                address, "swim-ping", self._membership_payload(),
+                timeout_ms=self.ping_timeout_ms,
+            )
+        except ReproError:
+            self.metrics.counter(
+                "swim.ping_failures", help="direct pings that went unanswered"
+            ).inc()
+            return None
+        self.metrics.counter(
+            "swim.pings", help="direct pings answered"
+        ).inc()
+        self._retry_updates.discard(address)
+        return reply if isinstance(reply, dict) else None
+
+    async def _indirect_ping(self, address: str) -> dict | None:
+        """Ask ``swim_proxies`` other members to ping ``address`` for us."""
+        member = self.table.get(address)
+        if member is None or self.swim_proxies == 0:
+            return None
+        candidates = [
+            proxy for proxy in self.table.peers(ALIVE) if proxy != address
+        ]
+        if not candidates:
+            return None
+        self._swim_rng.shuffle(candidates)
+        proxies = candidates[: self.swim_proxies]
+        request = {
+            "address": address,
+            "host": member.host,
+            "port": member.port,
+            "timeout_ms": self.ping_timeout_ms,
+        }
+
+        async def ask(proxy: str) -> Any:
+            try:
+                return await self._call_member(
+                    proxy, "ping-req", request,
+                    timeout_ms=2.0 * self.ping_timeout_ms,
+                )
+            except ReproError:
+                return None
+
+        self.metrics.counter(
+            "swim.ping_reqs", help="indirect ping-req probes issued"
+        ).inc(len(proxies))
+        replies = await asyncio.gather(*(ask(proxy) for proxy in proxies))
+        for reply in replies:
+            if isinstance(reply, dict):
+                return reply
+        return None
+
+    async def _swim_tick(self) -> None:
+        now = self._now_ms()
+        # 1. Age out suspicions that were never refuted.
+        evicted = []
+        for address in self.table.expired_suspects(now, self.suspect_timeout_ms):
+            member = self.table.get(address)
+            suspected_at = member.suspected_at or now
+            if self.table.confirm_dead(address):
+                evicted.append(address)
+                self.metrics.counter(
+                    "swim.dead", help="members this peer confirmed dead"
+                ).inc()
+                self.metrics.histogram(
+                    "swim.detect_ms",
+                    help="suspicion-to-eviction latency",
+                ).observe(now - suspected_at)
+                logger.info(
+                    "peer %s: %s is dead (suspect for %.0f ms), evicting",
+                    self.address, address, now - suspected_at,
+                )
+        if evicted:
+            self._rebuild_ring()
+            if self._evicted_at is None:
+                self._evicted_at = now
+            self._repair_now.set()
+            await self._broadcast_membership(exclude=set(evicted))
+        # 2. Probe one member: direct ping, then through proxies.
+        target = self._next_ping_target()
+        if target is None:
+            return
+        reply = await self._direct_ping(target)
+        if reply is None and self.table.state_of(target) != DEAD:
+            reply = await self._indirect_ping(target)
+        if reply is not None:
+            self._after_merge(self.table.merge(reply, self._now_ms()))
+            return
+        # 3. Unreachable both ways: suspect and tell the ring (including
+        # the accused, so an alive-but-slow peer can refute).
+        if self.table.state_of(target) == DEAD:
+            return  # a failed resurrection probe changes nothing
+        if self.table.suspect(target, self._now_ms()):
+            self.metrics.counter(
+                "swim.suspected", help="members this peer marked suspect"
+            ).inc()
+            logger.info("peer %s: suspecting %s", self.address, target)
+            await self._broadcast_suspect(target)
+
+    async def _broadcast_suspect(self, target: str) -> None:
+        """Best-effort fan-out of one suspicion record."""
+        member = self.table.get(target)
+        if member is None:
+            return
+        accusation = {
+            "address": target,
+            "host": member.host,
+            "port": member.port,
+            "incarnation": member.incarnation,
+        }
+
+        async def push(address: str) -> None:
+            try:
+                await self._call_member(
+                    address, "suspect", accusation,
+                    timeout_ms=self.ping_timeout_ms,
+                )
+            except ReproError:
+                pass  # gossip is redundant; the next ping re-delivers
+
+        recipients = self.table.peers(ALIVE, SUSPECT)
+        if recipients:
+            await asyncio.gather(*(push(address) for address in recipients))
+
+    # -- server-driven anti-entropy repair -------------------------------
+
+    async def _repair_loop(self) -> None:
+        while not self._stopped.is_set():
+            try:
+                await asyncio.wait_for(
+                    self._repair_now.wait(),
+                    timeout=self.repair_interval_ms / 1000.0,
+                )
+            except asyncio.TimeoutError:
+                pass
+            self._repair_now.clear()
+            if self._stopped.is_set():
+                return
+            try:
+                created = await self.repair_round()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - repair must survive
+                logger.exception("repair round failed on %s", self.address)
+                continue
+            if created:
+                # Converge fast: re-run immediately until nothing is
+                # missing (the digest makes repeat rounds cheap).
+                self._repair_now.set()
+
+    async def repair_round(self) -> int:
+        """One anti-entropy pass from this peer's entries outward.
+
+        For every held entry, computes the replica set over the current
+        (non-dead) ring, digests each remote target for the keys it
+        should hold (``has-entries``), and pushes only the missing copies
+        (``repair-push``).  Entries whose ownership moved onto this peer
+        are promoted in place.  Returns the copies created.
+        """
+        started = self._now_ms()
+        wanted: dict[str, list[tuple[int, Any, bool]]] = {}
+        for identifier, entry in list(self.store.entries()):
+            targets = self.replica_owners(identifier)
+            if targets and targets[0] == self.node_id and not entry.primary:
+                self.store.store(
+                    identifier, entry.descriptor, entry.partition, primary=True
+                )
+            for rank, target in enumerate(targets):
+                if target == self.node_id:
+                    continue
+                address = self._address_of(target)
+                wanted.setdefault(address, []).append(
+                    (identifier, entry, rank == 0)
+                )
+        created = 0
+        missing = 0
+        for address, items in wanted.items():
+            digest = [
+                (identifier, entry.descriptor)
+                for identifier, entry, _ in items
+            ]
+            try:
+                held = await self._call_member(
+                    address, "has-entries", digest,
+                    timeout_ms=CONTROL_TIMEOUT_MS,
+                )
+            except ReproError:
+                self.metrics.counter(
+                    "repair.push.peer_failures",
+                    help="repair digests whose target never answered",
+                ).inc()
+                continue
+            for (identifier, entry, primary), has in zip(items, held):
+                if has:
+                    self.metrics.counter(
+                        "repair.push.skipped",
+                        help="copies the digest showed already in place",
+                    ).inc()
+                    continue
+                missing += 1
+                try:
+                    stored = await self._call_member(
+                        address,
+                        "repair-push",
+                        (identifier, entry.descriptor, entry.partition,
+                         primary),
+                        timeout_ms=CONTROL_TIMEOUT_MS,
+                    )
+                except ReproError:
+                    self.metrics.counter(
+                        "repair.push.failures",
+                        help="repair pushes whose target never answered",
+                    ).inc()
+                    continue
+                if stored:
+                    created += 1
+                    self.metrics.counter(
+                        "repair.push.copies",
+                        help="missing copies re-replicated by this peer",
+                    ).inc()
+        self.metrics.counter(
+            "repair.push.rounds", help="anti-entropy rounds run"
+        ).inc()
+        self.metrics.histogram(
+            "repair.push.round_ms", help="wall time of one repair round"
+        ).observe(self._now_ms() - started)
+        if missing == 0 and self._evicted_at is not None:
+            self.metrics.histogram(
+                "repair.heal_ms",
+                help="eviction-to-fully-replicated latency",
+            ).observe(self._now_ms() - self._evicted_at)
+            self._evicted_at = None
+        if created or missing:
+            logger.info(
+                "peer %s: repair round pushed %d/%d missing copies",
+                self.address, created, missing,
+            )
+        return created
 
     # -- data hand-off ---------------------------------------------------
 
@@ -219,15 +683,12 @@ class PeerServer:
             for rank, target in enumerate(targets):
                 if target == self.node_id:
                     continue
-                host, port = self._endpoint_of(target)
                 try:
-                    stored = await wire.call(
-                        host,
-                        port,
+                    stored = await self._call_member(
+                        self._address_of(target),
                         "store-request",
                         (identifier, entry.descriptor, entry.partition,
                          rank == 0),
-                        sender=self.node_id,
                         peer_id=target,
                         timeout_ms=CONTROL_TIMEOUT_MS,
                     )
@@ -250,15 +711,14 @@ class PeerServer:
 
     async def _hand_off_and_leave(self) -> int:
         """Graceful departure: push every entry to its post-leave replica
-        set, announce the shrunken membership, then stop serving."""
-        self.members.pop(self.address, None)
-        self.epoch += 1
+        set, announce the departure, then stop serving."""
+        self.table.depart()
         self._rebuild_ring()
         moved = await self.rebalance()
         await self._broadcast_membership(exclude=set())
         logger.info(
             "peer %s leaving: moved %d copie(s) to %d member(s)",
-            self.address, moved, len(self.members),
+            self.address, moved, len(self.table.endpoints()),
         )
         self._stopped.set()
         return moved
@@ -269,34 +729,70 @@ class PeerServer:
         if kind in DATA_KINDS:
             return self.logic.handle(kind, payload)
         if kind == "hello":
+            endpoints = self.table.endpoints()
             return {
                 "address": self.address,
                 "node_id": self.node_id,
                 "config": wire.config_to_wire(self.config),
-                **self._membership_payload(),
+                "epoch": self.table.epoch,
+                "members": {
+                    address: [host, port]
+                    for address, (host, port) in endpoints.items()
+                },
+                "states": {
+                    address: [member.state, member.incarnation]
+                    for address, member in self.table.members.items()
+                },
             }
         if kind == "join":
             address = str(payload["address"])
-            endpoint = (str(payload["host"]), int(payload["port"]))
-            self.members[address] = endpoint
-            self.epoch += 1
+            self.table.add(
+                address, str(payload["host"]), int(payload["port"])
+            )
             self._rebuild_ring()
             reply = self._membership_payload()
             await self._broadcast_membership(exclude={address})
             await self.rebalance()
             return reply
         if kind == "member-update":
-            if int(payload["epoch"]) <= self.epoch:
-                return False  # stale broadcast; keep the newer view
-            self._adopt_members(payload["epoch"], payload["members"])
-            self._rebuild_ring()
-            await self.rebalance()
-            return True
+            outcome = self.table.merge(payload, self._now_ms())
+            if outcome.joined:
+                # A genuinely new member must receive its share of the
+                # data; re-place our entries against the new ring.
+                self._rebuild_ring()
+                await self.rebalance()
+            self._after_merge(outcome)
+            return outcome.changed
+        if kind == "swim-ping":
+            if isinstance(payload, dict):
+                self._after_merge(self.table.merge(payload, self._now_ms()))
+            return self._membership_payload()
+        if kind == "ping-req":
+            return await self._serve_ping_req(payload)
+        if kind == "suspect":
+            return self._serve_suspect(payload)
+        if kind == "has-entries":
+            return [
+                self.logic.holds(int(identifier), descriptor)
+                for identifier, descriptor in payload
+            ]
+        if kind == "repair-push":
+            identifier, descriptor, partition, primary = payload
+            self.metrics.counter(
+                "repair.push.received", help="repair pushes served"
+            ).inc()
+            return self.store.store(
+                identifier, descriptor, partition, primary=primary
+            )
+        if kind == "chaos-set":
+            return self._serve_chaos_set(payload)
         if kind == "entries":
             return [
                 (identifier, entry.descriptor, entry.partition, entry.primary)
                 for identifier, entry in self.store.entries()
             ]
+        if kind == "metrics":
+            return self.metrics.snapshot()
         if kind == "leave":
             return await self._hand_off_and_leave()
         if kind == "ping":
@@ -308,6 +804,86 @@ class PeerServer:
         # handler raises, reported over the wire as an error reply.
         return self.logic.handle(kind, payload)
 
+    async def _serve_ping_req(self, payload: Any) -> Any:
+        """Probe a third peer on a requester's behalf (SWIM ping-req)."""
+        target = str(payload["address"])
+        host, port = str(payload["host"]), int(payload["port"])
+        timeout_ms = float(payload.get("timeout_ms", self.ping_timeout_ms))
+        if target in self.chaos_blocked:
+            return False
+        self.metrics.counter(
+            "swim.ping_reqs_served", help="ping-req probes served as proxy"
+        ).inc()
+        try:
+            reply = await wire.call(
+                host, port, "swim-ping", self._membership_payload(),
+                sender=self.node_id, sender_address=self.address,
+                timeout_ms=timeout_ms,
+            )
+        except ReproError:
+            return False
+        if isinstance(reply, dict):
+            self._after_merge(self.table.merge(reply, self._now_ms()))
+            return reply
+        return False
+
+    def _serve_suspect(self, payload: Any) -> Any:
+        """Apply one gossiped suspicion record (possibly about us)."""
+        address = str(payload["address"])
+        incarnation = int(payload["incarnation"])
+        if address == self.address:
+            if incarnation >= self.table.incarnation:
+                # Someone suspects us and we are obviously alive: refute.
+                me = self.table.get(self.address)
+                me.incarnation = incarnation
+                self.table.refute()
+                self.metrics.counter(
+                    "swim.refuted",
+                    help="times this peer refuted an accusation against it",
+                ).inc()
+                logger.info(
+                    "peer %s: refuting suspicion, incarnation now %d",
+                    self.address, self.table.incarnation,
+                )
+                self._spawn(self._broadcast_membership(exclude=set()))
+            return self._membership_payload()
+        outcome = self.table.merge(
+            {
+                "epoch": 0,
+                "members": {
+                    address: [
+                        str(payload.get("host", "")),
+                        int(payload.get("port", 0)),
+                        SUSPECT,
+                        incarnation,
+                    ]
+                },
+            },
+            self._now_ms(),
+        )
+        self._after_merge(outcome)
+        return outcome.changed
+
+    def _serve_chaos_set(self, payload: Any) -> dict:
+        """Install fault-injection settings (the chaos harness hook)."""
+        body = payload if isinstance(payload, dict) else {}
+        if "delay_ms" in body:
+            self.chaos_delay_ms = max(0.0, float(body["delay_ms"]))
+        if "drop" in body:
+            drop = float(body["drop"])
+            if not 0.0 <= drop < 1.0:
+                raise ReproError("chaos drop probability must be in [0, 1)")
+            self.chaos_drop = drop
+        if "blocked" in body:
+            self.chaos_blocked = {str(a) for a in body["blocked"]}
+        if "seed" in body:
+            self._chaos_rng = random.Random(int(body["seed"]))
+        return {
+            "delay_ms": self.chaos_delay_ms,
+            "drop": self.chaos_drop,
+            "blocked": sorted(self.chaos_blocked),
+        }
+
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -316,6 +892,16 @@ class PeerServer:
                 request = await wire.read_frame(reader)
                 if request is None:
                     return
+                sender_address = request.get("from")
+                if sender_address and sender_address in self.chaos_blocked:
+                    return  # partitioned: drop silently, like a dead link
+                if self.chaos_delay_ms > 0:
+                    await asyncio.sleep(self.chaos_delay_ms / 1000.0)
+                if (
+                    self.chaos_drop > 0.0
+                    and self._chaos_rng.random() < self.chaos_drop
+                ):
+                    return  # injected loss: hang up without a reply
                 try:
                     value = await self._handle(
                         str(request.get("kind")),
@@ -336,6 +922,8 @@ class PeerServer:
                 await wire.write_frame(writer, reply)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             return  # client hung up mid-exchange; nothing to answer
+        except wire.WireError:
+            return  # torn or corrupt frame; drop the connection
         finally:
             writer.close()
 
@@ -347,9 +935,21 @@ async def run_server(
     host: str = "127.0.0.1",
     port: int = 0,
     bootstrap: tuple[str, int] | None = None,
+    swim_interval_ms: float = 0.0,
+    suspect_timeout_ms: float | None = None,
+    swim_proxies: int = 2,
+    repair_interval_ms: float = 0.0,
 ) -> None:
     """Start one peer and serve until asked to stop (``repro serve``)."""
     server = PeerServer(
-        address, config, host=host, port=port, bootstrap=bootstrap
+        address,
+        config,
+        host=host,
+        port=port,
+        bootstrap=bootstrap,
+        swim_interval_ms=swim_interval_ms,
+        suspect_timeout_ms=suspect_timeout_ms,
+        swim_proxies=swim_proxies,
+        repair_interval_ms=repair_interval_ms,
     )
     await server.serve_forever()

@@ -52,6 +52,7 @@ __all__ = [
     "config_to_wire",
     "config_from_wire",
     "RemoteError",
+    "WireError",
 ]
 
 _LENGTH = struct.Struct("!I")
@@ -65,6 +66,21 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 class RemoteError(ReproError):
     """A peer answered an RPC with an error the client cannot map back
     to a library exception type."""
+
+
+class WireError(ReproError, ValueError):
+    """The byte stream violated the framing protocol.
+
+    Raised for a length prefix past :data:`MAX_FRAME_BYTES`, a frame body
+    that is not valid JSON (garbage bytes under a plausible prefix), a
+    JSON body that is not an object, and a peer that died *mid-frame*
+    (the prefix arrived but the body never completed).  A clean EOF
+    before any prefix byte is not an error — :func:`read_frame` returns
+    ``None`` for that — but every torn, oversized or corrupt frame
+    surfaces as this one typed error so servers can drop the connection
+    and clients can treat the peer as unavailable, and nothing ever
+    hangs on a half-delivered frame.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -164,16 +180,39 @@ async def write_frame(writer: asyncio.StreamWriter, document: dict) -> None:
 
 
 async def read_frame(reader: asyncio.StreamReader) -> dict | None:
-    """Read one frame; ``None`` on a clean EOF before the length prefix."""
+    """Read one frame; ``None`` on a clean EOF before the length prefix.
+
+    Anything else that violates the framing — an oversized or torn frame,
+    a body that is not a JSON object — raises :class:`WireError`.
+    """
     try:
         prefix = await reader.readexactly(_LENGTH.size)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between frames
+        raise WireError(
+            f"peer died {len(exc.partial)} byte(s) into a length prefix"
+        ) from exc
+    except ConnectionResetError:
         return None
     (length,) = _LENGTH.unpack(prefix)
     if length > MAX_FRAME_BYTES:
-        raise ValueError(f"peer announced a {length}-byte frame; refusing")
-    body = await reader.readexactly(length)
-    return json.loads(body.decode("utf-8"))
+        raise WireError(f"peer announced a {length}-byte frame; refusing")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise WireError(
+            f"peer died mid-frame ({length} bytes announced)"
+        ) from exc
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise WireError(
+            f"frame body is {type(document).__name__}, expected an object"
+        )
+    return document
 
 
 # ---------------------------------------------------------------------------
@@ -195,16 +234,22 @@ async def call(
     payload: Any = None,
     *,
     sender: int = -1,
+    sender_address: str | None = None,
     peer_id: int = -1,
     timeout_ms: float | None = None,
 ) -> Any:
     """One request/reply over a fresh connection.
 
     Raises :class:`~repro.errors.PeerUnavailableError` when the peer
-    refuses the connection or hangs up mid-exchange, and
+    refuses the connection, hangs up mid-exchange, or answers with bytes
+    that violate the framing, and
     :class:`~repro.errors.RequestTimeoutError` when ``timeout_ms`` elapses
     — the same exceptions the in-process transports use, so callers (the
     query engine above all) need no socket-specific handling.
+
+    ``sender_address`` identifies the calling *peer* (servers calling
+    servers set it); the chaos connection filter uses it to enforce
+    network partitions, and clients leave it unset.
     """
 
     async def exchange() -> Any:
@@ -213,13 +258,17 @@ async def call(
         except OSError as exc:
             raise PeerUnavailableError(peer_id) from exc
         try:
-            await write_frame(
-                writer,
-                {"id": 0, "kind": kind, "sender": sender,
-                 "payload": encode_value(payload)},
-            )
+            request = {
+                "id": 0, "kind": kind, "sender": sender,
+                "payload": encode_value(payload),
+            }
+            if sender_address is not None:
+                request["from"] = sender_address
+            await write_frame(writer, request)
             reply = await read_frame(reader)
         except OSError as exc:
+            raise PeerUnavailableError(peer_id) from exc
+        except WireError as exc:
             raise PeerUnavailableError(peer_id) from exc
         finally:
             writer.close()

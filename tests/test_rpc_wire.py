@@ -189,6 +189,128 @@ def test_call_times_out_against_a_silent_peer():
     run(scenario())
 
 
+# -- adversarial framing -----------------------------------------------------
+#
+# A peer on the open network can hand the reader any byte stream.  Every
+# malformed stream must surface as a typed WireError promptly — never a
+# hang, never a raw struct/json/asyncio exception leaking upward.
+
+
+def read_bytes(*chunks: bytes, seconds: float = 5.0):
+    """read_frame over a reader preloaded with raw bytes, as if a peer
+    sent them then hung up.  The deadline turns a would-be hang into a
+    loud failure."""
+
+    async def scenario():
+        reader = asyncio.StreamReader()
+        for chunk in chunks:
+            reader.feed_data(chunk)
+        reader.feed_eof()
+        return await asyncio.wait_for(wire.read_frame(reader), timeout=seconds)
+
+    return run(scenario())
+
+
+def test_torn_length_prefix_raises_wire_error():
+    # Connection dies two bytes into the four-byte prefix: torn, not EOF.
+    with pytest.raises(wire.WireError, match="length prefix"):
+        read_bytes(b"\x00\x00")
+
+
+def test_peer_death_mid_frame_raises_wire_error():
+    # The prefix promises 100 bytes; only 10 ever arrive.
+    with pytest.raises(wire.WireError, match="mid-frame"):
+        read_bytes(struct.pack("!I", 100), b"x" * 10)
+
+
+def test_garbage_bytes_under_plausible_prefix_raise_wire_error():
+    junk = b"\xde\xad\xbe\xef not json at all"
+    with pytest.raises(wire.WireError, match="not valid JSON"):
+        read_bytes(struct.pack("!I", len(junk)), junk)
+
+
+def test_non_object_json_body_raises_wire_error():
+    body = json.dumps([1, 2, 3]).encode("utf-8")
+    with pytest.raises(wire.WireError, match="expected an object"):
+        read_bytes(struct.pack("!I", len(body)), body)
+
+
+def test_undecodable_bytes_raise_wire_error_not_unicode_error():
+    body = b"\xff\xfe\xfd\xfc"
+    with pytest.raises(wire.WireError):
+        read_bytes(struct.pack("!I", len(body)), body)
+
+
+def test_wire_error_is_a_value_error_and_a_repro_error():
+    # Callers catching either family (old code caught ValueError) work.
+    from repro.errors import ReproError
+
+    assert issubclass(wire.WireError, ValueError)
+    assert issubclass(wire.WireError, ReproError)
+
+
+def test_valid_frame_after_feed_still_parses():
+    # Sanity check on the read_bytes() harness itself.
+    body = json.dumps({"kind": "ping"}).encode("utf-8")
+    frame = read_bytes(struct.pack("!I", len(body)), body)
+    assert frame == {"kind": "ping"}
+
+
+def test_call_survives_garbage_reply_as_peer_unavailable():
+    # End to end: a server that answers with framing garbage must surface
+    # to the caller as PeerUnavailableError (retryable), not a hang or a
+    # leaked json/struct exception.
+    async def scenario():
+        async def serve(reader, writer):
+            await wire.read_frame(reader)
+            writer.write(b"\x00\x00\x00\x08garbage!")
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            with pytest.raises(PeerUnavailableError):
+                await asyncio.wait_for(
+                    wire.call(
+                        "127.0.0.1", port, "ping", peer_id=3,
+                        timeout_ms=2000.0,
+                    ),
+                    timeout=5.0,
+                )
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
+def test_call_survives_mid_frame_death_as_peer_unavailable():
+    async def scenario():
+        async def serve(reader, writer):
+            await wire.read_frame(reader)
+            writer.write(struct.pack("!I", 1 << 20) + b"only-a-little")
+            await writer.drain()
+            writer.close()  # die with most of the frame unsent
+
+        server = await asyncio.start_server(serve, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            with pytest.raises(PeerUnavailableError):
+                await asyncio.wait_for(
+                    wire.call(
+                        "127.0.0.1", port, "ping", peer_id=4,
+                        timeout_ms=2000.0,
+                    ),
+                    timeout=5.0,
+                )
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    run(scenario())
+
+
 def test_call_maps_remote_error_types():
     async def scenario():
         async def serve(reader, writer):
