@@ -237,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write one JSON document per metric to FILE",
     )
+    metrics.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="scrape one *live* server's telemetry snapshot instead of "
+        "running a local workload (--peers/--queries are ignored)",
+    )
 
     health = sub.add_parser(
         "health",
@@ -352,6 +359,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="server-driven anti-entropy repair period (0 = repair "
         "stays client-driven)",
     )
+    serve.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for flight-recorder incident dumps (JSONL, "
+        "appended when SWIM evicts a member; omit to keep the recorder "
+        "in-memory only)",
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -415,6 +430,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the ring serving after the workload (until Ctrl-C) "
         "so `repro client` can query it",
     )
+    cluster.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="run one distributed-traced query after the workload (and "
+        "after any drill), write the stitched trace + stitch report as "
+        "JSON to FILE, and exit nonzero if no server span was stitched",
+    )
+    cluster.add_argument(
+        "--telemetry",
+        metavar="FILE",
+        default=None,
+        help="scrape every member's telemetry after the workload and "
+        "write the merged cluster view as JSON to FILE (exit nonzero "
+        "if any live member's snapshot is missing or unparseable)",
+    )
+    cluster.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="pass --flight-dir DIR to every peer so incidents during "
+        "the drill leave JSONL flight-recorder dumps behind",
+    )
 
     client = sub.add_parser(
         "client", help="run one query against a live cluster"
@@ -434,6 +472,87 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument(
         "--repeat", type=int, default=1,
         help="run the query N times (later runs show cache behaviour)",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live cluster dashboard: per-peer QPS, queue depth, repair "
+        "debt, breaker and SWIM state, plus cluster-wide latency "
+        "percentiles and load skew",
+    )
+    top.add_argument(
+        "--bootstrap",
+        metavar="HOST:PORT",
+        required=True,
+        help="any live peer of the cluster",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between scrapes",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append tables instead of redrawing the screen (CI/logs)",
+    )
+    top.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the final merged cluster view as JSON to FILE",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one query as a distributed trace and pretty-print the "
+        "stitched cross-process span tree",
+    )
+    trace.add_argument(
+        "--bootstrap",
+        metavar="HOST:PORT",
+        required=True,
+        help="any live peer of the cluster",
+    )
+    trace.add_argument(
+        "--query",
+        metavar="START:END",
+        required=True,
+        help="the range to query, e.g. 100:200",
+    )
+    trace.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="trace the query N times",
+    )
+    trace.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep tracing (one query per --interval) until Ctrl-C",
+    )
+    trace.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between traced queries with --follow",
+    )
+    trace.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the last stitched trace + stitch report as JSON "
+        "to FILE",
     )
 
     sub.add_parser("info", help="print the default configuration")
@@ -658,6 +777,8 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
 def _run_metrics(args: argparse.Namespace, out) -> int:
     from repro.workloads.generators import UniformRangeWorkload
 
+    if args.connect is not None:
+        return _run_metrics_connect(args, out)
     config = SystemConfig(
         n_peers=args.peers,
         seed=args.seed,
@@ -679,6 +800,77 @@ def _run_metrics(args: argparse.Namespace, out) -> int:
         with open(args.jsonl, "w", encoding="utf-8") as handle:
             handle.write(system.metrics.to_jsonl())
         print(f"wrote JSONL dump to {args.jsonl}", file=out)
+    return 0
+
+
+def _run_metrics_connect(args: argparse.Namespace, out) -> int:
+    """Scrape one live server's versioned telemetry snapshot."""
+    import asyncio
+    import json
+
+    from repro.metrics.report import format_table
+    from repro.obs.distributed import counter_series
+    from repro.rpc import wire
+
+    host, port = _parse_endpoint(args.connect)
+    reply = asyncio.run(
+        wire.call(host, port, "telemetry", timeout_ms=10_000.0)
+    )
+    if not isinstance(reply, dict) or reply.get("version") is None:
+        print(
+            f"error: {args.connect} returned an unversioned telemetry "
+            f"snapshot: {reply!r:.200}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"node {reply.get('node')} (id {reply.get('node_id')}), "
+        f"telemetry v{reply.get('version')}",
+        file=out,
+    )
+    print(
+        f"captured: mono {reply.get('captured_mono_ms', 0.0):.1f} ms, "
+        f"wall {reply.get('captured_wall_ms', 0.0):.1f} ms",
+        file=out,
+    )
+    census = reply.get("census") or {}
+    flight = reply.get("flight") or {}
+    print(
+        f"queue depth {reply.get('queue_depth', 0)}, "
+        f"pending repair {reply.get('pending_repair', 0)}, "
+        f"census {census.get('entries', 0)} entries "
+        f"({census.get('primaries', 0)} primary / "
+        f"{census.get('replicas', 0)} replica), "
+        f"flight recorder {flight.get('retained', 0)}/"
+        f"{flight.get('recorded', 0)} retained "
+        f"({flight.get('dumps', 0)} dumps)",
+        file=out,
+    )
+    swim = reply.get("swim") or {}
+    states = swim.get("states") or {}
+    print(
+        f"swim: epoch {swim.get('epoch')}, "
+        + (
+            ", ".join(
+                f"{address}={state}" for address, state in sorted(states.items())
+            )
+            or "no members"
+        ),
+        file=out,
+    )
+    requests = counter_series(reply.get("metrics") or {}, "server.requests")
+    if requests:
+        rows = sorted(requests.items(), key=lambda kv: -kv[1])
+        print(
+            format_table(
+                ("request kind", "count"), rows, title="Requests served"
+            ),
+            file=out,
+        )
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(reply, handle, indent=2, default=str)
+        print(f"wrote JSON snapshot to {args.json}", file=out)
     return 0
 
 
@@ -779,6 +971,7 @@ def _run_serve(args: argparse.Namespace, out) -> int:
                 suspect_timeout_ms=args.suspect_timeout,
                 swim_proxies=args.swim_proxies,
                 repair_interval_ms=args.repair_interval,
+                flight_dir=args.flight_dir,
             )
         )
     except KeyboardInterrupt:
@@ -806,6 +999,7 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
         swim_interval_ms=args.swim_interval,
         suspect_timeout_ms=args.suspect_timeout,
         repair_interval_ms=args.repair_interval,
+        flight_dir=args.flight_dir,
     ) as cluster:
         endpoints = ", ".join(
             f"{address}@{host}:{port}"
@@ -859,6 +1053,12 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
             if args.chaos:
                 status = _run_chaos_drill(
                     args, cluster, client, queries, warm_recall, out
+                )
+                if status != 0:
+                    return status
+            if args.trace or args.telemetry:
+                status = _capture_cluster_observability(
+                    args, client, queries, out
                 )
                 if status != 0:
                     return status
@@ -924,6 +1124,72 @@ def _run_chaos_drill(
         )
         return 1
     print("chaos: ring self-healed, recall recovered", file=out)
+    return 0
+
+
+def _capture_cluster_observability(args, client, queries, out) -> int:
+    """Write the drill's stitched trace and/or merged telemetry view.
+
+    Runs after the workload (and after any smoke/chaos drill), so what it
+    captures shows the *recovered* ring: the trace proves cross-process
+    span stitching works end to end, the telemetry scrape proves every
+    surviving member answers with a parseable, versioned snapshot.
+    """
+    import json
+
+    from repro.rpc.client import ClusterScraper
+
+    client.refresh()
+    if args.trace:
+        result, trace, report = client.query_traced(queries[0])
+        print(
+            f"trace: stitched {report.attached} server span(s) from "
+            f"{len(report.nodes)} peer(s) "
+            f"({', '.join(sorted(report.nodes)) or 'none'}), "
+            f"{report.orphans} orphan(s), recall {result.recall:.2f}",
+            file=out,
+        )
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"trace": trace.to_dict(), "stitch": report.to_dict()},
+                handle,
+                indent=2,
+                default=str,
+            )
+        print(f"trace: wrote stitched trace to {args.trace}", file=out)
+        if report.attached == 0:
+            print(
+                "error: no server-side span was stitched into the trace "
+                "(telemetry RPC broken, or no peer sampled the query)",
+                file=sys.stderr,
+            )
+            return 1
+    if args.telemetry:
+        scraper = ClusterScraper(client)
+        view = scraper.scrape()
+        print(
+            f"telemetry: scraped {view['scraped']}/{view['members']} "
+            f"members, service p50/p95/p99 "
+            f"{view['service_ms']['p50']:g}/{view['service_ms']['p95']:g}/"
+            f"{view['service_ms']['p99']:g} ms, "
+            f"load skew {view['load_skew']:.3f}"
+            + (
+                f", down: {', '.join(sorted(view['down']))}"
+                if view.get("down")
+                else ""
+            ),
+            file=out,
+        )
+        with open(args.telemetry, "w", encoding="utf-8") as handle:
+            json.dump(view, handle, indent=2, default=str)
+        print(f"telemetry: wrote cluster view to {args.telemetry}", file=out)
+        if view["errors"]:
+            print(
+                f"error: telemetry scrape failed for "
+                f"{sorted(view['errors'])}: {view['errors']}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -1001,6 +1267,160 @@ def _run_client(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _render_top(view: dict) -> str:
+    """One refresh of the dashboard as fixed-width text."""
+    from repro.metrics.report import format_table
+
+    rows = []
+    for address, node in sorted(view["nodes"].items()):
+        census = node.get("census") or {}
+        states = node.get("swim_states") or {}
+        # A state is "alive" or a ("alive", incarnation) pair on the wire.
+        alive = sum(
+            1
+            for state in states.values()
+            if (state[0] if isinstance(state, (list, tuple)) else state)
+            == "alive"
+        )
+        skew = node.get("clock_skew_ms")
+        rows.append(
+            (
+                address,
+                f"{node.get('qps', 0.0):.1f}",
+                node.get("queue_depth", 0),
+                node.get("pending_repair", 0),
+                census.get("entries", 0),
+                census.get("primaries", 0),
+                node.get("breaker", "-"),
+                f"{alive}/{len(states)}" if states else "-",
+                node.get("swim_epoch", "-"),
+                f"{skew:+.0f}" if isinstance(skew, (int, float)) else "-",
+            )
+        )
+    for address, error in sorted(view.get("errors", {}).items()):
+        rows.append((address, "-", "-", "-", "-", "-", "-", "-", "-", error))
+    for address in sorted(view.get("down", [])):
+        rows.append((address, "-", "-", "-", "-", "-", "down", "-", "-", "-"))
+    service = view.get("service_ms") or {}
+    lines = [
+        format_table(
+            (
+                "peer", "qps", "queue", "repair", "entries", "prim",
+                "breaker", "alive", "epoch", "skew ms",
+            ),
+            rows,
+            title=(
+                f"cluster: {view.get('scraped', 0)}/{view.get('members', 0)} "
+                "members scraped"
+            ),
+        ),
+        (
+            f"service_ms p50/p95/p99 {service.get('p50', 0):g}/"
+            f"{service.get('p95', 0):g}/{service.get('p99', 0):g} "
+            f"(mean {service.get('mean', 0.0):.2f}, "
+            f"n={service.get('count', 0)}), "
+            f"load skew (gini) {view.get('load_skew', 0.0):.3f}"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def _run_top(args: argparse.Namespace, out) -> int:
+    import json
+    import time
+
+    from repro.rpc.client import ClusterClient, ClusterScraper
+
+    if args.interval <= 0:
+        raise ReproError("--interval must be positive")
+    view = None
+    with ClusterClient(_parse_endpoint(args.bootstrap)) as client:
+        scraper = ClusterScraper(client)
+        refreshes = 0
+        try:
+            while True:
+                try:
+                    client.refresh()
+                except ReproError:
+                    pass  # bootstrap hiccup; scrape the mirrored members
+                view = scraper.scrape()
+                if not args.plain:
+                    print("\x1b[2J\x1b[H", end="", file=out)
+                print(_render_top(view), file=out)
+                refreshes += 1
+                if args.iterations and refreshes >= args.iterations:
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+    if args.json is not None and view is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(view, handle, indent=2, default=str)
+        print(f"wrote cluster view to {args.json}", file=out)
+    if view is not None and not view["nodes"]:
+        print(
+            f"error: no member answered telemetry ({view['errors']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_trace(args: argparse.Namespace, out) -> int:
+    import json
+    import time
+
+    from repro.obs.distributed import format_trace
+    from repro.rpc.client import ClusterClient
+
+    start_text, _, end_text = args.query.partition(":")
+    try:
+        query = IntRange(int(start_text), int(end_text))
+    except ValueError as exc:
+        raise ReproError(f"bad --query (want START:END): {exc}") from exc
+    last = None
+    with ClusterClient(_parse_endpoint(args.bootstrap)) as client:
+        run_index = 0
+        try:
+            while True:
+                result, trace, report = client.query_traced(query)
+                last = (trace, report)
+                print(
+                    f"run {run_index + 1}: matched={result.matched} "
+                    f"recall={result.recall:.2f} "
+                    f"latency={result.total_ms:.1f} ms — stitched "
+                    f"{report.attached} server span(s) from "
+                    f"{len(report.nodes)} peer(s), "
+                    f"{report.orphans} orphan(s)"
+                    + (
+                        f", skew suspects {report.skew_suspects}"
+                        if report.skew_suspects
+                        else ""
+                    ),
+                    file=out,
+                )
+                print(format_trace(trace), file=out)
+                run_index += 1
+                if args.follow:
+                    time.sleep(args.interval)
+                    continue
+                if run_index >= max(1, args.repeat):
+                    break
+        except KeyboardInterrupt:
+            pass
+    if args.json is not None and last is not None:
+        trace, report = last
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"trace": trace.to_dict(), "stitch": report.to_dict()},
+                handle,
+                indent=2,
+                default=str,
+            )
+        print(f"wrote stitched trace to {args.json}", file=out)
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace, out) -> int:
     from repro.experiments.runall import run_all
 
@@ -1046,6 +1466,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _run_cluster(args, out)
         if args.command == "client":
             return _run_client(args, out)
+        if args.command == "top":
+            return _run_top(args, out)
+        if args.command == "trace":
+            return _run_trace(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "info":

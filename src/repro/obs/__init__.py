@@ -28,6 +28,16 @@ from repro.obs.health import (
     max_mean_ratio,
     skew_stats,
 )
+from repro.obs.distributed import (
+    FlightRecorder,
+    SpanFragment,
+    StitchReport,
+    TraceContext,
+    format_trace,
+    new_trace_id,
+    read_jsonl_tolerant,
+    stitch_trace,
+)
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.registry import (
     Counter,
@@ -56,6 +66,14 @@ __all__ = [
     "QueryTrace",
     "Span",
     "TraceEvent",
+    "FlightRecorder",
+    "SpanFragment",
+    "StitchReport",
+    "TraceContext",
+    "format_trace",
+    "new_trace_id",
+    "read_jsonl_tolerant",
+    "stitch_trace",
     "AuditFinding",
     "AuditReport",
     "HealthReport",

@@ -37,10 +37,24 @@ step counter when neither is bound.
 from __future__ import annotations
 
 import json
+import os
+import random
 from itertools import count
 from typing import Any, Callable, Iterator
 
-__all__ = ["TraceEvent", "Span", "QueryTrace", "NULL_TRACE"]
+__all__ = ["TraceEvent", "Span", "QueryTrace", "NULL_TRACE", "new_span_id"]
+
+#: Process-unique prefix for span ids.  Span ids only have to be unique
+#: *within one stitched trace*, whose fragments come from a handful of
+#: OS processes — pid plus 16 random bits makes cross-process collisions
+#: negligible without dragging uuid4 into every span construction.
+_SPAN_PREFIX = f"{os.getpid():x}{random.getrandbits(16):04x}"
+_SPAN_SEQUENCE = count(1)
+
+
+def new_span_id() -> str:
+    """A cheap process-unique span id (``<pid><rand>-<seq>``)."""
+    return f"{_SPAN_PREFIX}-{next(_SPAN_SEQUENCE):x}"
 
 
 class TraceEvent:
@@ -70,7 +84,10 @@ class Span:
     needs.
     """
 
-    __slots__ = ("name", "attrs", "start_ms", "end_ms", "events", "children", "_clock")
+    __slots__ = (
+        "name", "attrs", "start_ms", "end_ms", "events", "children",
+        "_clock", "span_id",
+    )
 
     def __init__(
         self,
@@ -85,6 +102,11 @@ class Span:
         self.end_ms: float | None = None
         self.events: list[TraceEvent] = []
         self.children: list["Span"] = []
+        #: Identifies this span in distributed trace context propagation:
+        #: a request sent while this span is open carries ``span_id`` as
+        #: its parent, and the server's span fragment stitches back under
+        #: it (:mod:`repro.obs.distributed`).
+        self.span_id = new_span_id()
 
     # -- recording -----------------------------------------------------
 
@@ -143,6 +165,7 @@ class Span:
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
+            "span_id": self.span_id,
             "attrs": self.attrs,
             "start_ms": self.start_ms,
             "end_ms": self.end_ms,
@@ -167,12 +190,17 @@ class QueryTrace:
         self,
         name: str = "query",
         clock: Callable[[], float] | None = None,
+        trace_id: str | None = None,
         **attrs: Any,
     ) -> None:
         if clock is None:
             steps = count()
             clock = lambda: float(next(steps))  # noqa: E731
         self.clock = clock
+        #: Cluster-unique id carried on the wire when this trace's query
+        #: fans out to remote peers (:mod:`repro.obs.distributed`); traces
+        #: that never leave the process don't need one.
+        self.trace_id = trace_id
         self.root = Span(name, clock, attrs)
 
     # -- recording (delegates to the root span) ------------------------
@@ -201,7 +229,10 @@ class QueryTrace:
         return self.root.find(name)
 
     def to_dict(self) -> dict[str, Any]:
-        return self.root.to_dict()
+        doc = self.root.to_dict()
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, default=str)
@@ -216,6 +247,11 @@ class _NullTrace:
     """
 
     __slots__ = ()
+
+    #: The null trace never propagates context: code asking an (optional)
+    #: trace for its distributed identity gets ``None`` and sends nothing.
+    trace_id = None
+    span_id = None
 
     def span(self, name: str, **attrs: Any) -> "_NullTrace":
         return self

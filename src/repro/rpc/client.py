@@ -23,10 +23,11 @@ Three pieces turn the transport-agnostic
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from typing import Any, Callable
 
-from repro.chord.hashing import rehash_for_placement
+from repro.chord.hashing import node_id_for_address, rehash_for_placement
 from repro.chord.ring import ChordRing
 from repro.core.config import SystemConfig
 from repro.core.overlays import ChordRouter
@@ -39,6 +40,17 @@ from repro.errors import (
 )
 from repro.lsh import DomainMinHashIndex, LSHIdentifierScheme, family_for_domain
 from repro.net.transport import TrafficStats
+from repro.obs.distributed import (
+    FlightRecorder,
+    StitchReport,
+    TraceContext,
+    cluster_histogram,
+    counter_total,
+    load_skew,
+    new_trace_id,
+    stitch_trace,
+    wall_ms,
+)
 from repro.obs.log import get_logger
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import QueryTrace
@@ -50,7 +62,7 @@ from repro.sim.futures import SimFuture
 from repro.sim.policies import AdaptiveTimeout, CircuitBreaker, JitteredBackoff
 from repro.util.rng import derive_rng
 
-__all__ = ["SocketTransport", "ClientSystem", "ClusterClient"]
+__all__ = ["SocketTransport", "ClientSystem", "ClusterClient", "ClusterScraper"]
 
 logger = get_logger("rpc.client")
 
@@ -166,6 +178,7 @@ class SocketTransport(Transport):
         size_bytes: int = 64,
         rank: int = 0,
         observer: Observer | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> SimFuture:
         future: SimFuture = SimFuture()
         attempts = (self.retries + 1) if rank == 0 else 1
@@ -173,6 +186,7 @@ class SocketTransport(Transport):
             self._exchange(
                 future, sender, recipient, kind, payload,
                 size_bytes=size_bytes, attempts=attempts, observer=observer,
+                trace_ctx=trace_ctx,
             )
         )
         self._tasks.add(task)
@@ -190,8 +204,12 @@ class SocketTransport(Transport):
         size_bytes: int,
         attempts: int,
         observer: Observer | None,
+        trace_ctx: TraceContext | None = None,
     ) -> None:
         host, port = self.endpoints[recipient]
+        # The context rides as an optional envelope field; old servers
+        # ignore it, so traced and untraced requests interoperate freely.
+        trace_wire = trace_ctx.to_wire() if trace_ctx is not None else None
         if self.breaker is not None and not self.breaker.allow(recipient):
             # Fail fast: the engine sees a failed settle and walks on to
             # the next replica without waiting out a timeout.
@@ -219,6 +237,7 @@ class SocketTransport(Transport):
                     host, port, kind, payload,
                     sender=sender, peer_id=recipient,
                     timeout_ms=timeout_ms,
+                    trace=trace_wire,
                 )
             except PeerUnavailableError as exc:
                 # A refused connection is definitive — no retry budget
@@ -365,11 +384,17 @@ class ClusterClient:
         timeout_ms: float = 2_000.0,
         retries: int = 1,
         policies: bool = True,
+        flight_dir: str | None = None,
     ) -> None:
         self.bootstrap = bootstrap
         self.timeout_ms = timeout_ms
         self.retries = retries
         self.policies = policies
+        #: The client's own black box: breaker transitions and trace
+        #: collection events; dumped to ``flight_dir`` when a breaker
+        #: opens (the client-side analogue of a server's SWIM eviction).
+        self.flight = FlightRecorder("client")
+        self.flight_dir = flight_dir
         self._owns_loop = loop is None
         self.loop = loop if loop is not None else asyncio.new_event_loop()
         self.system: ClientSystem
@@ -391,6 +416,16 @@ class ClusterClient:
         )
         settled = await done
         return settled.result()
+
+    def _on_breaker_transition(self, peer_id: int, old: str, new: str) -> None:
+        """Record breaker flips; an opening breaker dumps the black box."""
+        self.flight.record_event("breaker", peer=peer_id, old=old, new=new)
+        if new == "open" and self.flight_dir:
+            path = os.path.join(self.flight_dir, "flight-client.jsonl")
+            try:
+                self.flight.dump(path, reason=f"breaker-open:{peer_id}")
+            except OSError:
+                logger.warning("client flight dump to %s failed", path)
 
     def close(self) -> None:
         if self._owns_loop and not self.loop.is_closed():
@@ -443,6 +478,8 @@ class ClusterClient:
             node_id = node_of.get(address)
             if node_id is not None and state != "alive":
                 self.transport.dead.add(node_id)
+        if self.transport.breaker is not None:
+            self.transport.breaker.transition_hook = self._on_breaker_transition
         self.engine = QueryEngine(self.system, self.transport)
         self._rng = derive_rng(config.seed, "client/origins")
         logger.info(
@@ -499,6 +536,65 @@ class ClusterClient:
 
         return self._run(go())
 
+    def query_traced(
+        self,
+        query: IntRange,
+        relation: str = SIM_RELATION,
+        attribute: str = SIM_ATTRIBUTE,
+        origin: int | None = None,
+        padding: float | None = None,
+    ) -> tuple[TimedQueryResult, QueryTrace, StitchReport]:
+        """One query as a *distributed* trace: run, collect, stitch.
+
+        Mints a trace id so every request of this query carries a wire
+        context, runs the query, then asks every reachable member for its
+        retained span fragments of this trace (``telemetry`` with
+        ``spans_for``) and grafts them into the client trace tree.  The
+        returned :class:`~repro.obs.distributed.StitchReport` says how
+        many fragments attached, from which nodes, and whether any span's
+        timing betrayed cross-node clock skew.
+        """
+        trace = self.start_trace(query)
+        trace.trace_id = new_trace_id()
+        #: Wall anchor: lets stitching map each server's wall-clock span
+        #: times onto this trace's monotonic clock.
+        trace.root.attrs["wall_start_ms"] = wall_ms()
+        result = self.query(
+            query, relation, attribute, origin, padding, trace=trace
+        )
+        fragments = self.collect_fragments(trace.trace_id)
+        report = stitch_trace(trace, fragments)
+        self.flight.record_event(
+            "trace-stitched",
+            trace_id=trace.trace_id,
+            attached=report.attached,
+            orphans=report.orphans,
+            nodes=len(report.nodes),
+        )
+        return result, trace, report
+
+    def collect_fragments(self, trace_id: str) -> list[dict]:
+        """Every reachable member's span fragments for one trace id.
+
+        Peers that died mid-query simply contribute nothing — their
+        absence *is* the signal (the trace shows the timeout and the
+        failover hop instead).
+        """
+        fragments: list[dict] = []
+        for address in sorted(self.system.members):
+            try:
+                reply = self.call(
+                    address, "telemetry", {"spans_for": trace_id}
+                )
+            except ReproError:
+                continue
+            if isinstance(reply, dict):
+                fragments.extend(
+                    doc for doc in reply.get("spans") or []
+                    if isinstance(doc, dict)
+                )
+        return fragments
+
     # -- cluster control -------------------------------------------------
 
     def call(self, address: str, kind: str, payload: Any = None) -> Any:
@@ -517,6 +613,11 @@ class ClusterClient:
     def metrics_of(self, address: str) -> dict:
         """One peer's metrics registry snapshot (swim/repair telemetry)."""
         return self.call(address, "metrics")
+
+    def telemetry_of(self, address: str, spans: int = 32) -> dict:
+        """One peer's full telemetry snapshot (metrics + queue + SWIM +
+        census + recent span fragments), versioned and timestamped."""
+        return self.call(address, "telemetry", {"spans": spans})
 
     def entries_of(self, address: str) -> list:
         """One peer's stored entries as (id, descriptor, partition, primary)."""
@@ -593,3 +694,127 @@ class ClusterClient:
                     copies += 1
         self.system.counters.repairs += copies
         return copies
+
+
+class ClusterScraper:
+    """Polls every member's ``telemetry`` RPC into one cluster view.
+
+    Each :meth:`scrape` returns a merged document: per-node rows (QPS
+    from request-count deltas between scrapes, queue depth, repair debt,
+    census, SWIM epoch, breaker state, clock skew versus the scraper's
+    wall clock) plus cluster aggregates — bucket-merged ``p50/p95/p99``
+    service time and the Gini coefficient over per-node request counts,
+    the same skew statistic :mod:`repro.obs.health` reports for the
+    simulator's ring, so live and simulated load imbalance are directly
+    comparable.  Unreachable members are listed in ``errors``, never
+    raised — a scraper that dies with its subject is useless.
+    """
+
+    def __init__(self, client: ClusterClient, *, spans: int = 8) -> None:
+        self.client = client
+        self.spans = spans
+        #: address -> (wall_ms, cumulative request count) of the previous
+        #: scrape; the QPS numerator/denominator.
+        self._prev: dict[str, tuple[float, float]] = {}
+        self.scrapes = 0
+
+    def scrape(self) -> dict:
+        """One polling pass over the current membership.
+
+        Members the transport already knows are dead (refused a
+        connection, or SWIM-suspected at ``hello`` time) are reported
+        under ``down`` rather than attempted: without SWIM a killed peer
+        stays in the mirrored member map forever, and a scrape that
+        flags it as an *error* every pass would make the smoke drill's
+        expected casualty indistinguishable from a live peer that
+        stopped answering telemetry.
+        """
+        snapshots: dict[str, dict] = {}
+        errors: dict[str, str] = {}
+        down: list[str] = []
+        id_bits = self.client.system.config.id_bits
+        for address in sorted(self.client.system.members):
+            node_id = node_id_for_address(address, id_bits)
+            if not self.client.transport.is_alive(node_id):
+                down.append(address)
+                continue
+            try:
+                reply = self.client.telemetry_of(address, spans=self.spans)
+            except ReproError as exc:
+                errors[address] = type(exc).__name__
+                continue
+            if isinstance(reply, dict) and reply.get("version") is not None:
+                snapshots[address] = reply
+            else:
+                errors[address] = "unparseable"
+        self.scrapes += 1
+        return self._merge(snapshots, errors, down)
+
+    def _breaker_state(self, address: str) -> str:
+        breaker = self.client.transport.breaker
+        if breaker is None:
+            return "-"
+        node_id = node_id_for_address(
+            address, self.client.system.config.id_bits
+        )
+        return breaker.state(node_id)
+
+    def _merge(
+        self,
+        snapshots: dict[str, dict],
+        errors: dict[str, str],
+        down: list[str] | None = None,
+    ) -> dict:
+        now_wall = wall_ms()
+        nodes: dict[str, dict] = {}
+        requests_by_node: dict[str, float] = {}
+        for address, snap in snapshots.items():
+            metrics = snap.get("metrics") or {}
+            requests = counter_total(metrics, "server.requests")
+            requests_by_node[address] = requests
+            prev = self._prev.get(address)
+            qps = 0.0
+            if prev is not None and now_wall > prev[0]:
+                qps = max(0.0, requests - prev[1]) / ((now_wall - prev[0]) / 1000.0)
+            self._prev[address] = (now_wall, requests)
+            swim = snap.get("swim") or {}
+            nodes[address] = {
+                "node_id": snap.get("node_id"),
+                "version": snap.get("version"),
+                "requests": requests,
+                "qps": qps,
+                "queue_depth": snap.get("queue_depth", 0),
+                "pending_repair": snap.get("pending_repair", 0),
+                "census": snap.get("census") or {},
+                "swim_epoch": swim.get("epoch"),
+                "swim_states": swim.get("states") or {},
+                "breaker": self._breaker_state(address),
+                #: Positive: the node's wall clock runs ahead of ours.
+                "clock_skew_ms": (
+                    float(snap["captured_wall_ms"]) - now_wall
+                    if isinstance(
+                        snap.get("captured_wall_ms"), (int, float)
+                    )
+                    else None
+                ),
+                "spans": snap.get("spans") or [],
+            }
+        metric_docs = [
+            snap.get("metrics") or {} for snap in snapshots.values()
+        ]
+        down = list(down or [])
+        return {
+            "at_wall_ms": now_wall,
+            "nodes": nodes,
+            "errors": errors,
+            "down": down,
+            "service_ms": cluster_histogram(metric_docs, "server.service_ms"),
+            "load_skew": (
+                load_skew(requests_by_node) if requests_by_node else 0.0
+            ),
+            #: Members we expected an answer from: known-dead peers are
+            #: not in the denominator, so scraped == members means every
+            #: reachable member produced a versioned snapshot.
+            "members": len(self.client.system.members) - len(down),
+            "scraped": len(nodes),
+        }

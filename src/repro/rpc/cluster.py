@@ -62,6 +62,7 @@ class LocalCluster:
         suspect_timeout_ms: float | None = None,
         repair_interval_ms: float = 1_000.0,
         spawn_attempts: int = 3,
+        flight_dir: str | None = None,
     ) -> None:
         if peers < 1:
             raise ClusterError("a cluster needs at least one peer")
@@ -77,6 +78,9 @@ class LocalCluster:
         self.suspect_timeout_ms = suspect_timeout_ms
         self.repair_interval_ms = repair_interval_ms
         self.spawn_attempts = max(1, spawn_attempts)
+        #: Directory every peer dumps its flight recorder into on an
+        #: incident (breaker open, SWIM eviction); ``None`` disables.
+        self.flight_dir = flight_dir
         self.processes: dict[str, subprocess.Popen] = {}
         self.endpoints: dict[str, tuple[str, int]] = {}
         #: Peers currently SIGSTOP'd (for teardown: a stopped process
@@ -112,6 +116,8 @@ class LocalCluster:
         ]
         if self.suspect_timeout_ms is not None:
             command += ["--suspect-timeout", str(self.suspect_timeout_ms)]
+        if self.flight_dir is not None:
+            command += ["--flight-dir", self.flight_dir]
         if self.endpoints:
             boot_host, boot_port = self.bootstrap_endpoint()
             command += ["--bootstrap", f"{boot_host}:{boot_port}"]

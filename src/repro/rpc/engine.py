@@ -44,6 +44,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.db.partition import Partition, PartitionDescriptor
+from repro.obs.distributed import TraceContext
 from repro.obs.log import get_logger
 from repro.obs.trace import NULL_TRACE, QueryTrace, Span
 from repro.ranges.interval import IntRange
@@ -61,6 +62,20 @@ __all__ = [
 ]
 
 logger = get_logger("rpc.engine")
+
+
+def _trace_ctx(trace: QueryTrace, span) -> TraceContext | None:
+    """The wire trace context for a request issued under ``span``.
+
+    ``None`` (send nothing) unless the trace carries a distributed
+    trace id — so in-process and untraced runs put zero extra bytes on
+    the wire, and :data:`NULL_TRACE` (whose ``trace_id``/``span_id`` are
+    ``None`` class attributes) short-circuits for free.
+    """
+    trace_id = getattr(trace, "trace_id", None)
+    if not trace_id:
+        return None
+    return TraceContext(trace_id, getattr(span, "span_id", None))
 
 
 @dataclass(frozen=True)
@@ -302,7 +317,7 @@ class QueryEngine:
         chain_futures = [
             self._run_chain(
                 origin, identifier, hashed_query, relation, attribute,
-                started, parent=locate_span,
+                started, parent=locate_span, trace=trace,
             )
             for identifier in identifiers
         ]
@@ -441,6 +456,7 @@ class QueryEngine:
                         "store-request",
                         payload=(identifier, descriptor, partition, primary),
                         size_bytes=size,
+                        trace_ctx=_trace_ctx(trace, store_span),
                     )
                 )
         out: SimFuture[StoreOutcome] = SimFuture()
@@ -492,6 +508,7 @@ class QueryEngine:
         attribute: str,
         started: float,
         parent: "Span | None" = None,
+        trace: "QueryTrace | None" = None,
     ) -> SimFuture[ChainOutcome]:
         """One identifier: hop along the overlay path, then ask the owner —
         failing over down the successor list when the owner is
@@ -513,6 +530,7 @@ class QueryEngine:
         transport = self.transport
         system = self.system
         parent = parent if parent is not None else NULL_TRACE
+        trace = trace if trace is not None else NULL_TRACE
         placed = system.place_identifier(identifier)
         via_edges: list[tuple[int, int, str]] = []
         path = system.router.route(
@@ -620,6 +638,7 @@ class QueryEngine:
                         name if name == "breaker-open" else f"net-{name}",
                         **{"peer": candidate, **attrs},
                     ),
+                    trace_ctx=_trace_ctx(trace, span),
                 )
                 outstanding.append(request)
 
@@ -825,6 +844,7 @@ class QueryEngine:
                 best.peer_id,
                 "fetch-partition",
                 payload=(best.identifier, best.descriptor),
+                trace_ctx=_trace_ctx(trace, fetch_span),
             )
 
             def on_fetched(settled: SimFuture) -> None:

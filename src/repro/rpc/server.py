@@ -49,6 +49,7 @@ the overlay, not the observer.
 from __future__ import annotations
 
 import asyncio
+import os
 import random
 import time
 from typing import Any
@@ -59,6 +60,7 @@ from repro.core.config import SystemConfig
 from repro.core.matcher import matcher_by_name
 from repro.core.overlays import ChordRouter
 from repro.errors import PeerUnavailableError, ReproError
+from repro.obs.distributed import FlightRecorder, SpanFragment, TraceContext
 from repro.obs.log import get_logger
 from repro.obs.registry import MetricsRegistry
 from repro.rpc import wire
@@ -78,6 +80,10 @@ READY_PREFIX = "REPRO-SERVE ready"
 #: broadcasts, hand-off store pushes).  Generous for loopback; bounded so
 #: a hung peer cannot wedge a join or leave forever.
 CONTROL_TIMEOUT_MS = 5_000.0
+
+#: Version tag of the ``telemetry`` RPC reply.  Scrapers check it before
+#: interpreting the body; bumping it is the contract for shape changes.
+TELEMETRY_VERSION = 1
 
 #: Every this-many SWIM ticks, probe a tombstoned member instead of a
 #: live one.  A dead peer that was merely paused (SIGSTOP) answers the
@@ -103,6 +109,8 @@ class PeerServer:
         swim_proxies: int = 2,
         ping_timeout_ms: float | None = None,
         repair_interval_ms: float = 0.0,
+        flight_dir: str | None = None,
+        flight_capacity: int = FlightRecorder.DEFAULT_CAPACITY,
     ) -> None:
         if config.overlay != "chord":
             raise ReproError("the socket transport requires the chord overlay")
@@ -167,6 +175,15 @@ class PeerServer:
         #: of; cleared (into ``repair.heal_ms``) by the first repair round
         #: that finds nothing missing.
         self._evicted_at: float | None = None
+        #: Always-on black box of recent server-side spans and events;
+        #: dumped to ``flight_dir`` on SWIM evictions when configured.
+        self.flight = FlightRecorder(address, capacity=flight_capacity)
+        self.flight_dir = flight_dir
+        #: Concurrently-executing requests right now (all kinds).
+        self._inflight = 0
+        #: Replica copies the last repair round found missing; the
+        #: telemetry RPC and SWIM health piggyback both report it.
+        self._pending_repair = 0
         self._server: asyncio.AbstractServer | None = None
         self._stopped = asyncio.Event()
         self._repair_now = asyncio.Event()
@@ -177,6 +194,14 @@ class PeerServer:
     @staticmethod
     def _now_ms() -> float:
         return time.monotonic() * 1000.0
+
+    def _health_payload(self) -> dict:
+        """The cheap health sample piggybacked on SWIM ping replies."""
+        return {
+            "queue_depth": self._inflight,
+            "pending_repair": self._pending_repair,
+            "entries": sum(1 for _ in self.store.entries()),
+        }
 
     @property
     def members(self) -> dict[str, tuple[str, int]]:
@@ -372,6 +397,7 @@ class PeerServer:
             ).inc(len(outcome.evicted))
             if self._evicted_at is None:
                 self._evicted_at = self._now_ms()
+            self._flight_dump(f"gossip-evicted:{','.join(outcome.evicted)}")
             self._repair_now.set()
         if outcome.joined:
             # A member we did not know (or thought dead) is alive — make
@@ -387,6 +413,34 @@ class PeerServer:
                 self.address, self.table.incarnation,
             )
             self._spawn(self._broadcast_membership(exclude=set()))
+
+    # -- the flight recorder ---------------------------------------------
+
+    def _flight_dump(self, reason: str) -> None:
+        """Mark an incident in the black box and dump it when configured.
+
+        Called on every eviction this peer learns of; with ``flight_dir``
+        set the whole ring buffer is appended to
+        ``flight-<address>.jsonl`` so the moments *before* the failure
+        survive the failure.  Dump errors are counted, never raised — the
+        recorder must not take down the ring it is documenting.
+        """
+        self.flight.record_event("incident", reason=reason)
+        if not self.flight_dir:
+            return
+        safe = self.address.replace("/", "_").replace(":", "_")
+        path = os.path.join(self.flight_dir, f"flight-{safe}.jsonl")
+        try:
+            self.flight.dump(path, reason=reason)
+            self.metrics.counter(
+                "flight.dumps", help="flight-recorder dumps written"
+            ).inc()
+        except OSError:
+            self.metrics.counter(
+                "flight.dump_failures",
+                help="flight-recorder dumps that could not be written",
+            ).inc()
+            logger.warning("flight dump to %s failed", path)
 
     # -- the SWIM failure detector ---------------------------------------
 
@@ -440,7 +494,26 @@ class PeerServer:
             "swim.pings", help="direct pings answered"
         ).inc()
         self._retry_updates.discard(address)
-        return reply if isinstance(reply, dict) else None
+        if isinstance(reply, dict):
+            self._absorb_health(address, reply.get("health"))
+            return reply
+        return None
+
+    def _absorb_health(self, address: str, health: Any) -> None:
+        """Record a peer's piggybacked health sample as local gauges."""
+        if not isinstance(health, dict):
+            return
+        self.metrics.counter(
+            "swim.health_piggybacked",
+            help="health samples received on SWIM ping replies",
+        ).inc()
+        for field in ("queue_depth", "pending_repair", "entries"):
+            value = health.get(field)
+            if isinstance(value, (int, float)):
+                self.metrics.gauge(
+                    f"swim.peer_{field}",
+                    help=f"last piggybacked {field} per pinged peer",
+                ).set(float(value), peer=address)
 
     async def _indirect_ping(self, address: str) -> dict | None:
         """Ask ``swim_proxies`` other members to ping ``address`` for us."""
@@ -503,6 +576,7 @@ class PeerServer:
             self._rebuild_ring()
             if self._evicted_at is None:
                 self._evicted_at = now
+            self._flight_dump(f"confirmed-dead:{','.join(evicted)}")
             self._repair_now.set()
             await self._broadcast_membership(exclude=set(evicted))
         # 2. Probe one member: direct ping, then through proxies.
@@ -523,6 +597,7 @@ class PeerServer:
             self.metrics.counter(
                 "swim.suspected", help="members this peer marked suspect"
             ).inc()
+            self.flight.record_event("swim-suspect", target=target)
             logger.info("peer %s: suspecting %s", self.address, target)
             await self._broadcast_suspect(target)
 
@@ -653,6 +728,17 @@ class PeerServer:
         self.metrics.histogram(
             "repair.push.round_ms", help="wall time of one repair round"
         ).observe(self._now_ms() - started)
+        #: Replica debt after this round: copies found missing minus
+        #: copies successfully pushed — what telemetry and the SWIM
+        #: health piggyback report as ``pending_repair``.
+        self._pending_repair = max(0, missing - created)
+        self.metrics.gauge(
+            "repair.pending", help="missing copies left after the last round"
+        ).set(self._pending_repair)
+        if created or missing:
+            self.flight.record_event(
+                "repair-round", created=created, missing=missing
+            )
         if missing == 0 and self._evicted_at is not None:
             self.metrics.histogram(
                 "repair.heal_ms",
@@ -766,7 +852,12 @@ class PeerServer:
         if kind == "swim-ping":
             if isinstance(payload, dict):
                 self._after_merge(self.table.merge(payload, self._now_ms()))
-            return self._membership_payload()
+            # The failure detector doubles as a health sampler: the reply
+            # piggybacks queue depth and repair debt.  ``merge()`` only
+            # reads "epoch"/"members", so peers that predate the field
+            # (and the chaos connection filter) ignore it — bit-compatible
+            # by construction.
+            return {**self._membership_payload(), "health": self._health_payload()}
         if kind == "ping-req":
             return await self._serve_ping_req(payload)
         if kind == "suspect":
@@ -793,6 +884,8 @@ class PeerServer:
             ]
         if kind == "metrics":
             return self.metrics.snapshot()
+        if kind == "telemetry":
+            return self._serve_telemetry(payload)
         if kind == "leave":
             return await self._hand_off_and_leave()
         if kind == "ping":
@@ -864,6 +957,61 @@ class PeerServer:
         self._after_merge(outcome)
         return outcome.changed
 
+    def _serve_telemetry(self, payload: Any) -> dict:
+        """One node's full observability surface, in one reply.
+
+        With ``{"spans_for": <trace id>}`` in the payload, returns only
+        the retained span fragments of that distributed trace (what
+        :meth:`ClusterClient.query_traced` collects for stitching).
+        Otherwise returns the versioned snapshot the
+        :class:`~repro.rpc.client.ClusterScraper` merges: registry
+        metrics, queue depth, SWIM state, a partition/replica census, and
+        the newest span fragments.  Both capture timestamps travel —
+        monotonic for in-process deltas, wall for cross-node skew checks.
+        """
+        body = payload if isinstance(payload, dict) else {}
+        if body.get("spans_for"):
+            return {
+                "version": TELEMETRY_VERSION,
+                "node": self.address,
+                "spans": self.flight.spans_for(str(body["spans_for"])),
+            }
+        entries = 0
+        primaries = 0
+        for _identifier, entry in self.store.entries():
+            entries += 1
+            if entry.primary:
+                primaries += 1
+        return {
+            "version": TELEMETRY_VERSION,
+            "node": self.address,
+            "node_id": self.node_id,
+            "captured_mono_ms": self._now_ms(),
+            "captured_wall_ms": time.time() * 1000.0,
+            "queue_depth": self._inflight,
+            "pending_repair": self._pending_repair,
+            "swim": {
+                "epoch": self.table.epoch,
+                "incarnation": self.table.incarnation,
+                "states": {
+                    address: [member.state, member.incarnation]
+                    for address, member in self.table.members.items()
+                },
+            },
+            "census": {
+                "entries": entries,
+                "primaries": primaries,
+                "replicas": entries - primaries,
+            },
+            "metrics": self.metrics.snapshot(),
+            "spans": self.flight.recent(int(body.get("spans", 32))),
+            "flight": {
+                "recorded": self.flight.recorded,
+                "retained": len(self.flight),
+                "dumps": self.flight.dumps,
+            },
+        }
+
     def _serve_chaos_set(self, payload: Any) -> dict:
         """Install fault-injection settings (the chaos harness hook)."""
         body = payload if isinstance(payload, dict) else {}
@@ -902,9 +1050,33 @@ class PeerServer:
                     and self._chaos_rng.random() < self.chaos_drop
                 ):
                     return  # injected loss: hang up without a reply
+                kind = str(request.get("kind"))
+                # A garbled or missing trace envelope degrades the request
+                # to untraced (``from_wire`` returns None) — propagation
+                # can add observability but never fail a request.
+                ctx = TraceContext.from_wire(request.get("trace"))
+                self._inflight += 1
+                self.metrics.counter(
+                    "server.requests", help="requests served, by kind"
+                ).inc(kind=kind)
+                self.metrics.gauge(
+                    "server.inflight", help="requests executing right now"
+                ).set(self._inflight)
+                started = self._now_ms()
+                fragment: SpanFragment | None = None
+                if (ctx is not None and ctx.sampled) or kind in DATA_KINDS:
+                    fragment = SpanFragment(
+                        f"serve:{kind}",
+                        self.address,
+                        trace_id=ctx.trace_id if ctx is not None else None,
+                        parent_span_id=(
+                            ctx.parent_span_id if ctx is not None else None
+                        ),
+                        attrs={"kind": kind, "inflight": self._inflight},
+                    )
                 try:
                     value = await self._handle(
-                        str(request.get("kind")),
+                        kind,
                         wire.decode_value(request.get("payload")),
                     )
                     reply = {
@@ -912,6 +1084,8 @@ class PeerServer:
                         "ok": True,
                         "value": wire.encode_value(value),
                     }
+                    if fragment is not None:
+                        fragment.end(outcome="ok")
                 except Exception as exc:  # noqa: BLE001 - reported to caller
                     reply = {
                         "id": request.get("id", 0),
@@ -919,6 +1093,19 @@ class PeerServer:
                         "error": str(exc),
                         "error_type": type(exc).__name__,
                     }
+                    if fragment is not None:
+                        fragment.end(
+                            outcome="error", error=type(exc).__name__
+                        )
+                finally:
+                    self._inflight -= 1
+                    self.metrics.gauge("server.inflight").set(self._inflight)
+                    self.metrics.histogram(
+                        "server.service_ms",
+                        help="request service time, by kind",
+                    ).observe(self._now_ms() - started, kind=kind)
+                    if fragment is not None:
+                        self.flight.record_span(fragment)
                 await wire.write_frame(writer, reply)
         except (ConnectionResetError, asyncio.IncompleteReadError):
             return  # client hung up mid-exchange; nothing to answer
@@ -939,6 +1126,7 @@ async def run_server(
     suspect_timeout_ms: float | None = None,
     swim_proxies: int = 2,
     repair_interval_ms: float = 0.0,
+    flight_dir: str | None = None,
 ) -> None:
     """Start one peer and serve until asked to stop (``repro serve``)."""
     server = PeerServer(
@@ -951,5 +1139,6 @@ async def run_server(
         suspect_timeout_ms=suspect_timeout_ms,
         swim_proxies=swim_proxies,
         repair_interval_ms=repair_interval_ms,
+        flight_dir=flight_dir,
     )
     await server.serve_forever()

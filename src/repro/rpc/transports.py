@@ -92,6 +92,7 @@ class Transport(ABC):
         size_bytes: int = 64,
         rank: int = 0,
         observer: Observer | None = None,
+        trace_ctx: Any = None,
     ) -> SimFuture:
         """One request/reply exchange; resolves with the handler's answer
         or rejects when the recipient is unreachable within its budget.
@@ -100,6 +101,12 @@ class Transport(ABC):
         runs under the transport's base retry policy, higher ranks under
         its single-attempt failover budget.  Transports without timers
         ignore policies — unreachable means an immediate rejection.
+
+        ``trace_ctx`` is an optional distributed-trace context
+        (:class:`repro.obs.distributed.TraceContext`).  Only transports
+        that cross process boundaries propagate it; the in-process
+        transports ignore it because their "peers" share the caller's
+        trace object already.
         """
 
 
@@ -147,6 +154,7 @@ class SyncTransport(Transport):
         size_bytes: int = 64,
         rank: int = 0,
         observer: Observer | None = None,
+        trace_ctx: Any = None,
     ) -> SimFuture:
         future: SimFuture = SimFuture()
         if observer is not None:
@@ -221,6 +229,7 @@ class SimTransport(Transport):
         size_bytes: int = 64,
         rank: int = 0,
         observer: Observer | None = None,
+        trace_ctx: Any = None,
     ) -> SimFuture:
         return self.net.request(
             sender,

@@ -237,6 +237,7 @@ async def call(
     sender_address: str | None = None,
     peer_id: int = -1,
     timeout_ms: float | None = None,
+    trace: dict | None = None,
 ) -> Any:
     """One request/reply over a fresh connection.
 
@@ -249,7 +250,10 @@ async def call(
 
     ``sender_address`` identifies the calling *peer* (servers calling
     servers set it); the chaos connection filter uses it to enforce
-    network partitions, and clients leave it unset.
+    partitions, and clients leave it unset.  ``trace`` is the optional
+    distributed-trace envelope (:class:`repro.obs.distributed.TraceContext`
+    wire form); peers that predate it ignore the extra field, so traced
+    and untraced requests are interchangeable on the wire.
     """
 
     async def exchange() -> Any:
@@ -264,6 +268,8 @@ async def call(
             }
             if sender_address is not None:
                 request["from"] = sender_address
+            if trace is not None:
+                request["trace"] = trace
             await write_frame(writer, request)
             reply = await read_frame(reader)
         except OSError as exc:

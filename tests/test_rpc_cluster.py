@@ -128,6 +128,127 @@ def test_graceful_leave_hands_off_and_exits(drill):
     assert drill["leave_recall"] == pytest.approx(1.0)
 
 
+# -- distributed tracing drill: SIGKILL the owner mid-trace ------------------
+
+
+def walk_span_docs(doc: dict):
+    yield doc
+    for child in doc.get("spans") or []:
+        yield from walk_span_docs(child)
+
+
+def event_names(span_doc: dict) -> set[str]:
+    return {event.get("name") for event in span_doc.get("events") or []}
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """Distributed traces around an abrupt owner kill, client-driven.
+
+    SWIM stays off so the membership mirror goes stale: the traced query
+    after the kill *must* walk into the dead owner, eat the unreachable
+    attempt, fail over down the successor list, and get its answer (and
+    its server-side span) from a replica — all of which has to show up
+    in one stitched tree.
+    """
+    observed = {}
+    with LocalCluster(
+        PEERS, make_config(), swim_interval_ms=0.0, repair_interval_ms=0.0
+    ) as cluster:
+        with cluster.client() as client:
+            for query in QUERIES:
+                client.query(query)
+
+            # Healthy baseline: every server span stitches, no orphans.
+            result, trace, report = client.query_traced(QUERIES[0])
+            observed["healthy_recall"] = result.recall
+            observed["healthy_doc"] = trace.to_dict()
+            observed["healthy_attached"] = report.attached
+            observed["healthy_nodes"] = set(report.nodes)
+            observed["healthy_orphans"] = report.orphans
+
+            # Kill the *owner* (rank 0) of one of the traced query's
+            # identifiers — not the bootstrap, which the client needs.
+            system = client.system
+            ring = system.router.ring
+            bootstrap_node = next(
+                node_id
+                for node_id in ring.node_ids
+                if system.endpoints[node_id] == client.bootstrap
+            )
+            victim = next(
+                ring.node(owner).address
+                for identifier in system.identifiers_for(QUERIES[0])
+                for owner in [system.replica_owners(identifier)[0]]
+                if owner != bootstrap_node
+            )
+            cluster.kill(victim)
+            observed["victim"] = victim
+
+            result, trace, report = client.query_traced(QUERIES[0])
+            observed["kill_recall"] = result.recall
+            observed["kill_doc"] = trace.to_dict()
+            observed["kill_attached"] = report.attached
+            observed["kill_nodes"] = set(report.nodes)
+    return observed
+
+
+def test_healthy_traced_query_stitches_cleanly(traced):
+    assert traced["healthy_recall"] == pytest.approx(1.0)
+    assert traced["healthy_attached"] > 0
+    assert traced["healthy_orphans"] == 0
+    # A multi-process trace: client chain spans with remote children.
+    chains = [
+        span
+        for span in walk_span_docs(traced["healthy_doc"])
+        if span.get("name") == "chain"
+    ]
+    assert chains, "no client-side chain spans in the trace"
+    remote_children = [
+        child
+        for chain in chains
+        for child in chain.get("spans") or []
+        if (child.get("attrs") or {}).get("remote")
+    ]
+    assert remote_children, "no server span stitched under a chain"
+
+
+def test_traced_kill_shows_timeout_failover_and_replica_span(traced):
+    # The answer still arrived (replica chain absorbed the kill)...
+    assert traced["kill_recall"] >= traced["healthy_recall"] - 1e-9
+    # ...and the stitched tree tells the whole story across processes:
+    # server-side spans from at least two distinct surviving peers...
+    assert traced["kill_attached"] > 0
+    assert len(traced["kill_nodes"]) >= 2
+    assert traced["victim"] not in traced["kill_nodes"]
+    # ...including, on the chain that walked into the dead owner: the
+    # unreachable attempt (the timeout), the failover edge, and the
+    # replica's server-side span.
+    failed_over = [
+        span
+        for span in walk_span_docs(traced["kill_doc"])
+        if span.get("name") == "chain"
+        and "failover" in event_names(span)
+    ]
+    assert failed_over, "no chain recorded a failover edge"
+    assert any(
+        "net-unreachable" in event_names(span) for span in failed_over
+    ), "the dead owner's unreachable attempt never hit the trace"
+    assert any(
+        (child.get("attrs") or {}).get("remote")
+        and (child.get("attrs") or {}).get("node") != traced["victim"]
+        for span in failed_over
+        for child in span.get("spans") or []
+    ), "no replica server span stitched under the failed-over chain"
+
+
+def test_dead_peer_contributes_no_fragments_only_its_absence(traced):
+    # Fragment collection skipped the killed peer without erroring; its
+    # absence from the node set *is* the observable.
+    assert traced["victim"] not in traced["kill_nodes"]
+    assert traced["kill_nodes"], "no surviving peer contributed fragments"
+
+
 # -- self-healing drill: SWIM + server-driven repair -------------------------
 
 HEAL_PEERS = 8

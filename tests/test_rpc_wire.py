@@ -311,6 +311,136 @@ def test_call_survives_mid_frame_death_as_peer_unavailable():
     run(scenario())
 
 
+# -- trace envelope compatibility --------------------------------------------
+#
+# The optional "trace" request field must be pure upside: a real server
+# answers identically whether the envelope is absent, well-formed, or
+# garbage from a confused (or hostile) peer.  Only a well-formed, sampled
+# envelope leaves a span fragment behind.
+
+
+def with_live_server(scenario):
+    """Run one async scenario against a freshly bound PeerServer."""
+    from repro.rpc.server import PeerServer
+
+    async def runner():
+        server = PeerServer("peer-wire", SystemConfig(n_peers=4, seed=7))
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.close()
+
+    return run(runner())
+
+
+@pytest.mark.parametrize(
+    "envelope",
+    [
+        "garbage-string",
+        12,
+        [1, 2],
+        {},
+        {"id": 7},
+        {"id": "", "span": "x"},
+        {"id": "ok-id", "span": 99},
+    ],
+)
+def test_garbled_trace_envelope_degrades_to_untraced(envelope):
+    # Every malformed envelope: the request succeeds exactly as if the
+    # field were absent — never an error reply, never a dropped frame.
+    async def scenario(server):
+        reply = await wire.call(
+            server.host, server.port, "hello",
+            timeout_ms=2000.0, trace=envelope,
+        )
+        spans = await wire.call(
+            server.host, server.port, "telemetry",
+            {"spans_for": "ok-id"}, timeout_ms=2000.0,
+        )
+        return reply, spans
+
+    reply, spans = with_live_server(scenario)
+    assert reply["address"] == "peer-wire"
+    # A garbled id ("ok-id" rides on a non-string span, which is dropped,
+    # not fatal) may still trace; anything else must leave no fragment.
+    if envelope != {"id": "ok-id", "span": 99}:
+        assert spans["spans"] == []
+
+
+def test_missing_trace_envelope_is_untraced_not_an_error():
+    async def scenario(server):
+        reply = await wire.call(
+            server.host, server.port, "hello", timeout_ms=2000.0
+        )
+        depth = len(server.flight.spans_for("any"))
+        return reply, depth
+
+    reply, depth = with_live_server(scenario)
+    assert reply["address"] == "peer-wire"
+    assert depth == 0
+
+
+def test_sampled_trace_envelope_leaves_a_fragment_behind():
+    async def scenario(server):
+        await wire.call(
+            server.host, server.port, "hello", timeout_ms=2000.0,
+            trace={"id": "trace-77", "span": "client-span-1",
+                   "sampled": True},
+        )
+        return await wire.call(
+            server.host, server.port, "telemetry",
+            {"spans_for": "trace-77"}, timeout_ms=2000.0,
+        )
+
+    spans = with_live_server(scenario)["spans"]
+    assert len(spans) == 1
+    (fragment,) = spans
+    assert fragment["name"] == "serve:hello"
+    assert fragment["trace_id"] == "trace-77"
+    assert fragment["parent_span_id"] == "client-span-1"
+    assert fragment["node"] == "peer-wire"
+    assert fragment["attrs"]["outcome"] == "ok"
+    assert fragment["end_wall_ms"] >= fragment["start_wall_ms"]
+
+
+def test_unsampled_trace_envelope_is_honoured():
+    async def scenario(server):
+        await wire.call(
+            server.host, server.port, "hello", timeout_ms=2000.0,
+            trace={"id": "trace-88", "sampled": False},
+        )
+        return await wire.call(
+            server.host, server.port, "telemetry",
+            {"spans_for": "trace-88"}, timeout_ms=2000.0,
+        )
+
+    assert with_live_server(scenario)["spans"] == []
+
+
+def test_telemetry_snapshot_is_versioned_and_timestamped():
+    # The --connect / scraper contract: version tag, node address, and
+    # both capture clocks present on every full snapshot.
+    async def scenario(server):
+        await wire.call(server.host, server.port, "hello", timeout_ms=2000.0)
+        return await wire.call(
+            server.host, server.port, "telemetry", timeout_ms=2000.0
+        )
+
+    snapshot = with_live_server(scenario)
+    assert snapshot["version"] == 1
+    assert snapshot["node"] == "peer-wire"
+    assert isinstance(snapshot["captured_mono_ms"], float)
+    assert isinstance(snapshot["captured_wall_ms"], float)
+    assert snapshot["queue_depth"] >= 0
+    assert "census" in snapshot and "swim" in snapshot
+    assert snapshot["flight"]["recorded"] >= 0
+    # The metrics body is a registry snapshot: the hello we sent above is
+    # already counted.
+    names = {m["name"] for m in snapshot["metrics"]["metrics"]}
+    assert "server.requests" in names
+
+
 def test_call_maps_remote_error_types():
     async def scenario():
         async def serve(reader, writer):
