@@ -138,6 +138,30 @@ def _bench_system_query(benchmark, n_peers: int, name: str) -> None:
     record(name, benchmark)
 
 
+def test_wal_append(benchmark, tmp_path):
+    # One journaled store mutation: encode with the wire codec tags,
+    # length-prefix, write, flush.  fsync is off so the number tracks
+    # the encode/framing cost, not the disk (which CI machines vary on).
+    from repro.db.partition import PartitionDescriptor
+    from repro.storage.wal import WalWriter, encode_wal_record
+
+    descriptor = PartitionDescriptor("R", "value", QUERY)
+    op = {
+        "op": "store", "via": "store", "identifier": 123456,
+        "descriptor": descriptor, "partition": None,
+        "primary": True, "access_clock": 42, "clock": 42,
+    }
+    writer = WalWriter(tmp_path / "wal.log", fsync=False)
+
+    def one_append():
+        return writer.append(encode_wal_record(op))
+
+    result = benchmark(one_append)
+    assert result > 0
+    writer.close()
+    record("wal_append_no_fsync", benchmark)
+
+
 def test_system_query(benchmark):
     _bench_system_query(benchmark, 200, "system_query_200_peers")
 

@@ -367,6 +367,29 @@ def build_parser() -> argparse.ArgumentParser:
         "appended when SWIM evicts a member; omit to keep the recorder "
         "in-memory only)",
     )
+    serve.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="durable store directory: every entry mutation is written "
+        "to an fsync'd write-ahead log before it is acknowledged, and a "
+        "restart with the same directory replays the state, resumes the "
+        "persisted SWIM incarnation, and reconciles with the ring "
+        "(omit to keep the peer purely in-memory)",
+    )
+    serve.add_argument(
+        "--compact-every",
+        type=int,
+        default=512,
+        metavar="N",
+        help="fold the WAL into an atomic snapshot every N appends",
+    )
+    serve.add_argument(
+        "--no-wal-fsync",
+        action="store_true",
+        help="skip the per-append fsync (faster, but an OS crash may "
+        "lose acknowledged writes; process crashes are still covered)",
+    )
 
     cluster = sub.add_parser(
         "cluster",
@@ -452,6 +475,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pass --flight-dir DIR to every peer so incidents during "
         "the drill leave JSONL flight-recorder dumps behind",
+    )
+    cluster.add_argument(
+        "--durable",
+        action="store_true",
+        help="give every peer a --data-dir under a temp root (removed "
+        "on exit) so kills can be followed by restarts from disk",
+    )
+    cluster.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="explicit durable data root (one subdirectory per peer); "
+        "implies --durable and is left in place on exit",
+    )
+    cluster.add_argument(
+        "--restart-drill",
+        action="store_true",
+        help="durability drill: SIGKILL *all* replica holders of a "
+        "probed entry, restart them from disk, and exit nonzero unless "
+        "recall returns to the warm level with the restore counters "
+        "proving the data came back from disk (implies --durable)",
+    )
+    cluster.add_argument(
+        "--cold-restart",
+        action="store_true",
+        help="durability drill: SIGKILL every peer, restart the whole "
+        "cluster from disk, and exit nonzero unless recall is preserved "
+        "exactly (implies --durable)",
     )
 
     client = sub.add_parser(
@@ -972,6 +1023,9 @@ def _run_serve(args: argparse.Namespace, out) -> int:
                 swim_proxies=args.swim_proxies,
                 repair_interval_ms=args.repair_interval,
                 flight_dir=args.flight_dir,
+                data_dir=args.data_dir,
+                wal_fsync=not args.no_wal_fsync,
+                compact_every=args.compact_every,
             )
         )
     except KeyboardInterrupt:
@@ -985,6 +1039,14 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
 
     if args.peers < 2:
         raise ReproError("--peers must be at least 2")
+    durable = bool(
+        args.durable or args.data_dir or args.restart_drill or args.cold_restart
+    )
+    if args.restart_drill and args.peers <= args.replicas:
+        raise ReproError(
+            "--restart-drill needs --peers > --replicas (a survivor must "
+            "remain outside the killed replica set)"
+        )
     config = SystemConfig(
         n_peers=args.peers, seed=args.seed, replicas=args.replicas
     )
@@ -1000,6 +1062,8 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
         suspect_timeout_ms=args.suspect_timeout,
         repair_interval_ms=args.repair_interval,
         flight_dir=args.flight_dir,
+        durable=durable,
+        data_root=args.data_dir,
     ) as cluster:
         endpoints = ", ".join(
             f"{address}@{host}:{port}"
@@ -1062,6 +1126,20 @@ def _run_cluster(args: argparse.Namespace, out) -> int:
                 )
                 if status != 0:
                     return status
+        # The restart drills recycle peer processes (fresh OS ports), so
+        # they run outside the client block and build their own clients.
+        if args.restart_drill:
+            status = _run_restart_drill(
+                args, cluster, queries, warm_recall, out
+            )
+            if status != 0:
+                return status
+        if args.cold_restart:
+            status = _run_cold_restart_drill(
+                args, cluster, queries, warm_recall, out
+            )
+            if status != 0:
+                return status
         if args.hold:
             import time
 
@@ -1124,6 +1202,160 @@ def _run_chaos_drill(
         )
         return 1
     print("chaos: ring self-healed, recall recovered", file=out)
+    return 0
+
+
+def _restore_counters_of(client, address: str) -> tuple[float, float]:
+    """(restore.entries, restore.wal_records) of one peer's registry."""
+    from repro.obs.distributed import counter_total
+
+    snapshot = client.metrics_of(address)
+    return (
+        counter_total(snapshot, "restore.entries"),
+        counter_total(snapshot, "restore.wal_records"),
+    )
+
+
+def _run_restart_drill(args, cluster, queries, warm_recall: float, out) -> int:
+    """Kill *all* replica holders of a probed entry, restart from disk.
+
+    The drill proves durability end to end: after the kills no live peer
+    holds the probed identifier (verified by scanning every survivor),
+    so when recall returns after the restarts the data can only have
+    come from the restarted peers' WAL/snapshot state — which the
+    ``restore.entries`` counters confirm.
+    """
+    probe = queries[0]
+    with cluster.client() as client:
+        system = client.system
+        ring = system.router.ring
+        identifier = system.identifiers_for(probe)[0]
+        holders = [
+            ring.node(node_id).address
+            for node_id in system.replica_owners(identifier)
+        ]
+    survivors = [
+        address
+        for address in cluster.endpoints
+        if cluster.alive(address) and address not in holders
+    ]
+    if not survivors:
+        raise ReproError(
+            "restart drill: every peer is a replica holder; raise --peers"
+        )
+    for address in holders:
+        if cluster.alive(address):
+            cluster.kill(address)
+    print(
+        f"restart drill: killed all {len(holders)} replica holder(s) of "
+        f"identifier {identifier}: {', '.join(holders)}",
+        file=out,
+    )
+    with cluster.client() as client:
+        for address in survivors:
+            for entry in client.entries_of(address):
+                if int(entry[0]) == identifier:
+                    print(
+                        f"error: survivor {address} still holds the probed "
+                        "identifier — the kill set missed a copy",
+                        file=sys.stderr,
+                    )
+                    return 1
+    print(
+        "restart drill: zero surviving in-memory copies of the probed "
+        "identifier",
+        file=out,
+    )
+    for address in holders:
+        cluster.restart(address)
+    with cluster.client() as client:
+        if not _await_reconvergence(cluster, client, args.recovery_timeout):
+            print(
+                f"error: membership never reconverged within "
+                f"{args.recovery_timeout:g}s of the restarts",
+                file=sys.stderr,
+            )
+            return 1
+        for address in holders:
+            entries, wal_records = _restore_counters_of(client, address)
+            print(
+                f"restart drill: {address} restored {entries:g} entrie(s) "
+                f"({wal_records:g} WAL record(s)) from disk",
+                file=out,
+            )
+            if entries <= 0:
+                print(
+                    f"error: restarted peer {address} restored nothing "
+                    "from disk",
+                    file=sys.stderr,
+                )
+                return 1
+        after = [client.query(query) for query in queries]
+        recall = sum(r.recall for r in after) / max(1, len(after))
+    print(
+        f"restart drill: recall {recall:.2f} after restart "
+        f"(warm was {warm_recall:.2f})",
+        file=out,
+    )
+    if recall < warm_recall - 1e-9:
+        print(
+            f"error: recall did not return after the restarts "
+            f"({warm_recall:.3f} -> {recall:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("restart drill: recovery came from disk, recall restored", file=out)
+    return 0
+
+
+def _run_cold_restart_drill(
+    args, cluster, queries, warm_recall: float, out
+) -> int:
+    """SIGKILL every peer, restart the whole cluster from disk."""
+    addresses = list(cluster.endpoints)
+    for address in addresses:
+        if cluster.alive(address):
+            cluster.kill(address)
+    print(
+        f"cold restart: killed all {len(addresses)} peer(s)", file=out
+    )
+    # The first peer back finds no live bootstrap and seeds a fresh ring
+    # from its disk state; the rest join through it.
+    for address in addresses:
+        cluster.restart(address)
+    with cluster.client() as client:
+        if not _await_reconvergence(cluster, client, args.recovery_timeout):
+            print(
+                f"error: membership never reconverged within "
+                f"{args.recovery_timeout:g}s of the cold restart",
+                file=sys.stderr,
+            )
+            return 1
+        total_restored = 0.0
+        for address in addresses:
+            entries, _wal = _restore_counters_of(client, address)
+            total_restored += entries
+        after = [client.query(query) for query in queries]
+        recall = sum(r.recall for r in after) / max(1, len(after))
+    print(
+        f"cold restart: {total_restored:g} entrie(s) restored across the "
+        f"ring, recall {recall:.2f} (warm was {warm_recall:.2f})",
+        file=out,
+    )
+    if total_restored <= 0:
+        print(
+            "error: the cold restart restored nothing from disk",
+            file=sys.stderr,
+        )
+        return 1
+    if recall < warm_recall - 1e-9:
+        print(
+            f"error: the cold restart lost recall "
+            f"({warm_recall:.3f} -> {recall:.3f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("cold restart: recall preserved from disk", file=out)
     return 0
 
 

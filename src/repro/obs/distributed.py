@@ -50,6 +50,7 @@ from collections import deque
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.obs.trace import QueryTrace, Span
+from repro.util.tolerant import read_jsonl_tolerant
 
 __all__ = [
     "TraceContext",
@@ -308,31 +309,9 @@ class FlightRecorder:
         return len(entries) + 1
 
 
-def read_jsonl_tolerant(path: str) -> tuple[list[dict[str, Any]], int]:
-    """Read JSONL produced by a process that may have died mid-write.
-
-    A SIGKILL can leave the final line truncated (or interleave a torn
-    write); those lines are *skipped and counted*, never raised — the
-    reader's job is to salvage the records that survived.  Returns
-    ``(records, skipped)``.
-    """
-    records: list[dict[str, Any]] = []
-    skipped = 0
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                doc = json.loads(line)
-            except ValueError:
-                skipped += 1
-                continue
-            if isinstance(doc, dict):
-                records.append(doc)
-            else:
-                skipped += 1
-    return records, skipped
+# Torn-tail-tolerant JSONL reading is shared with the storage WAL; the
+# canonical implementation lives in ``repro.util.tolerant`` and is
+# re-exported here for the flight-recorder tooling that grew up with it.
 
 
 # ----------------------------------------------------------------------

@@ -38,7 +38,9 @@ __all__ = ["ChaosEvent", "ChaosSchedule", "ChaosRunner", "ACTIONS"]
 logger = get_logger("rpc.chaos")
 
 #: Fault kinds a schedule may contain, in the order waves play out.
-ACTIONS = ("kill", "pause", "resume", "delay", "drop", "partition", "heal")
+ACTIONS = (
+    "kill", "pause", "resume", "delay", "drop", "partition", "heal", "restart",
+)
 
 
 @dataclass(frozen=True)
@@ -80,10 +82,12 @@ class ChaosSchedule:
                 continue
             action, _, count = term.partition("=")
             action = action.strip()
-            if action not in ("kill", "pause", "delay", "drop", "partition"):
+            if action not in (
+                "kill", "pause", "delay", "drop", "partition", "restart"
+            ):
                 raise ReproError(
                     f"unknown chaos action {action!r} "
-                    "(use kill/pause/delay/drop/partition)"
+                    "(use kill/pause/delay/drop/partition/restart)"
                 )
             try:
                 counts[action] = counts.get(action, 0) + (
@@ -108,6 +112,7 @@ class ChaosSchedule:
         wave_gap_s: float = 4.0,
         pause_hold_s: float = 3.0,
         partition_hold_s: float = 6.0,
+        restart_hold_s: float = 3.0,
         protect: tuple[str, ...] = (),
     ) -> "ChaosSchedule":
         """Lay the requested faults out as seeded, ordered waves.
@@ -126,7 +131,7 @@ class ChaosSchedule:
         events: list[ChaosEvent] = []
         at = start_s
         killed: set[str] = set()
-        for action in ("delay", "drop", "pause", "kill", "partition"):
+        for action in ("delay", "drop", "pause", "kill", "restart", "partition"):
             for _ in range(counts.get(action, 0)):
                 pool = [a for a in victims if a not in killed]
                 if not pool:
@@ -152,6 +157,15 @@ class ChaosSchedule:
                     amount = 0.1 + 0.2 * rng.random()
                     events.append(
                         ChaosEvent(at, "drop", (target,), amount=amount)
+                    )
+                elif action == "restart":
+                    # A crash-restart pair: SIGKILL now, bring the same
+                    # address back from its data dir after a hold.  The
+                    # target is *not* marked killed — it returns.
+                    target = rng.choice(pool)
+                    events.append(ChaosEvent(at, "kill", (target,)))
+                    events.append(
+                        ChaosEvent(at + restart_hold_s, "restart", (target,))
                     )
                 elif action == "partition":
                     # Split off a minority side (1..n//2 peers).
@@ -227,6 +241,9 @@ class ChaosRunner:
                 ]
                 if side and rest:
                     cluster.partition(side, rest)
+            elif event.action == "restart":
+                if not cluster.alive(event.targets[0]):
+                    cluster.restart(event.targets[0])
             elif event.action == "heal":
                 cluster.heal()
             else:  # pragma: no cover - schedule generation guards this

@@ -619,9 +619,26 @@ class ClusterClient:
         census + recent span fragments), versioned and timestamped."""
         return self.call(address, "telemetry", {"spans": spans})
 
-    def entries_of(self, address: str) -> list:
-        """One peer's stored entries as (id, descriptor, partition, primary)."""
-        return self.call(address, "entries")
+    def entries_of(self, address: str, page_size: int = 512) -> list:
+        """One peer's stored entries as (id, descriptor, partition, primary).
+
+        Iterates the chunked form of the ``entries`` RPC so an
+        arbitrarily large store never produces a reply past the wire
+        frame cap.
+        """
+        records: list = []
+        offset = 0
+        while True:
+            page = self.call(
+                address, "entries", {"offset": offset, "limit": page_size}
+            )
+            if not isinstance(page, dict):
+                return page if isinstance(page, list) else records
+            batch = page.get("entries", [])
+            records.extend(batch)
+            offset += len(batch)
+            if not batch or offset >= int(page.get("total", 0)):
+                return records
 
     def leave(self, address: str) -> int:
         """Ask a peer to leave gracefully; returns copies it handed off."""
@@ -648,11 +665,22 @@ class ClusterClient:
         entries_by_peer: dict[int, list] = {}
         for address, (host, port) in self.system.members.items():
             node_id = node_of[address]
+            entries: list = []
+            offset = 0
             try:
-                entries = await wire.call(
-                    host, port, "entries",
-                    peer_id=node_id, timeout_ms=self.timeout_ms,
-                )
+                while True:
+                    page = await wire.call(
+                        host, port, "entries",
+                        {"offset": offset, "limit": 512},
+                        peer_id=node_id, timeout_ms=self.timeout_ms,
+                    )
+                    batch = page.get("entries", []) if isinstance(page, dict) else []
+                    entries.extend(batch)
+                    offset += len(batch)
+                    if not batch or not isinstance(page, dict) or offset >= int(
+                        page.get("total", 0)
+                    ):
+                        break
             except ReproError:
                 self.transport.dead.add(node_id)
                 continue

@@ -19,9 +19,11 @@ from __future__ import annotations
 import json
 import os
 import select
+import shutil
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -63,6 +65,9 @@ class LocalCluster:
         repair_interval_ms: float = 1_000.0,
         spawn_attempts: int = 3,
         flight_dir: str | None = None,
+        durable: bool = False,
+        data_root: str | None = None,
+        compact_every: int | None = None,
     ) -> None:
         if peers < 1:
             raise ClusterError("a cluster needs at least one peer")
@@ -81,6 +86,16 @@ class LocalCluster:
         #: Directory every peer dumps its flight recorder into on an
         #: incident (breaker open, SWIM eviction); ``None`` disables.
         self.flight_dir = flight_dir
+        #: With durability on, every peer gets ``<data_root>/<address>``
+        #: as its ``--data-dir``.  A root this harness created itself
+        #: (durable=True with no explicit data_root) is deleted again on
+        #: :meth:`shutdown` — drills must not leak per-node state.
+        self.compact_every = compact_every
+        self._owns_data_root = False
+        if data_root is None and durable:
+            data_root = tempfile.mkdtemp(prefix="repro-cluster-")
+            self._owns_data_root = True
+        self.data_root = data_root
         self.processes: dict[str, subprocess.Popen] = {}
         self.endpoints: dict[str, tuple[str, int]] = {}
         #: Peers currently SIGSTOP'd (for teardown: a stopped process
@@ -118,9 +133,20 @@ class LocalCluster:
             command += ["--suspect-timeout", str(self.suspect_timeout_ms)]
         if self.flight_dir is not None:
             command += ["--flight-dir", self.flight_dir]
+        if self.data_root is not None:
+            command += ["--data-dir", os.path.join(self.data_root, address)]
+            if self.compact_every is not None:
+                command += ["--compact-every", str(self.compact_every)]
         if self.endpoints:
-            boot_host, boot_port = self.bootstrap_endpoint()
-            command += ["--bootstrap", f"{boot_host}:{boot_port}"]
+            try:
+                boot_host, boot_port = self.bootstrap_endpoint()
+            except ClusterError:
+                # Every known peer is dead — a cold full-cluster restart.
+                # The first peer back rebuilds the ring from its disk
+                # state and becomes the new bootstrap for the rest.
+                pass
+            else:
+                command += ["--bootstrap", f"{boot_host}:{boot_port}"]
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             path
@@ -211,6 +237,27 @@ class LocalCluster:
         self.paused.discard(address)
         logger.info("peer %s killed", address)
 
+    def restart(self, address: str) -> tuple[str, int]:
+        """Bring a killed peer back under its old address.
+
+        The process record is recycled and :meth:`spawn` runs again with
+        the same ``--data-dir`` (when the cluster is durable), so the
+        peer recovers its store from disk, resumes its persisted SWIM
+        incarnation, and rejoins the ring — under a fresh OS-picked port,
+        which the rejoin gossips to every mirror.
+        """
+        process = self.processes.get(address)
+        if process is not None and process.poll() is None:
+            raise ClusterError(f"peer {address!r} is still running")
+        if process is not None:
+            if process.stdout is not None:
+                process.stdout.close()
+            del self.processes[address]
+        self.endpoints.pop(address, None)
+        endpoint = self.spawn(address)
+        logger.info("peer %s restarted at %s:%d", address, *endpoint)
+        return endpoint
+
     def pause(self, address: str) -> None:
         """Freeze a peer with SIGSTOP — alive but unresponsive, the
         classic GC-pause/overload look that SWIM must *suspect* without
@@ -291,28 +338,37 @@ class LocalCluster:
     # -- teardown ----------------------------------------------------------
 
     def shutdown(self) -> None:
-        """Stop every remaining peer; escalate to SIGKILL if needed."""
-        # A SIGSTOP'd process queues SIGTERM until continued — thaw
-        # everything first so termination can actually be delivered.
-        for address in list(self.paused):
-            process = self.processes.get(address)
-            if process is not None and process.poll() is None:
-                process.send_signal(signal.SIGCONT)
-        self.paused.clear()
-        for address, process in self.processes.items():
-            if process.poll() is None:
-                process.terminate()
-        deadline = time.monotonic() + 10.0
-        for process in self.processes.values():
-            remaining = max(0.1, deadline - time.monotonic())
-            try:
-                process.wait(timeout=remaining)
-            except subprocess.TimeoutExpired:
-                process.kill()
-                process.wait()
-        for process in self.processes.values():
-            if process.stdout is not None:
-                process.stdout.close()
+        """Stop every remaining peer; escalate to SIGKILL if needed.
+
+        A data root this harness created itself is removed afterwards —
+        even when stopping a peer fails — so chaos and restart drills
+        never leak per-node state into the temp directory.
+        """
+        try:
+            # A SIGSTOP'd process queues SIGTERM until continued — thaw
+            # everything first so termination can actually be delivered.
+            for address in list(self.paused):
+                process = self.processes.get(address)
+                if process is not None and process.poll() is None:
+                    process.send_signal(signal.SIGCONT)
+            self.paused.clear()
+            for address, process in self.processes.items():
+                if process.poll() is None:
+                    process.terminate()
+            deadline = time.monotonic() + 10.0
+            for process in self.processes.values():
+                remaining = max(0.1, deadline - time.monotonic())
+                try:
+                    process.wait(timeout=remaining)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+            for process in self.processes.values():
+                if process.stdout is not None:
+                    process.stdout.close()
+        finally:
+            if self._owns_data_root and self.data_root is not None:
+                shutil.rmtree(self.data_root, ignore_errors=True)
 
     def __enter__(self) -> "LocalCluster":
         return self.start()

@@ -67,6 +67,7 @@ from repro.rpc import wire
 from repro.rpc.peer import DATA_KINDS, PeerLogic
 from repro.rpc.swim import ALIVE, DEAD, SUSPECT, MembershipTable, MergeOutcome
 from repro.storage.store import LRUEviction, NoEviction, PeerStore
+from repro.storage.wal import PeerDurability
 
 __all__ = ["PeerServer", "READY_PREFIX"]
 
@@ -84,6 +85,11 @@ CONTROL_TIMEOUT_MS = 5_000.0
 #: Version tag of the ``telemetry`` RPC reply.  Scrapers check it before
 #: interpreting the body; bumping it is the contract for shape changes.
 TELEMETRY_VERSION = 1
+
+#: Page size of the chunked ``entries`` bulk-transfer RPC.  Chosen so a
+#: page of row-bearing partitions stays far under the 32 MiB wire frame
+#: cap; clients iterate pages, so the store size itself is unbounded.
+ENTRIES_PAGE_SIZE = 512
 
 #: Every this-many SWIM ticks, probe a tombstoned member instead of a
 #: live one.  A dead peer that was merely paused (SIGSTOP) answers the
@@ -111,6 +117,9 @@ class PeerServer:
         repair_interval_ms: float = 0.0,
         flight_dir: str | None = None,
         flight_capacity: int = FlightRecorder.DEFAULT_CAPACITY,
+        data_dir: str | None = None,
+        wal_fsync: bool = True,
+        compact_every: int = 512,
     ) -> None:
         if config.overlay != "chord":
             raise ReproError("the socket transport requires the chord overlay")
@@ -179,6 +188,13 @@ class PeerServer:
         #: dumped to ``flight_dir`` on SWIM evictions when configured.
         self.flight = FlightRecorder(address, capacity=flight_capacity)
         self.flight_dir = flight_dir
+        #: Durable store under ``--data-dir`` (WAL + snapshot + meta);
+        #: None keeps the pre-durability, purely in-memory behavior.
+        self.durability = (
+            PeerDurability(data_dir, fsync=wal_fsync, compact_every=compact_every)
+            if data_dir
+            else None
+        )
         #: Concurrently-executing requests right now (all kinds).
         self._inflight = 0
         #: Replica copies the last repair round found missing; the
@@ -281,7 +297,42 @@ class PeerServer:
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the port, join via the bootstrap peer (if any), go live."""
+        """Bind the port, join via the bootstrap peer (if any), go live.
+
+        With a ``data_dir``, the store is rebuilt from snapshot + WAL
+        *before* the port binds (no request can observe a half-recovered
+        store), the SWIM incarnation resumes past the persisted one (so
+        the rejoin beats any tombstone from the previous life), and a
+        reconciliation round runs once the ring mirror is adopted.
+        """
+        restored = None
+        if self.durability is not None:
+            restored = self.durability.recover(self.store)
+            persisted = self.durability.load_incarnation()
+            if persisted is not None:
+                self.table.set_incarnation(persisted + 1)
+            self._persist_incarnation()
+            self.durability.attach(self.store)
+            self.metrics.counter(
+                "restore.entries",
+                help="entries rebuilt from disk at startup",
+            ).inc(restored["entries"])
+            self.metrics.counter(
+                "restore.wal_records",
+                help="WAL records replayed at startup",
+            ).inc(restored["wal_records"])
+            self.metrics.counter(
+                "restore.torn_records",
+                help="torn WAL tail records skipped at startup",
+            ).inc(restored["torn_records"])
+            if restored["entries"] or restored["wal_records"]:
+                logger.info(
+                    "peer %s: restored %d entrie(s) from disk "
+                    "(%d snapshot, %d WAL record(s), %d torn)",
+                    self.address, restored["entries"],
+                    restored["snapshot_entries"], restored["wal_records"],
+                    restored["torn_records"],
+                )
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self.port
         )
@@ -291,6 +342,7 @@ class PeerServer:
             self.table.epoch = 1
         else:
             boot_host, boot_port = self.bootstrap
+            my_incarnation = self.table.incarnation
             reply = await wire.call(
                 boot_host,
                 boot_port,
@@ -304,7 +356,14 @@ class PeerServer:
                 timeout_ms=CONTROL_TIMEOUT_MS,
             )
             self.table.replace(reply)
+            # The adopted map may carry this address as a tombstone (or
+            # at a stale incarnation) from a previous life; restore the
+            # identity the restart resumed before anything gossips.
+            self.table.reassert_self(my_incarnation)
+            self._persist_incarnation()
         self._rebuild_ring()
+        if self.durability is not None and self.table.peers(ALIVE, SUSPECT):
+            self._spawn(self._reconcile_after_restart())
         if self.swim_interval_ms > 0:
             self._spawn(self._swim_loop())
         if self.repair_interval_ms > 0:
@@ -338,6 +397,92 @@ class PeerServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.durability is not None:
+            self.durability.close()
+
+    # -- durability ------------------------------------------------------
+
+    def _persist_incarnation(self) -> None:
+        """Write the current SWIM incarnation to the data dir (if any).
+
+        Called on the initial restore bump and on every refutation —
+        every path that increments our own incarnation — so a future
+        restart always resumes past the last value the cluster saw.
+        """
+        if self.durability is not None:
+            self.durability.store_incarnation(self.table.incarnation)
+
+    async def _reconcile_after_restart(self) -> None:
+        """One recovery reconciliation against the adopted ring.
+
+        The restored store reflects the ring as it was before the crash:
+        entries may have moved off this peer (shed them) and writes may
+        have landed elsewhere while it was down (pull them).  Shedding
+        and promotion reuse :meth:`rebalance`; the pull pages every live
+        member's chunked ``entries`` feed and keeps what the current
+        replica sets say belongs here.
+        """
+        try:
+            shed_before = self.store.partition_count
+            await self.rebalance()
+            shed = max(0, shed_before - self.store.partition_count)
+            pulled = await self._pull_owned_entries()
+            self.metrics.counter(
+                "reconcile.shed",
+                help="restored entries shed because ownership moved away",
+            ).inc(shed)
+            self.metrics.counter(
+                "reconcile.pulled",
+                help="entries pulled from the ring after a restart",
+            ).inc(pulled)
+            self.metrics.counter(
+                "reconcile.rounds", help="restart reconciliation rounds run"
+            ).inc()
+            if shed or pulled:
+                logger.info(
+                    "peer %s: reconciled after restart (shed %d, pulled %d)",
+                    self.address, shed, pulled,
+                )
+            self._repair_now.set()
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # noqa: BLE001 - reconciliation is best-effort
+            logger.exception("restart reconciliation failed on %s", self.address)
+
+    async def _pull_owned_entries(self) -> int:
+        """Fetch entries whose current replica set includes this peer."""
+        pulled = 0
+        for address in self.table.peers(ALIVE, SUSPECT):
+            offset = 0
+            while True:
+                try:
+                    page = await self._call_member(
+                        address, "entries",
+                        {"offset": offset, "limit": ENTRIES_PAGE_SIZE},
+                        timeout_ms=CONTROL_TIMEOUT_MS,
+                    )
+                except ReproError:
+                    break  # unreachable peer; repair owns convergence
+                if not isinstance(page, dict):
+                    break
+                records = page.get("entries", [])
+                for identifier, descriptor, partition, _primary in records:
+                    identifier = int(identifier)
+                    targets = self.replica_owners(identifier)
+                    if self.node_id not in targets:
+                        continue
+                    if self.logic.holds(identifier, descriptor):
+                        continue
+                    self.store.store(
+                        identifier, descriptor, partition,
+                        primary=targets[0] == self.node_id,
+                        via="reconcile",
+                    )
+                    pulled += 1
+                offset += len(records)
+                if not records or offset >= int(page.get("total", 0)):
+                    break
+        return pulled
 
     # -- membership gossip -----------------------------------------------
 
@@ -412,6 +557,7 @@ class PeerServer:
                 "peer %s: refuted suspicion, incarnation now %d",
                 self.address, self.table.incarnation,
             )
+            self._persist_incarnation()
             self._spawn(self._broadcast_membership(exclude=set()))
 
     # -- the flight recorder ---------------------------------------------
@@ -787,7 +933,7 @@ class PeerServer:
                 if stored:
                     pushed += 1
             if self.node_id not in targets:
-                self.store.remove(identifier, entry.descriptor)
+                self.store.remove(identifier, entry.descriptor, via="handoff")
             elif targets[0] == self.node_id and not entry.primary:
                 # Ownership moved onto this replica: promote in place.
                 self.store.store(
@@ -873,15 +1019,27 @@ class PeerServer:
                 "repair.push.received", help="repair pushes served"
             ).inc()
             return self.store.store(
-                identifier, descriptor, partition, primary=primary
+                identifier, descriptor, partition, primary=primary,
+                via="repair-push",
             )
         if kind == "chaos-set":
             return self._serve_chaos_set(payload)
         if kind == "entries":
-            return [
+            records = [
                 (identifier, entry.descriptor, entry.partition, entry.primary)
                 for identifier, entry in self.store.entries()
             ]
+            if isinstance(payload, dict):
+                # Chunked form: {"offset", "limit"} -> {"total", "entries"}.
+                # Pages bound the reply frame; the legacy None payload
+                # keeps the full list for small stores and old callers.
+                offset = max(0, int(payload.get("offset", 0)))
+                limit = max(1, int(payload.get("limit", ENTRIES_PAGE_SIZE)))
+                return {
+                    "total": len(records),
+                    "entries": records[offset : offset + limit],
+                }
+            return records
         if kind == "metrics":
             return self.metrics.snapshot()
         if kind == "telemetry":
@@ -938,6 +1096,7 @@ class PeerServer:
                     "peer %s: refuting suspicion, incarnation now %d",
                     self.address, self.table.incarnation,
                 )
+                self._persist_incarnation()
                 self._spawn(self._broadcast_membership(exclude=set()))
             return self._membership_payload()
         outcome = self.table.merge(
@@ -1127,6 +1286,9 @@ async def run_server(
     swim_proxies: int = 2,
     repair_interval_ms: float = 0.0,
     flight_dir: str | None = None,
+    data_dir: str | None = None,
+    wal_fsync: bool = True,
+    compact_every: int = 512,
 ) -> None:
     """Start one peer and serve until asked to stop (``repro serve``)."""
     server = PeerServer(
@@ -1140,5 +1302,8 @@ async def run_server(
         swim_proxies=swim_proxies,
         repair_interval_ms=repair_interval_ms,
         flight_dir=flight_dir,
+        data_dir=data_dir,
+        wal_fsync=wal_fsync,
+        compact_every=compact_every,
     )
     await server.serve_forever()

@@ -245,6 +245,39 @@ class MembershipTable:
         me.suspected_at = None
         self.epoch += 1
 
+    def set_incarnation(self, incarnation: int) -> None:
+        """Resume this peer's incarnation from persisted state.
+
+        A durable peer restarting from its ``--data-dir`` comes back at
+        ``persisted + 1`` — past any tombstone the cluster holds for its
+        previous life, since only the member itself ever bumps its
+        incarnation and death freezes it.  Called before the rejoin.
+        """
+        me = self._members[self.self_address]
+        if incarnation > me.incarnation:
+            me.incarnation = incarnation
+            self.epoch += 1
+
+    def reassert_self(self, incarnation: int) -> bool:
+        """Force our own record alive at (at least) ``incarnation``.
+
+        :meth:`replace` adopts a bootstrap peer's map wholesale, and that
+        map may carry this address as a tombstone from a previous life —
+        or at a stale, lower incarnation.  Restore the record the rejoin
+        announced; returns True when anything changed.
+        """
+        me = self._members[self.self_address]
+        if me.state == ALIVE and me.incarnation >= incarnation:
+            return False
+        if me.state != ALIVE:
+            # Beat the adopted tombstone/suspicion outright.
+            incarnation = max(incarnation, me.incarnation + 1)
+        me.incarnation = max(me.incarnation, incarnation)
+        me.state = ALIVE
+        me.suspected_at = None
+        self.epoch += 1
+        return True
+
     def refute(self) -> int:
         """Re-announce this peer alive past any accusation it has seen.
 

@@ -14,6 +14,12 @@ __all__ = ["PeerStore", "EvictionPolicy", "NoEviction", "LRUEviction"]
 
 ScoreFn = Callable[[IntRange, PartitionDescriptor], float]
 
+#: Observer invoked after every entry mutation with a structured op
+#: record (live objects, not wire forms).  The durability layer attaches
+#: one to journal mutations; when unset (the default) the store's
+#: behavior is unchanged.
+MutationHook = Callable[[dict], None]
+
 
 class EvictionPolicy(ABC):
     """Decides which entry leaves the store when capacity is exceeded."""
@@ -82,6 +88,8 @@ class PeerStore:
         self.queries_served = 0
         #: Store requests this peer has handled (new or duplicate).
         self.stores_served = 0
+        #: Optional durability observer; see :data:`MutationHook`.
+        self.mutation_hook: MutationHook | None = None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -93,11 +101,15 @@ class PeerStore:
         descriptor: PartitionDescriptor,
         partition: Partition | None = None,
         primary: bool = True,
+        *,
+        via: str = "store",
     ) -> bool:
         """Store a partition under ``identifier``; returns True when new.
 
         ``primary=False`` marks the copy as a replica placed for fault
         tolerance; re-storing an existing entry as primary promotes it.
+        ``via`` labels the mutation for the durability hook ("store",
+        "repair-push", "handoff", ...); it does not change behavior.
         """
         bucket = self._buckets.get(identifier)
         if bucket is None:
@@ -113,12 +125,85 @@ class PeerStore:
                 primary=primary,
             )
         )
+        if self.mutation_hook is not None:
+            # Journal the entry's *post-merge* state: a duplicate store
+            # still promotes/refreshes, and replaying final states in
+            # order converges to the same entry.
+            final = bucket.get(descriptor)
+            assert final is not None
+            self.mutation_hook(
+                {
+                    "op": "store",
+                    "via": via,
+                    "identifier": identifier,
+                    "descriptor": descriptor,
+                    "partition": final.partition,
+                    "primary": final.primary,
+                    "access_clock": final.access_clock,
+                    "clock": self._clock,
+                }
+            )
         if added:
             self.eviction.on_insert(self)
         return added
 
-    def remove(self, identifier: int, descriptor: PartitionDescriptor) -> bool:
+    def remove(
+        self,
+        identifier: int,
+        descriptor: PartitionDescriptor,
+        *,
+        via: str = "evict",
+    ) -> bool:
         """Remove one entry; prunes the bucket when it empties."""
+        bucket = self._buckets.get(identifier)
+        if bucket is None:
+            return False
+        removed = bucket.remove(descriptor) is not None
+        if removed and len(bucket) == 0:
+            del self._buckets[identifier]
+        if removed and self.mutation_hook is not None:
+            self.mutation_hook(
+                {
+                    "op": "remove",
+                    "via": via,
+                    "identifier": identifier,
+                    "descriptor": descriptor,
+                }
+            )
+        return removed
+
+    def apply_store(
+        self,
+        identifier: int,
+        descriptor: PartitionDescriptor,
+        partition: Partition | None,
+        primary: bool,
+        access_clock: int,
+    ) -> bool:
+        """Replay primitive: insert an entry with explicit clocks.
+
+        Used by snapshot restore and WAL replay.  Unlike :meth:`store`
+        it neither advances the logical clock nor triggers eviction —
+        evictions are replayed from their own journal records — and it
+        never fires the mutation hook (replay must not re-journal).
+        """
+        bucket = self._buckets.get(identifier)
+        if bucket is None:
+            bucket = Bucket(identifier)
+            self._buckets[identifier] = bucket
+        added = bucket.add(
+            StoredEntry(
+                descriptor=descriptor,
+                partition=partition,
+                access_clock=access_clock,
+                primary=primary,
+            )
+        )
+        self._clock = max(self._clock, access_clock)
+        return added
+
+    def apply_remove(self, identifier: int, descriptor: PartitionDescriptor) -> bool:
+        """Replay primitive: remove without firing the mutation hook."""
         bucket = self._buckets.get(identifier)
         if bucket is None:
             return False

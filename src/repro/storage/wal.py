@@ -1,0 +1,379 @@
+"""Write-ahead log and crash-restart durability for one peer's store.
+
+A live :class:`~repro.rpc.server.PeerServer` is in-memory; this module
+makes it survive its own SIGKILL.  The contract is *append before ack*:
+every entry mutation (store, repair push, handoff, eviction) is journaled
+to an fsync'd append-only log before the server replies to the request
+that caused it, so any write a client saw acknowledged is on disk.
+
+On-disk layout under one ``--data-dir`` (one directory per peer)::
+
+    wal.log        append-only journal, 4-byte BE length-prefixed JSON
+    snapshot.json  compaction target (``storage.snapshot`` peer format)
+    meta.json      SWIM incarnation persisted across restarts
+
+WAL records reuse the :mod:`repro.rpc.wire` codec tags (``$desc``,
+``$part``) so descriptors and partitions round-trip through the journal
+exactly as they do across the network.  The framing mirrors the wire
+protocol's: a torn tail — a SIGKILL mid-append — is detected by an
+incomplete prefix, an incomplete body, or a body that does not parse,
+and replay salvages every complete record before it (the same policy as
+:func:`repro.util.read_jsonl_tolerant` for flight-recorder JSONL).
+
+Compaction folds the journal into an atomic-rename snapshot every
+``compact_every`` appends.  The snapshot records the last WAL sequence
+number it covers; the snapshot rename happens *before* the journal is
+truncated, so a crash between the two leaves records the snapshot
+already contains — replay skips any record with ``seq <= wal_seq`` and
+recovery stays idempotent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.rpc import wire
+from repro.storage.snapshot import (
+    load_peer_snapshot,
+    restore_peer_store,
+    save_peer_snapshot,
+)
+from repro.storage.store import PeerStore
+from repro.util.tolerant import parse_json_record
+
+__all__ = [
+    "WalWriter",
+    "read_wal_tolerant",
+    "PeerDurability",
+    "encode_wal_record",
+    "decode_wal_record",
+]
+
+_LENGTH = struct.Struct("!I")
+
+#: Upper bound on one journal record's JSON body; same rationale (and
+#: size) as the wire frame cap — a corrupt prefix must not allocate
+#: blindly during replay.
+MAX_RECORD_BYTES = wire.MAX_FRAME_BYTES
+
+
+def encode_wal_record(op: dict) -> dict:
+    """A mutation-hook op record as JSON-safe data (wire codec tags)."""
+    record: dict[str, Any] = {
+        "op": op["op"],
+        "via": op.get("via", "store"),
+        "identifier": op["identifier"],
+        "descriptor": wire.encode_value(op["descriptor"]),
+    }
+    if op["op"] == "store":
+        if op.get("partition") is not None:
+            record["partition"] = wire.encode_value(op["partition"])
+        record["primary"] = bool(op["primary"])
+        record["access_clock"] = int(op["access_clock"])
+        record["clock"] = int(op["clock"])
+    return record
+
+
+def decode_wal_record(record: dict) -> dict:
+    """Inverse of :func:`encode_wal_record` (live objects restored)."""
+    op: dict[str, Any] = {
+        "op": record["op"],
+        "via": record.get("via", "store"),
+        "identifier": int(record["identifier"]),
+        "descriptor": wire.decode_value(record["descriptor"]),
+    }
+    if record["op"] == "store":
+        op["partition"] = (
+            wire.decode_value(record["partition"])
+            if "partition" in record
+            else None
+        )
+        op["primary"] = bool(record.get("primary", True))
+        op["access_clock"] = int(record.get("access_clock", 0))
+        op["clock"] = int(record.get("clock", 0))
+    return op
+
+
+class WalWriter:
+    """Appends length-prefixed JSON records to the journal.
+
+    ``fsync=True`` (the default) makes every append durable before the
+    caller proceeds — the "append before ack" half of the contract.
+    Benchmarks and tests may disable it to measure/exercise the encode
+    and framing path without paying for disk flushes.
+    """
+
+    def __init__(self, path: "str | Path", *, fsync: bool = True, seq: int = 0):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.seq = seq
+        self._handle = open(self.path, "ab")
+        self.appended = 0
+
+    def append(self, record: dict) -> int:
+        """Write one record; returns its assigned sequence number."""
+        self.seq += 1
+        body = json.dumps(
+            {"seq": self.seq, **record}, separators=(",", ":")
+        ).encode("utf-8")
+        if len(body) > MAX_RECORD_BYTES:
+            raise StorageError(
+                f"WAL record of {len(body)} bytes exceeds MAX_RECORD_BYTES"
+            )
+        self._handle.write(_LENGTH.pack(len(body)) + body)
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.appended += 1
+        return self.seq
+
+    def truncate(self) -> None:
+        """Drop every journaled record (after a successful compaction)."""
+        self._handle.seek(0)
+        self._handle.truncate()
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+
+def read_wal_tolerant(path: "str | Path") -> tuple[list[dict], int, int]:
+    """Replay the journal, salvaging every complete record.
+
+    Returns ``(records, torn, valid_bytes)`` where ``torn`` counts
+    undecodable records and ``valid_bytes`` is the length of the readable
+    prefix.  The journal is append-only, so the first torn record ends
+    the readable region — framing is lost past it — exactly like a
+    truncated final JSONL line in the flight recorder.  Writers resuming
+    after a crash must truncate the file to ``valid_bytes`` before
+    appending, or the records they add land beyond the torn region and
+    become unreachable on the *next* replay.  A missing file reads as
+    empty.
+    """
+    records: list[dict] = []
+    torn = 0
+    try:
+        raw = Path(path).read_bytes()
+    except (FileNotFoundError, OSError):
+        return records, torn, 0
+    offset = 0
+    total = len(raw)
+    while offset < total:
+        if offset + _LENGTH.size > total:
+            torn += 1  # torn tail: partial length prefix
+            break
+        (length,) = _LENGTH.unpack_from(raw, offset)
+        if length > MAX_RECORD_BYTES or offset + _LENGTH.size + length > total:
+            torn += 1  # torn tail: body never completed (or corrupt prefix)
+            break
+        body = raw[offset + _LENGTH.size : offset + _LENGTH.size + length]
+        record = parse_json_record(body)
+        if record is None or "seq" not in record or "op" not in record:
+            torn += 1  # corrupt record: framing can't be trusted past it
+            break
+        records.append(record)
+        offset += _LENGTH.size + length
+    return records, torn, offset
+
+
+class PeerDurability:
+    """One peer's durable state: journal + snapshot + membership meta.
+
+    Lifecycle on a server with ``--data-dir``::
+
+        durability = PeerDurability(data_dir)
+        stats = durability.recover(store)   # replay snapshot + WAL
+        durability.attach(store)            # journal mutations from now on
+        ...
+        durability.close()
+
+    ``recover`` must run before ``attach`` — replay goes through the
+    store's replay primitives precisely so it cannot re-journal itself.
+    """
+
+    SNAPSHOT_NAME = "snapshot.json"
+    WAL_NAME = "wal.log"
+    META_NAME = "meta.json"
+
+    def __init__(
+        self,
+        data_dir: "str | Path",
+        *,
+        fsync: bool = True,
+        compact_every: int = 512,
+    ) -> None:
+        if compact_every <= 0:
+            raise StorageError("compact_every must be positive")
+        self.data_dir = Path(data_dir)
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self._store: PeerStore | None = None
+        self._writer: WalWriter | None = None
+        self._since_compact = 0
+        self._seq_floor = 0
+        self._valid_wal_bytes: int | None = None
+        self.compactions = 0
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.data_dir / self.SNAPSHOT_NAME
+
+    @property
+    def wal_path(self) -> Path:
+        return self.data_dir / self.WAL_NAME
+
+    @property
+    def meta_path(self) -> Path:
+        return self.data_dir / self.META_NAME
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, store: PeerStore) -> dict:
+        """Rebuild ``store`` from snapshot + WAL; returns replay stats.
+
+        Tolerates a missing or partial snapshot (falls back to pure WAL
+        replay) and a torn WAL tail (salvages every complete record).
+        Every record the snapshot already covers is skipped by sequence
+        number, so recovering after a crash mid-compaction applies each
+        mutation exactly once.
+        """
+        snapshot_entries = 0
+        wal_seq = 0
+        snapshot = load_peer_snapshot(self.snapshot_path)
+        if snapshot is not None:
+            snapshot_entries = restore_peer_store(snapshot, store)
+            wal_seq = int(snapshot.get("wal_seq", 0))
+        records, torn, valid_bytes = read_wal_tolerant(self.wal_path)
+        self._valid_wal_bytes = valid_bytes
+        replayed = 0
+        last_seq = wal_seq
+        for record in records:
+            seq = int(record["seq"])
+            last_seq = max(last_seq, seq)
+            if seq <= wal_seq:
+                continue  # already folded into the snapshot
+            op = decode_wal_record(record)
+            if op["op"] == "store":
+                store.apply_store(
+                    op["identifier"],
+                    op["descriptor"],
+                    op["partition"],
+                    op["primary"],
+                    op["access_clock"],
+                )
+                store._clock = max(store._clock, op["clock"])
+            else:
+                store.apply_remove(op["identifier"], op["descriptor"])
+            replayed += 1
+        self._seq_floor = last_seq
+        return {
+            "snapshot_entries": snapshot_entries,
+            "wal_records": replayed,
+            "torn_records": torn,
+            "entries": store.partition_count,
+        }
+
+    # ------------------------------------------------------------------
+    # Journaling
+    # ------------------------------------------------------------------
+
+    def attach(self, store: PeerStore) -> None:
+        """Start journaling ``store``'s mutations (call after recover).
+
+        If recovery found a torn tail, the journal is truncated back to
+        its readable prefix first — appending past torn bytes would put
+        every new record beyond the point where the next replay stops.
+        """
+        if self._valid_wal_bytes is None and self.wal_path.exists():
+            _, _, self._valid_wal_bytes = read_wal_tolerant(self.wal_path)
+        if self._valid_wal_bytes is not None:
+            try:
+                if self.wal_path.stat().st_size > self._valid_wal_bytes:
+                    with open(self.wal_path, "r+b") as handle:
+                        handle.truncate(self._valid_wal_bytes)
+                        handle.flush()
+                        if self.fsync:
+                            os.fsync(handle.fileno())
+            except FileNotFoundError:
+                pass
+        self._store = store
+        self._writer = WalWriter(
+            self.wal_path, fsync=self.fsync, seq=self._seq_floor
+        )
+        store.mutation_hook = self._on_mutation
+
+    def _on_mutation(self, op: dict) -> None:
+        assert self._writer is not None
+        self._writer.append(encode_wal_record(op))
+        self._since_compact += 1
+        if self._since_compact >= self.compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold the journal into the snapshot and truncate it.
+
+        Snapshot first (atomic rename carrying the covered ``wal_seq``),
+        truncate second: a crash in between merely leaves records the
+        snapshot already covers, which replay skips by sequence number.
+        """
+        if self._store is None or self._writer is None:
+            return
+        save_peer_snapshot(
+            self._store, self.snapshot_path, wal_seq=self._writer.seq
+        )
+        self._writer.truncate()
+        self._since_compact = 0
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
+    # Membership metadata
+    # ------------------------------------------------------------------
+
+    def load_incarnation(self) -> int | None:
+        """The SWIM incarnation persisted by a previous run, if any."""
+        try:
+            raw = self.meta_path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        doc = parse_json_record(raw)
+        if doc is None or not isinstance(doc.get("incarnation"), int):
+            return None
+        return doc["incarnation"]
+
+    def store_incarnation(self, incarnation: int) -> None:
+        """Persist the peer's current SWIM incarnation (atomic rename).
+
+        Written on every self-incarnation bump; a restarting peer resumes
+        at ``persisted + 1`` so its rejoin beats any tombstone the
+        cluster holds for its previous life.
+        """
+        tmp = self.meta_path.with_name(self.meta_path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"incarnation": incarnation}))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.meta_path)
+
+    def close(self) -> None:
+        """Detach the hook and close the journal."""
+        if self._store is not None and self._store.mutation_hook is self._on_mutation:
+            self._store.mutation_hook = None
+        if self._writer is not None:
+            self._writer.close()
+        self._store = None

@@ -24,6 +24,7 @@ from repro.util.stats import (
     summarize,
 )
 from repro.util.timer import Timer, time_call
+from repro.util.tolerant import parse_json_record, read_jsonl_tolerant
 
 __all__ = [
     "SeedSequenceFactory",
@@ -44,4 +45,6 @@ __all__ = [
     "cdf_points",
     "Timer",
     "time_call",
+    "parse_json_record",
+    "read_jsonl_tolerant",
 ]

@@ -1,0 +1,52 @@
+"""Crash-tolerant readers for append-only record files.
+
+Processes in this project die by SIGKILL on purpose — chaos drills kill
+live peers mid-write — so every append-only file format (flight-recorder
+JSONL, the storage WAL) must be readable after a torn final record.  The
+policy is uniform: a record that does not decode is *skipped and
+counted*, never raised.  The reader's job is to salvage what survived.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["parse_json_record", "read_jsonl_tolerant"]
+
+
+def parse_json_record(raw: "str | bytes") -> "dict[str, Any] | None":
+    """Decode one JSON object from a torn-write-prone source.
+
+    Returns the dict, or None when the bytes are truncated, malformed,
+    or decode to something other than an object.
+    """
+    try:
+        if isinstance(raw, bytes):
+            raw = raw.decode("utf-8", errors="strict")
+        doc = json.loads(raw)
+    except ValueError:
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def read_jsonl_tolerant(path: str) -> tuple[list[dict[str, Any]], int]:
+    """Read JSONL produced by a process that may have died mid-write.
+
+    A SIGKILL can leave the final line truncated (or interleave a torn
+    write); those lines are *skipped and counted*, never raised.  Returns
+    ``(records, skipped)``.
+    """
+    records: list[dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            doc = parse_json_record(line)
+            if doc is None:
+                skipped += 1
+            else:
+                records.append(doc)
+    return records, skipped

@@ -1,0 +1,449 @@
+"""Durability tests: WAL framing, snapshot + WAL recovery, replay fidelity.
+
+The contract under test is ISSUE 10's tentpole: every acknowledged
+mutation is journaled before the ack, and rebuilding a store from
+snapshot + WAL yields a state *identical* to the in-memory one —
+including LRU access clocks and primary/replica ranks — tolerating a
+torn journal tail and a missing or partial snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.partition import Partition, PartitionDescriptor
+from repro.errors import StorageError
+from repro.ranges.interval import IntRange
+from repro.storage.snapshot import (
+    load_peer_snapshot,
+    restore_peer_store,
+    save_peer_snapshot,
+    snapshot_peer_store,
+)
+from repro.storage.store import LRUEviction, PeerStore
+from repro.storage.wal import (
+    PeerDurability,
+    WalWriter,
+    decode_wal_record,
+    encode_wal_record,
+    read_wal_tolerant,
+)
+from repro.util.tolerant import parse_json_record, read_jsonl_tolerant
+
+
+def desc(start: int, end: int, relation: str = "R") -> PartitionDescriptor:
+    return PartitionDescriptor(relation, "value", IntRange(start, end))
+
+
+def store_op(identifier, descriptor, *, partition=None, primary=True,
+             access_clock=1, clock=1, via="store"):
+    return {
+        "op": "store", "via": via, "identifier": identifier,
+        "descriptor": descriptor, "partition": partition,
+        "primary": primary, "access_clock": access_clock, "clock": clock,
+    }
+
+
+def state_of(store: PeerStore) -> tuple[dict, int]:
+    """Everything durability promises to preserve, comparably."""
+    entries = {}
+    for identifier, entry in store.entries():
+        rows = None if entry.partition is None else entry.partition.rows
+        entries[(identifier, entry.descriptor)] = (
+            entry.primary, entry.access_clock, rows,
+        )
+    return entries, store.clock
+
+
+class TestWalCodec:
+    def test_store_record_round_trips(self):
+        descriptor = desc(10, 20)
+        partition = Partition(descriptor=descriptor, rows=((11, "a"), (15, "b")))
+        op = store_op(
+            7, descriptor, partition=partition, primary=False,
+            access_clock=42, clock=99, via="repair-push",
+        )
+        decoded = decode_wal_record(encode_wal_record(op))
+        assert decoded["op"] == "store"
+        assert decoded["via"] == "repair-push"
+        assert decoded["identifier"] == 7
+        assert decoded["descriptor"] == descriptor
+        assert decoded["partition"].rows == partition.rows
+        assert decoded["primary"] is False
+        assert decoded["access_clock"] == 42
+        assert decoded["clock"] == 99
+
+    def test_remove_record_round_trips(self):
+        op = {
+            "op": "remove", "via": "handoff",
+            "identifier": 3, "descriptor": desc(0, 5),
+        }
+        decoded = decode_wal_record(encode_wal_record(op))
+        assert decoded == {
+            "op": "remove", "via": "handoff",
+            "identifier": 3, "descriptor": desc(0, 5),
+        }
+
+    def test_record_is_json_serialisable(self):
+        record = encode_wal_record(store_op(1, desc(0, 9)))
+        assert json.loads(json.dumps(record)) == record
+
+
+class TestWalFraming:
+    def test_append_and_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, fsync=False)
+        assert writer.append(encode_wal_record(store_op(1, desc(0, 9)))) == 1
+        assert writer.append(
+            encode_wal_record({"op": "remove", "via": "evict",
+                               "identifier": 1, "descriptor": desc(0, 9)})
+        ) == 2
+        writer.close()
+        records, torn, valid = read_wal_tolerant(path)
+        assert torn == 0
+        assert [record["seq"] for record in records] == [1, 2]
+        assert valid == path.stat().st_size
+        assert decode_wal_record(records[0])["descriptor"] == desc(0, 9)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_wal_tolerant(tmp_path / "absent.log") == ([], 0, 0)
+
+    def test_torn_tail_salvages_complete_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, fsync=False)
+        for i in range(3):
+            writer.append(encode_wal_record(store_op(i, desc(i, i + 5))))
+        writer.close()
+        size = path.stat().st_size
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)  # SIGKILL mid-append
+        records, torn, valid = read_wal_tolerant(path)
+        assert [record["seq"] for record in records] == [1, 2]
+        assert torn == 1
+        assert valid < size - 3
+
+    def test_partial_length_prefix_is_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, fsync=False)
+        writer.append(encode_wal_record(store_op(1, desc(0, 9))))
+        writer.close()
+        valid_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00")  # 2 of 4 prefix bytes made it
+        records, torn, valid = read_wal_tolerant(path)
+        assert len(records) == 1 and torn == 1
+        assert valid == valid_size
+
+    def test_corrupt_body_ends_readable_region(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, fsync=False)
+        writer.append(encode_wal_record(store_op(1, desc(0, 9))))
+        writer.close()
+        with open(path, "ab") as handle:
+            garbage = b"not json at all!"
+            handle.write(struct.pack("!I", len(garbage)) + garbage)
+        # A record that frames but does not parse cannot be trusted —
+        # nor can anything after it.
+        more = WalWriter(path, fsync=False, seq=1)
+        more.append(encode_wal_record(store_op(2, desc(10, 19))))
+        more.close()
+        records, torn, _ = read_wal_tolerant(path)
+        assert [record["seq"] for record in records] == [1]
+        assert torn == 1
+
+    def test_oversized_record_refused(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.storage.wal.MAX_RECORD_BYTES", 64)
+        writer = WalWriter(tmp_path / "wal.log", fsync=False)
+        with pytest.raises(StorageError):
+            writer.append(encode_wal_record(store_op(1, desc(0, 10 ** 6))))
+        writer.close()
+
+    def test_truncate_drops_all_records(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = WalWriter(path, fsync=False)
+        writer.append(encode_wal_record(store_op(1, desc(0, 9))))
+        writer.truncate()
+        writer.close()
+        assert read_wal_tolerant(path) == ([], 0, 0)
+
+
+class TestPeerSnapshot:
+    def populated(self) -> PeerStore:
+        store = PeerStore(17)
+        store.store(1, desc(0, 10), Partition(descriptor=desc(0, 10),
+                                              rows=((1,), (2,))))
+        store.store(2, desc(20, 30), primary=False)
+        return store
+
+    def test_round_trip_preserves_state(self):
+        original = self.populated()
+        restored = PeerStore(17)
+        count = restore_peer_store(snapshot_peer_store(original), restored)
+        assert count == 2
+        assert state_of(restored) == state_of(original)
+
+    def test_file_round_trip_carries_wal_seq(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_peer_snapshot(self.populated(), path, wal_seq=41)
+        snapshot = load_peer_snapshot(path)
+        assert snapshot is not None and snapshot["wal_seq"] == 41
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert load_peer_snapshot(tmp_path / "absent.json") is None
+
+    def test_partial_snapshot_loads_none(self, tmp_path):
+        path = tmp_path / "snapshot.json"
+        save_peer_snapshot(self.populated(), path)
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[: len(raw) // 2], encoding="utf-8")  # torn write
+        assert load_peer_snapshot(path) is None
+
+    def test_wrong_format_rejected_on_restore(self):
+        with pytest.raises(StorageError):
+            restore_peer_store({"format": 99, "entries": []}, PeerStore(1))
+
+
+class TestRecovery:
+    def run_ops(self, store: PeerStore) -> None:
+        for i in range(5):
+            partition = Partition(descriptor=desc(i * 10, i * 10 + 9),
+                                  rows=((i,),)) if i % 2 == 0 else None
+            store.store(i, desc(i * 10, i * 10 + 9), partition,
+                        primary=(i % 2 == 0))
+        store.store(1, desc(10, 19))  # duplicate re-store promotes
+        store.remove(3, desc(30, 39), via="handoff")
+
+    def recovered(self, data_dir) -> tuple[PeerStore, dict]:
+        store = PeerStore(17)
+        stats = PeerDurability(data_dir, fsync=False).recover(store)
+        return store, stats
+
+    def test_pure_wal_recovery(self, tmp_path):
+        live = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.attach(live)
+        self.run_ops(live)
+        durability.close()
+        store, stats = self.recovered(tmp_path)
+        assert state_of(store) == state_of(live)
+        assert stats["snapshot_entries"] == 0
+        assert stats["wal_records"] == 7
+        assert stats["torn_records"] == 0
+
+    def test_snapshot_plus_wal_recovery(self, tmp_path):
+        live = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False, compact_every=3)
+        durability.attach(live)
+        self.run_ops(live)
+        durability.close()
+        assert durability.compactions >= 1
+        store, stats = self.recovered(tmp_path)
+        assert state_of(store) == state_of(live)
+        assert stats["snapshot_entries"] > 0
+        # Compaction folded most records away; only the tail replays.
+        assert stats["wal_records"] < 7
+
+    def test_torn_tail_loses_only_the_final_record(self, tmp_path):
+        live = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.attach(live)
+        for i in range(5):
+            live.store(i, desc(i * 10, i * 10 + 9))
+        durability.close()
+        wal = Path(tmp_path) / PeerDurability.WAL_NAME
+        with open(wal, "r+b") as handle:
+            handle.truncate(wal.stat().st_size - 3)
+        store, stats = self.recovered(tmp_path)
+        assert stats["torn_records"] == 1
+        assert stats["entries"] == 4  # the unacked final store is gone
+        assert sorted(store.identifiers()) == [0, 1, 2, 3]
+
+    def test_attach_repairs_torn_tail_before_appending(self, tmp_path):
+        # Records appended after a torn region would be unreachable on
+        # the *next* replay; attach must truncate the tail first.
+        first = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.attach(first)
+        first.store(1, desc(0, 9))
+        first.store(2, desc(10, 19))
+        durability.close()
+        wal = Path(tmp_path) / PeerDurability.WAL_NAME
+        with open(wal, "r+b") as handle:
+            handle.truncate(wal.stat().st_size - 2)
+        second = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.recover(second)
+        durability.attach(second)
+        second.store(3, desc(20, 29))  # journaled after the repair
+        durability.close()
+        store, stats = self.recovered(tmp_path)
+        assert stats["torn_records"] == 0
+        assert sorted(store.identifiers()) == [1, 3]
+
+    def test_partial_snapshot_falls_back_to_wal(self, tmp_path):
+        live = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.attach(live)
+        self.run_ops(live)
+        durability.close()
+        snapshot = Path(tmp_path) / PeerDurability.SNAPSHOT_NAME
+        snapshot.write_text('{"format": 1, "entr', encoding="utf-8")
+        store, stats = self.recovered(tmp_path)
+        assert stats["snapshot_entries"] == 0
+        assert state_of(store) == state_of(live)
+
+    def test_crash_between_snapshot_and_truncate_is_idempotent(
+        self, tmp_path, monkeypatch
+    ):
+        live = PeerStore(17)
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.attach(live)
+        for i in range(6):
+            live.store(i, desc(i * 10, i * 10 + 9))
+        # Snapshot lands, journal truncation "crashes": the WAL keeps
+        # records the snapshot already covers.
+        monkeypatch.setattr(durability._writer, "truncate", lambda: None)
+        durability.compact()
+        live.store(99, desc(990, 999))
+        durability.close()
+        store, stats = self.recovered(tmp_path)
+        assert state_of(store) == state_of(live)
+        assert stats["snapshot_entries"] == 6
+        assert stats["wal_records"] == 1  # seq <= wal_seq skipped
+
+    def test_empty_data_dir_recovers_empty(self, tmp_path):
+        store, stats = self.recovered(tmp_path)
+        assert stats == {
+            "snapshot_entries": 0, "wal_records": 0,
+            "torn_records": 0, "entries": 0,
+        }
+        assert store.partition_count == 0
+
+    def test_incarnation_round_trips(self, tmp_path):
+        durability = PeerDurability(tmp_path, fsync=False)
+        assert durability.load_incarnation() is None
+        durability.store_incarnation(7)
+        assert PeerDurability(tmp_path, fsync=False).load_incarnation() == 7
+
+    def test_torn_meta_reads_as_absent(self, tmp_path):
+        durability = PeerDurability(tmp_path, fsync=False)
+        durability.meta_path.write_text('{"incarn', encoding="utf-8")
+        assert durability.load_incarnation() is None
+
+    def test_compact_every_must_be_positive(self, tmp_path):
+        with pytest.raises(StorageError):
+            PeerDurability(tmp_path, compact_every=0)
+
+
+class TestHookIsObservational:
+    """No ``--data-dir`` must mean byte-identical store behavior; the
+    hook, when attached, must change nothing the caller can observe."""
+
+    OPS = [
+        ("store", 1, (0, 10), True),
+        ("store", 2, (20, 30), False),
+        ("store", 1, (0, 10), True),     # duplicate
+        ("store", 3, (40, 50), True),
+        ("store", 4, (60, 70), False),
+        ("store", 5, (80, 90), True),    # overflows LRU capacity
+        ("remove", 2, (20, 30), None),
+        ("remove", 9, (0, 1), None),     # absent: no-op, no record
+    ]
+
+    def apply(self, store: PeerStore) -> list:
+        outcomes = []
+        for kind, identifier, (start, end), primary in self.OPS:
+            if kind == "store":
+                outcomes.append(
+                    store.store(identifier, desc(start, end), primary=primary)
+                )
+            else:
+                outcomes.append(store.remove(identifier, desc(start, end)))
+        return outcomes
+
+    def test_hooked_store_behaves_like_plain_store(self):
+        plain = PeerStore(3, LRUEviction(4))
+        hooked = PeerStore(3, LRUEviction(4))
+        journal: list[dict] = []
+        hooked.mutation_hook = journal.append
+        assert self.apply(hooked) == self.apply(plain)
+        assert state_of(hooked) == state_of(plain)
+        # Evictions are journaled, absent removes are not.
+        assert any(op["op"] == "remove" and op["via"] == "evict"
+                   for op in journal)
+        assert not any(op["identifier"] == 9 for op in journal)
+
+    def test_default_store_has_no_hook(self):
+        assert PeerStore(1).mutation_hook is None
+
+
+# One durable lifetime: identifiers collide (duplicate re-stores), roles
+# mix, capacity forces LRU evictions, and handoffs delete entries.
+op_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),          # identifier
+        st.integers(min_value=0, max_value=80),         # range start
+        st.integers(min_value=1, max_value=40),         # range width
+        st.booleans(),                                  # primary
+        st.sampled_from(["store", "repair-push", "handoff"]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(op_lists)
+@settings(max_examples=30, deadline=None)
+def test_wal_replay_reconstructs_store_exactly(ops):
+    """ISSUE satellite: replaying a randomized op sequence through the
+    WAL reconstructs a state identical to the in-memory store, including
+    LRU access clocks and primary/replica ranks."""
+    with tempfile.TemporaryDirectory() as data_dir:
+        live = PeerStore(7, LRUEviction(8))
+        durability = PeerDurability(data_dir, fsync=False, compact_every=9)
+        durability.attach(live)
+        for identifier, start, width, primary, kind in ops:
+            descriptor = desc(start, start + width)
+            if kind == "handoff":
+                live.remove(identifier, descriptor, via="handoff")
+            else:
+                partition = (
+                    Partition(descriptor=descriptor, rows=((start,),))
+                    if primary else None
+                )
+                live.store(identifier, descriptor, partition,
+                           primary=primary, via=kind)
+        durability.close()
+        recovered = PeerStore(7, LRUEviction(8))
+        PeerDurability(data_dir, fsync=False).recover(recovered)
+        assert state_of(recovered) == state_of(live)
+
+
+class TestTolerantReaders:
+    def test_parse_json_record_accepts_objects_only(self):
+        assert parse_json_record('{"a": 1}') == {"a": 1}
+        assert parse_json_record(b'{"a": 1}') == {"a": 1}
+        assert parse_json_record('{"a": 1') is None        # truncated
+        assert parse_json_record("[1, 2]") is None         # not an object
+        assert parse_json_record("42") is None
+        assert parse_json_record(b"\xff\xfe{}") is None    # bad utf-8
+
+    def test_read_jsonl_tolerant_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c": ', encoding="utf-8")
+        records, skipped = read_jsonl_tolerant(str(path))
+        assert records == [{"a": 1}, {"b": 2}]
+        assert skipped == 1
+
+    def test_flight_recorder_reader_is_the_shared_one(self):
+        # The extraction must leave the historical import path working.
+        from repro.obs.distributed import read_jsonl_tolerant as from_obs
+
+        assert from_obs is read_jsonl_tolerant
